@@ -1,0 +1,154 @@
+package tdmd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tdmd/internal/paperfix"
+)
+
+func TestSolveParallelMatchesSerial(t *testing.T) {
+	p := fig5Problem(t)
+	serialDP, err := p.Solve(AlgDP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parDP, err := p.SolveParallel(AlgDP, 3, ParallelOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parDP.Bandwidth != serialDP.Bandwidth {
+		t.Fatalf("parallel DP %v != serial %v", parDP.Bandwidth, serialDP.Bandwidth)
+	}
+	serialG, err := p.Solve(AlgGTPLazy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parG, err := p.SolveParallel(AlgGTPLazy, 0, ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parG.Plan.String() != serialG.Plan.String() {
+		t.Fatalf("parallel GTP plan %v != serial %v", parG.Plan, serialG.Plan)
+	}
+	parEx, err := p.SolveParallel(AlgExhaustive, 3, ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parEx.Bandwidth != 13.5 {
+		t.Fatalf("parallel exhaustive = %v, want 13.5", parEx.Bandwidth)
+	}
+}
+
+func TestSolveParallelErrors(t *testing.T) {
+	p := fig1Problem(t)
+	if _, err := p.SolveParallel(AlgDP, 3, ParallelOpts{}); err == nil {
+		t.Fatal("parallel DP without tree accepted")
+	}
+	if _, err := p.SolveParallel(AlgHAT, 3, ParallelOpts{}); err == nil {
+		t.Fatal("unsupported parallel algorithm accepted")
+	}
+}
+
+func TestSolveScaledDP(t *testing.T) {
+	p := fig5Problem(t)
+	res, scale, err := p.SolveScaledDP(3, ScaledDPOpts{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 || res.Bandwidth != 13.5 {
+		t.Fatalf("scaled DP = %v at scale %d, want 13.5 at 1", res.Bandwidth, scale)
+	}
+	if _, _, err := fig1Problem(t).SolveScaledDP(3, ScaledDPOpts{}); err == nil {
+		t.Fatal("scaled DP without tree accepted")
+	}
+}
+
+func TestSimulateStaticMatchesEvaluate(t *testing.T) {
+	p := fig1Problem(t)
+	plan := NewPlan(paperfix.V(2), paperfix.V(5))
+	m, err := p.Simulate(plan, SimConfig{Horizon: 7, InitialFlows: p.Instance().Flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Evaluate(plan).Bandwidth
+	if math.Abs(m.TimeAvgBandwidth-want) > 1e-9 {
+		t.Fatalf("simulated %v != evaluated %v", m.TimeAvgBandwidth, want)
+	}
+}
+
+func TestTraceFacadeRoundTrip(t *testing.T) {
+	g, flows, _ := paperfix.Fig1()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, flows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(flows) {
+		t.Fatalf("round trip count %d != %d", len(back), len(flows))
+	}
+}
+
+func TestExpandingLambdaThroughFacade(t *testing.T) {
+	g, flows, _ := paperfix.Fig1()
+	p, err := NewProblem(g, flows, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Solve(AlgGTP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("expanding GTP infeasible")
+	}
+	if r.Bandwidth < p.Instance().RawDemand()-1e-9 {
+		t.Fatal("expanding bandwidth below raw demand")
+	}
+}
+
+func TestResilienceFacade(t *testing.T) {
+	p := fig1Problem(t)
+	res, err := p.Solve(AlgGTP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranking := p.FailureRanking(res.Plan)
+	if len(ranking) != 3 {
+		t.Fatalf("ranking = %d entries", len(ranking))
+	}
+	worst := ranking[0]
+	repaired, err := p.Repair(res.Plan, worst.Failed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repaired.Feasible || repaired.Plan.Has(worst.Failed) {
+		t.Fatalf("bad repair %+v", repaired)
+	}
+}
+
+func TestMultiStartFacade(t *testing.T) {
+	p := fig1Problem(t)
+	r, err := p.WithSeed(3).MultiStartLocalSearch(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bandwidth != 8 || !r.Feasible {
+		t.Fatalf("multi-start = %+v, want optimum 8", r)
+	}
+}
+
+func TestSolveExactFacade(t *testing.T) {
+	p := fig1Problem(t)
+	r, err := p.SolveExact(3, BnBOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact || r.Bandwidth != 8 {
+		t.Fatalf("exact solve = %+v, want certified 8", r)
+	}
+}

@@ -1,0 +1,202 @@
+// Benchmarks, one per evaluation figure of the paper (Figs. 9-17).
+// Each benchmark reproduces a figure's sweep as sub-benchmarks: the
+// instance generation happens outside the timed region, so b.N
+// iterations measure exactly what the paper's execution-time
+// sub-figures measure — the placement algorithms themselves.
+//
+// The figure *data* (bandwidth series with error bars) is regenerated
+// by cmd/figures; run `go test -bench=. -benchmem` for the timing
+// side and `go run ./cmd/figures` for the bandwidth side.
+package tdmd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/experiments"
+	"tdmd/internal/netsim"
+	"tdmd/internal/placement"
+	"tdmd/internal/stats"
+)
+
+// benchAlgs runs every algorithm of the series on the trial as
+// sub-benchmarks.
+func benchAlgs(b *testing.B, trial experiments.Trial, algs []experiments.AlgName) {
+	for _, alg := range algs {
+		b.Run(string(alg), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				var err error
+				switch alg {
+				case experiments.Random:
+					_, err = placement.RandomPlacement(trial.Inst, trial.K, rng)
+				case experiments.BestEffort:
+					_, err = placement.BestEffort(trial.Inst, trial.K)
+				case experiments.GTP:
+					_, err = placement.GTPBudget(trial.Inst, trial.K)
+				case experiments.HAT:
+					_, err = placement.HAT(trial.Inst, trial.Tree, trial.K)
+				case experiments.DP:
+					_, err = placement.TreeDP(trial.Inst, trial.Tree, trial.K)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func treeTrialForBench(b *testing.B, size int, density, lambda float64, k int, point uint64) experiments.Trial {
+	seed := stats.DeriveSeed(2026, point)
+	trial := experiments.TreeTrial(size, density, lambda, k, seed)
+	if _, err := placement.GTPBudget(trial.Inst, trial.K); err != nil {
+		b.Skipf("generated workload infeasible at k=%d", k)
+	}
+	return trial
+}
+
+// BenchmarkFig09_TreeK — Fig. 9: sweep the middlebox budget k in the
+// 22-vertex tree.
+func BenchmarkFig09_TreeK(b *testing.B) {
+	for _, k := range []int{1, 4, 7, 10, 13, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			trial := treeTrialForBench(b, experiments.DefaultTreeSize, experiments.DefaultDensity,
+				experiments.DefaultLambda, k, uint64(k))
+			benchAlgs(b, trial, experiments.TreeAlgs)
+		})
+	}
+}
+
+// BenchmarkFig10_TreeLambda — Fig. 10: sweep the traffic-changing
+// ratio in the tree.
+func BenchmarkFig10_TreeLambda(b *testing.B) {
+	for _, lambda := range []float64{0, 0.3, 0.6, 0.9} {
+		b.Run(fmt.Sprintf("lambda=%g", lambda), func(b *testing.B) {
+			trial := treeTrialForBench(b, experiments.DefaultTreeSize, experiments.DefaultDensity,
+				lambda, experiments.DefaultTreeK, uint64(lambda*10))
+			benchAlgs(b, trial, experiments.TreeAlgs)
+		})
+	}
+}
+
+// BenchmarkFig11_TreeDensity — Fig. 11: sweep the flow density in the
+// tree.
+func BenchmarkFig11_TreeDensity(b *testing.B) {
+	for _, density := range []float64{0.3, 0.5, 0.8} {
+		b.Run(fmt.Sprintf("density=%g", density), func(b *testing.B) {
+			trial := treeTrialForBench(b, experiments.DefaultTreeSize, density,
+				experiments.DefaultLambda, experiments.DefaultTreeK, uint64(density*10))
+			benchAlgs(b, trial, experiments.TreeAlgs)
+		})
+	}
+}
+
+// BenchmarkFig12_TreeSize — Fig. 12: sweep the tree topology size.
+func BenchmarkFig12_TreeSize(b *testing.B) {
+	for _, size := range []int{12, 22, 32} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			trial := treeTrialForBench(b, size, experiments.DefaultDensity,
+				experiments.DefaultLambda, experiments.DefaultTreeK, uint64(size))
+			benchAlgs(b, trial, experiments.TreeAlgs)
+		})
+	}
+}
+
+func generalTrialForBench(b *testing.B, size int, density, lambda float64, k int, point uint64) experiments.Trial {
+	seed := stats.DeriveSeed(2027, point)
+	trial := experiments.GeneralTrial(size, density, lambda, k, seed)
+	if _, err := placement.GTPBudget(trial.Inst, trial.K); err != nil {
+		b.Skipf("generated workload infeasible at k=%d", k)
+	}
+	return trial
+}
+
+// BenchmarkFig13_GeneralK — Fig. 13: sweep k in the 30-vertex general
+// topology.
+func BenchmarkFig13_GeneralK(b *testing.B) {
+	for _, k := range []int{12, 16, 20, 22} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			trial := generalTrialForBench(b, experiments.DefaultGeneralSize, experiments.DefaultDensity,
+				experiments.DefaultLambda, k, uint64(k))
+			benchAlgs(b, trial, experiments.GeneralAlgs)
+		})
+	}
+}
+
+// BenchmarkFig14_GeneralLambda — Fig. 14: sweep λ in the general
+// topology.
+func BenchmarkFig14_GeneralLambda(b *testing.B) {
+	for _, lambda := range []float64{0, 0.3, 0.6, 0.9} {
+		b.Run(fmt.Sprintf("lambda=%g", lambda), func(b *testing.B) {
+			trial := generalTrialForBench(b, experiments.DefaultGeneralSize, experiments.DefaultDensity,
+				lambda, experiments.DefaultGeneralK, uint64(lambda*10))
+			benchAlgs(b, trial, experiments.GeneralAlgs)
+		})
+	}
+}
+
+// BenchmarkFig15_GeneralDensity — Fig. 15: sweep flow density in the
+// general topology.
+func BenchmarkFig15_GeneralDensity(b *testing.B) {
+	for _, density := range []float64{0.3, 0.5, 0.8} {
+		b.Run(fmt.Sprintf("density=%g", density), func(b *testing.B) {
+			trial := generalTrialForBench(b, experiments.DefaultGeneralSize, density,
+				experiments.DefaultLambda, experiments.DefaultGeneralK, uint64(density*10))
+			benchAlgs(b, trial, experiments.GeneralAlgs)
+		})
+	}
+}
+
+// BenchmarkFig16_GeneralSize — Fig. 16: sweep the general topology
+// size.
+func BenchmarkFig16_GeneralSize(b *testing.B) {
+	for _, size := range []int{12, 28, 52} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			trial := generalTrialForBench(b, size, experiments.DefaultDensity,
+				experiments.DefaultLambda, experiments.DefaultGeneralK, uint64(size))
+			benchAlgs(b, trial, experiments.GeneralAlgs)
+		})
+	}
+}
+
+// BenchmarkFig17_SpamTree — Fig. 17(a): spam filters (λ=0) on the
+// tree, GTP over the (k, density) grid corners.
+func BenchmarkFig17_SpamTree(b *testing.B) {
+	for _, kd := range [][2]float64{{5, 0.4}, {5, 0.8}, {15, 0.4}, {15, 0.8}} {
+		b.Run(fmt.Sprintf("k=%d,density=%g", int(kd[0]), kd[1]), func(b *testing.B) {
+			trial := treeTrialForBench(b, experiments.DefaultTreeSize, kd[1], 0, int(kd[0]),
+				uint64(kd[0]*100+kd[1]*10))
+			benchAlgs(b, trial, []experiments.AlgName{experiments.GTP})
+		})
+	}
+}
+
+// BenchmarkFig17_SpamGeneral — Fig. 17(b): spam filters on the general
+// topology.
+func BenchmarkFig17_SpamGeneral(b *testing.B) {
+	for _, kd := range [][2]float64{{6, 0.4}, {6, 0.8}, {16, 0.4}, {16, 0.8}} {
+		b.Run(fmt.Sprintf("k=%d,density=%g", int(kd[0]), kd[1]), func(b *testing.B) {
+			trial := generalTrialForBench(b, experiments.DefaultGeneralSize, kd[1], 0, int(kd[0]),
+				uint64(kd[0]*100+kd[1]*10))
+			benchAlgs(b, trial, []experiments.AlgName{experiments.GTP})
+		})
+	}
+}
+
+// BenchmarkTable2_MarginalDecrement measures the oracle the GTP
+// complexity analysis counts (Sec. 4.2's O(|V|² log |V|) oracle
+// queries): one marginal-decrement evaluation on the default tree
+// instance.
+func BenchmarkTable2_MarginalDecrement(b *testing.B) {
+	trial := treeTrialForBench(b, experiments.DefaultTreeSize, experiments.DefaultDensity,
+		experiments.DefaultLambda, experiments.DefaultTreeK, 99)
+	p := netsim.NewPlan(trial.Tree.Root)
+	alloc := trial.Inst.Allocate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := trial.Inst.G.Nodes()[i%trial.Inst.G.NumNodes()]
+		trial.Inst.MarginalDecrement(p, alloc, v)
+	}
+}

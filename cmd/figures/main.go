@@ -1,0 +1,148 @@
+// Command figures regenerates the data behind every figure of the
+// paper's evaluation section (Figs. 9-17): for each sweep it runs the
+// relevant algorithms over freshly generated topologies and workloads,
+// aggregates repetitions, and writes both a human-readable table to
+// stdout and machine-readable TSV files.
+//
+// Usage:
+//
+//	figures                 # all figures, TSVs into ./figures_out
+//	figures -fig 9          # only Fig. 9
+//	figures -reps 10 -seed 7 -out /tmp/data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tdmd/internal/experiments"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 0, "figure number 9..21 (0 = all; 18-21 are this repo's extensions)")
+		reps = flag.Int("reps", 5, "repetitions per sweep point")
+		seed = flag.Int64("seed", 42, "master seed")
+		out  = flag.String("out", "figures_out", "directory for TSV/SVG output")
+		svg  = flag.Bool("svg", false, "also render each figure as SVG")
+		jsn  = flag.Bool("json", false, "also emit each figure as JSON")
+	)
+	flag.Parse()
+	if err := run(*fig, *reps, *seed, *out, *svg, *jsn); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, reps int, seed int64, outDir string, svg, jsn bool) error {
+	cfg := experiments.Config{Seed: seed, Reps: reps}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	type lineFig struct {
+		n   int
+		run func(experiments.Config) (*experiments.Figure, error)
+	}
+	lines := []lineFig{
+		{9, experiments.Fig9}, {10, experiments.Fig10}, {11, experiments.Fig11},
+		{12, experiments.Fig12}, {13, experiments.Fig13}, {14, experiments.Fig14},
+		{15, experiments.Fig15}, {16, experiments.Fig16},
+		// Figs. 18-19 are this repository's extensions (local-search
+		// refinement; fat-tree fabrics); see EXPERIMENTS.md.
+		{18, experiments.Fig18},
+		{19, experiments.Fig19},
+		{20, experiments.Fig20},
+	}
+	for _, lf := range lines {
+		if fig != 0 && fig != lf.n {
+			continue
+		}
+		start := time.Now()
+		f, err := lf.run(cfg)
+		if err != nil {
+			return err
+		}
+		f.WriteTable(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", f.ID, time.Since(start).Round(time.Millisecond))
+		if err := writeTSV(outDir, f.ID, func(w *os.File) error { return f.WriteTSV(w) }); err != nil {
+			return err
+		}
+		if svg {
+			if err := writeFile(outDir, f.ID+"_bandwidth.svg", f.SVG()); err != nil {
+				return err
+			}
+			if err := writeFile(outDir, f.ID+"_exec.svg", f.ExecSVG()); err != nil {
+				return err
+			}
+		}
+		if jsn {
+			if err := writeOut(outDir, f.ID+".json", func(w *os.File) error { return f.WriteJSON(w) }); err != nil {
+				return err
+			}
+		}
+	}
+	if fig == 0 || fig == 21 {
+		start := time.Now()
+		gap, err := experiments.OptimalityGap(cfg)
+		if err != nil {
+			return err
+		}
+		gap.WriteTable(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", gap.ID, time.Since(start).Round(time.Millisecond))
+		if err := writeTSV(outDir, gap.ID, func(w *os.File) error { return gap.WriteTSV(w) }); err != nil {
+			return err
+		}
+		if svg {
+			if err := writeFile(outDir, gap.ID+".svg", gap.SVG()); err != nil {
+				return err
+			}
+		}
+	}
+	if fig == 0 || fig == 17 {
+		for _, runSurf := range []func(experiments.Config) (*experiments.Surface, error){
+			experiments.Fig17Tree, experiments.Fig17General,
+		} {
+			start := time.Now()
+			s, err := runSurf(cfg)
+			if err != nil {
+				return err
+			}
+			s.WriteTable(os.Stdout)
+			fmt.Printf("(%s in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+			if err := writeTSV(outDir, s.ID, func(w *os.File) error { return s.WriteTSV(w) }); err != nil {
+				return err
+			}
+			if svg {
+				if err := writeFile(outDir, s.ID+".svg", s.SVG()); err != nil {
+					return err
+				}
+			}
+			if jsn {
+				if err := writeOut(outDir, s.ID+".json", func(w *os.File) error { return s.WriteJSON(w) }); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeTSV(dir, id string, write func(*os.File) error) error {
+	return writeOut(dir, id+".tsv", write)
+}
+
+func writeOut(dir, name string, write func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

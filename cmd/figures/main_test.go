@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureWritesTSVAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	// Quiet stdout during the run.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	err = run(11, 1, 7, dir, true, true)
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsv, err := os.ReadFile(filepath.Join(dir, "fig11.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tsv), "fig11") || !strings.Contains(string(tsv), "GTP") {
+		t.Fatalf("TSV content wrong:\n%.300s", tsv)
+	}
+	jsn, err := os.ReadFile(filepath.Join(dir, "fig11.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jsn), "\"algorithm\"") {
+		t.Fatalf("JSON output wrong:\n%.200s", jsn)
+	}
+	for _, name := range []string{"fig11_bandwidth.svg", "fig11_exec.svg"} {
+		svg, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(svg), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+}
+
+func TestRunFig17WritesSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	err := run(17, 1, 7, dir, false, false)
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig17a.tsv", "fig17b.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	if err := run(9, 1, 7, "/proc/definitely/not/writable", false, false); err == nil {
+		t.Fatal("unwritable output dir accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Command tdmdserve exposes the solver as a small HTTP service, the
+// shape in which an NFV orchestrator would consume this library: POST
+// a problem spec, get a deployment plan back.
+//
+// Endpoints:
+//
+//	POST /api/solve    {"spec": <ProblemSpec>, "algorithm": "gtp", "k": 10}
+//	                   -> {"plan": [...], "bandwidth": ..., "feasible": ...}
+//	POST /api/evaluate {"spec": <ProblemSpec>, "plan": [...]}
+//	                   -> deployment report
+//	GET  /healthz      -> 200 ok
+//
+// Usage:
+//
+//	tdmdserve -addr :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"tdmd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("tdmdserve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// newMux wires the handlers; split out so tests drive it with
+// httptest.
+func newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/solve", handleSolve)
+	mux.HandleFunc("POST /api/evaluate", handleEvaluate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// solveRequest is the /api/solve payload.
+type solveRequest struct {
+	Spec      tdmd.ProblemSpec `json:"spec"`
+	Algorithm string           `json:"algorithm"`
+	K         int              `json:"k"`
+	Seed      int64            `json:"seed"`
+}
+
+// solveResponse is the /api/solve result.
+type solveResponse struct {
+	Plan      []int   `json:"plan"`
+	Bandwidth float64 `json:"bandwidth"`
+	Feasible  bool    `json:"feasible"`
+	RawDemand float64 `json:"raw_demand"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	problem, err := req.Spec.Build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "building problem: %v", err)
+		return
+	}
+	alg := tdmd.Algorithm(req.Algorithm)
+	if alg == "" {
+		alg = tdmd.AlgGTP
+	}
+	if alg.NeedsTree() && problem.Tree() == nil {
+		httpError(w, http.StatusBadRequest, "algorithm %s needs a spec with a root", alg)
+		return
+	}
+	problem.WithSeed(req.Seed)
+	start := time.Now()
+	res, err := problem.Solve(alg, req.K)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+		return
+	}
+	resp := solveResponse{
+		Bandwidth: res.Bandwidth,
+		Feasible:  res.Feasible,
+		RawDemand: problem.Instance().RawDemand(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, v := range res.Plan.Vertices() {
+		resp.Plan = append(resp.Plan, int(v))
+	}
+	writeJSON(w, resp)
+}
+
+// evaluateRequest is the /api/evaluate payload.
+type evaluateRequest struct {
+	Spec tdmd.ProblemSpec `json:"spec"`
+	Plan []int            `json:"plan"`
+}
+
+// evaluateResponse carries the deployment report.
+type evaluateResponse struct {
+	Bandwidth      float64 `json:"bandwidth"`
+	Feasible       bool    `json:"feasible"`
+	SavingFraction float64 `json:"saving_fraction"`
+	Boxes          []struct {
+		Vertex int  `json:"vertex"`
+		Flows  int  `json:"flows"`
+		Rate   int  `json:"rate"`
+		Idle   bool `json:"idle"`
+	} `json:"boxes"`
+	UnservedFlows []int `json:"unserved_flows"`
+}
+
+func handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	problem, err := req.Spec.Build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "building problem: %v", err)
+		return
+	}
+	plan := tdmd.NewPlan()
+	n := problem.Instance().G.NumNodes()
+	for _, v := range req.Plan {
+		if v < 0 || v >= n {
+			httpError(w, http.StatusBadRequest, "plan vertex %d outside graph", v)
+			return
+		}
+		plan.Add(tdmd.NodeID(v))
+	}
+	rep := problem.Report(plan)
+	resp := evaluateResponse{
+		Bandwidth:      rep.TotalBandwidth,
+		Feasible:       rep.Feasible,
+		SavingFraction: rep.SavingFraction,
+		UnservedFlows:  rep.UnservedFlows,
+	}
+	for _, b := range rep.Boxes {
+		resp.Boxes = append(resp.Boxes, struct {
+			Vertex int  `json:"vertex"`
+			Flows  int  `json:"flows"`
+			Rate   int  `json:"rate"`
+			Idle   bool `json:"idle"`
+		}{int(b.Vertex), b.Flows, b.Rate, b.Idle})
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tdmdserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

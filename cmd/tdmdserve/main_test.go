@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tdmd"
+	"tdmd/internal/paperfix"
+)
+
+func fig1SpecJSON(t *testing.T) tdmd.ProblemSpec {
+	t.Helper()
+	g, flows, lambda := paperfix.Fig1()
+	return tdmd.SpecFromProblem(g, flows, lambda)
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp := post(t, srv, "/api/solve", solveRequest{
+		Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bandwidth != 8 || !out.Feasible || len(out.Plan) != 3 {
+		t.Fatalf("solve response: %+v", out)
+	}
+	if out.RawDemand != 16 {
+		t.Fatalf("raw demand = %v", out.RawDemand)
+	}
+}
+
+func TestSolveEndpointDefaultsAndErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	// Default algorithm (gtp) with an infeasible budget -> 422.
+	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), K: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible status = %d", resp.StatusCode)
+	}
+	// Tree algorithm without a root -> 400.
+	resp = post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "dp", K: 3})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dp-without-root status = %d", resp.StatusCode)
+	}
+	// Malformed JSON -> 400.
+	r, err := http.Post(srv.URL+"/api/solve", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", r.StatusCode)
+	}
+	// Wrong method -> 405.
+	g, err := http.Get(srv.URL + "/api/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", g.StatusCode)
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp := post(t, srv, "/api/evaluate", evaluateRequest{
+		Spec: fig1SpecJSON(t),
+		Plan: []int{int(paperfix.V(2)), int(paperfix.V(5))},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out evaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bandwidth != 12 || !out.Feasible || len(out.Boxes) != 2 {
+		t.Fatalf("evaluate response: %+v", out)
+	}
+	// Out-of-range plan vertex -> 400.
+	bad := post(t, srv, "/api/evaluate", evaluateRequest{Spec: fig1SpecJSON(t), Plan: []int{99}})
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan status = %d", bad.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

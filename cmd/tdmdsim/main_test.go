@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdmd"
+	"tdmd/internal/paperfix"
+)
+
+func specFile(t *testing.T) string {
+	t.Helper()
+	g, flows, lambda := paperfix.Fig1()
+	spec := tdmd.SpecFromProblem(g, flows, lambda)
+	path := filepath.Join(t.TempDir(), "spec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tdmd.EncodeSpec(f, spec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimulation(t *testing.T) {
+	path := specFile(t)
+	var out bytes.Buffer
+	if err := run(path, tdmd.AlgGTP, 3, 200, 1.0, 3.0, 7, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"plan:", "arrivals:", "time-avg bandwidth:", "peak link load:", "(0 unserved)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("/does/not/exist", tdmd.AlgGTP, 3, 100, 1, 3, 1, &out); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	path := specFile(t)
+	if err := run(path, tdmd.AlgGTP, 1, 100, 1, 3, 1, &out); err == nil {
+		t.Fatal("infeasible budget accepted")
+	}
+	if err := run(path, tdmd.AlgGTP, 3, -5, 1, 3, 1, &out); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdmd"
+)
+
+const sampleGML = `graph [
+  node [ id 0 label "hub" ]
+  node [ id 1 label "west" ]
+  node [ id 2 label "east" ]
+  edge [ source 0 target 1 ]
+  edge [ source 0 target 2 ]
+  edge [ source 1 target 2 ]
+]`
+
+func writeGMLFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.gml")
+	if err := os.WriteFile(path, []byte(sampleGML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGMLProducesSolvableSpec(t *testing.T) {
+	path := writeGMLFile(t)
+	var out bytes.Buffer
+	if err := runGML(path, 0.3, 0.5, 1, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := tdmd.DecodeSpec(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(spec.Nodes))
+	}
+	if len(spec.Flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(tdmd.AlgGTP, 2); err != nil {
+		t.Fatalf("GML spec unsolvable: %v", err)
+	}
+}
+
+func TestRunGMLDot(t *testing.T) {
+	path := writeGMLFile(t)
+	var out bytes.Buffer
+	if err := runGML(path, 0.3, 0.5, 1, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "digraph G {") {
+		t.Fatalf("not DOT:\n%.120s", out.String())
+	}
+}
+
+func TestRunGMLMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := runGML("/no/such.gml", 0.3, 0.5, 1, false, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunNewFabricKinds(t *testing.T) {
+	for _, kind := range []string{"leafspine", "jellyfish"} {
+		var out bytes.Buffer
+		size := 8
+		if err := run(kind, size, 0.5, 0.5, 1, false, 4, 1, &out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		spec, err := tdmd.DecodeSpec(&out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(spec.Nodes) == 0 {
+			t.Fatalf("%s: empty spec", kind)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command topogen emits a generated TDMD problem spec (topology plus
+// workload) as JSON on standard output, ready to pipe into cmd/tdmd,
+// or the bare topology as Graphviz DOT with -dot.
+//
+// Usage:
+//
+//	topogen -kind tree -size 22 -density 0.5 -lambda 0.5 -seed 1
+//	topogen -kind general -size 30 | tdmd -alg gtp -k 10
+//	topogen -kind fattree -dot | dot -Tpng > fabric.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tdmd"
+	"tdmd/internal/experiments"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "tree", "topology kind: tree, general, ark, fattree, bcube, binary, leafspine, jellyfish")
+		size    = flag.Int("size", 22, "vertex count (tree/general)")
+		density = flag.Float64("density", 0.5, "flow density")
+		lambda  = flag.Float64("lambda", 0.5, "traffic-changing ratio")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT of the topology instead of a problem spec")
+		gml     = flag.String("gml", "", "read the topology from a GML file (Internet Topology Zoo format) instead of generating one")
+		kArg    = flag.Int("karg", 4, "fat-tree arity / BCube port count")
+		lArg    = flag.Int("larg", 1, "BCube level")
+	)
+	flag.Parse()
+	if *gml != "" {
+		if err := runGML(*gml, *density, *lambda, *seed, *dot, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*kind, *size, *density, *lambda, *seed, *dot, *kArg, *lArg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, size int, density, lambda float64, seed int64, dot bool, kArg, lArg int, out io.Writer) error {
+	var spec tdmd.ProblemSpec
+	switch kind {
+	case "tree":
+		trial := experiments.TreeTrial(size, density, lambda, 1, seed)
+		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows, lambda)
+		spec.Root = int(trial.Tree.Root)
+	case "general":
+		trial := experiments.GeneralTrial(size, density, lambda, 1, seed)
+		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows, lambda)
+	case "ark":
+		g := tdmd.ArkLike(tdmd.DefaultArkConfig(seed))
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+	case "fattree":
+		g := tdmd.FatTree(kArg)
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+	case "bcube":
+		g := tdmd.BCube(kArg, lArg)
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+	case "binary":
+		g := tdmd.BinaryTree(size)
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+		spec.Root = 0
+	case "leafspine":
+		g := tdmd.LeafSpine(kArg, size)
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+	case "jellyfish":
+		g := tdmd.Jellyfish(size, kArg, seed)
+		spec = tdmd.SpecFromProblem(g, nil, lambda)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if dot {
+		p, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, p.Instance().G.DOT())
+		return err
+	}
+	return tdmd.EncodeSpec(out, spec)
+}
+
+// runGML builds a problem spec from a real-world GML topology: flows
+// are routed toward the highest-degree vertex (the natural collector)
+// at the requested density.
+func runGML(path string, density, lambda float64, seed int64, dot bool, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := tdmd.ReadGML(f)
+	if err != nil {
+		return err
+	}
+	if dot {
+		_, err = io.WriteString(out, g.DOT())
+		return err
+	}
+	// Collector: the best-connected vertex.
+	best := tdmd.NodeID(0)
+	for _, v := range g.Nodes() {
+		if g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	flows := tdmd.GeneralFlows(g, []tdmd.NodeID{best}, tdmd.GenConfig{
+		Density: density, Seed: seed,
+	})
+	spec := tdmd.SpecFromProblem(g, flows, lambda)
+	return tdmd.EncodeSpec(out, spec)
+}

@@ -1,0 +1,93 @@
+package tdmd
+
+import (
+	"io"
+
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// Topology generators, re-exported so downstream users can reproduce
+// the evaluation's networks through the public API.
+
+// RandomTree returns a random tree with n vertices rooted at vertex 0.
+// maxChildren <= 0 means unbounded fan-out.
+func RandomTree(n, maxChildren int, seed int64) *Graph {
+	return topology.RandomTree(n, maxChildren, seed)
+}
+
+// BinaryTree returns a complete binary tree with the given number of
+// levels, laid out in heap order.
+func BinaryTree(levels int) *Graph { return topology.BinaryTree(levels) }
+
+// FatTree returns the switch fabric of a k-ary fat-tree (k even).
+func FatTree(k int) *Graph { return topology.FatTree(k) }
+
+// BCube returns the BCube(n, l) server-centric fabric.
+func BCube(n, l int) *Graph { return topology.BCube(n, l) }
+
+// GeneralRandom returns a connected random graph: a spanning tree plus
+// about extraFrac·n extra bidirectional links.
+func GeneralRandom(n int, extraFrac float64, seed int64) *Graph {
+	return topology.GeneralRandom(n, extraFrac, seed)
+}
+
+// ArkConfig parameterizes ArkLike.
+type ArkConfig = topology.ArkConfig
+
+// DefaultArkConfig mirrors the scale of the paper's Ark topology.
+func DefaultArkConfig(seed int64) ArkConfig { return topology.DefaultArkConfig(seed) }
+
+// ArkLike synthesizes a CAIDA-Ark-style measurement infrastructure
+// (see DESIGN.md, "Substitutions").
+func ArkLike(cfg ArkConfig) *Graph { return topology.ArkLike(cfg) }
+
+// SpanningTree extracts the BFS spanning tree of g rooted at root.
+func SpanningTree(g *Graph, root NodeID) *Graph { return topology.SpanningTree(g, root) }
+
+// LeafSpine returns a two-tier Clos fabric (spines × leaves).
+func LeafSpine(spines, leaves int) *Graph { return topology.LeafSpine(spines, leaves) }
+
+// Jellyfish returns a random d-regular switch fabric.
+func Jellyfish(n, d int, seed int64) *Graph { return topology.Jellyfish(n, d, seed) }
+
+// ReadGML parses an Internet-Topology-Zoo-style GML file into a graph
+// with bidirectional links.
+func ReadGML(r io.Reader) (*Graph, error) { return topology.ReadGML(r) }
+
+// WriteGML emits a graph in the same GML subset.
+func WriteGML(w io.Writer, g *Graph) error { return topology.WriteGML(w, g) }
+
+// Workload generation, re-exported.
+
+// Distribution samples integral flow rates.
+type Distribution = traffic.Distribution
+
+// ConstantRate always samples the same rate.
+type ConstantRate = traffic.Constant
+
+// UniformRate samples uniformly from [Lo, Hi].
+type UniformRate = traffic.Uniform
+
+// CAIDALike is the heavy-tailed stand-in for the paper's CAIDA trace.
+type CAIDALike = traffic.CAIDALike
+
+// DefaultCAIDALike returns the evaluation's flow-size mixture.
+func DefaultCAIDALike() CAIDALike { return traffic.DefaultCAIDALike() }
+
+// GenConfig controls workload generation (target flow density, rate
+// distribution, seed).
+type GenConfig = traffic.GenConfig
+
+// TreeFlows generates leaf-to-root flows on t at the target density.
+func TreeFlows(t *Tree, cfg GenConfig) []Flow { return traffic.TreeFlows(t, cfg) }
+
+// GeneralFlows generates shortest-path flows toward the given
+// destination vertices at the target density.
+func GeneralFlows(g *Graph, dsts []NodeID, cfg GenConfig) []Flow {
+	return traffic.GeneralFlows(g, dsts, cfg)
+}
+
+// MergeSameSource coalesces flows sharing a full path, the reduction
+// the paper applies before the tree DP.
+func MergeSameSource(flows []Flow) []Flow { return traffic.MergeSameSource(flows) }

@@ -1,0 +1,3 @@
+module tdmd
+
+go 1.22

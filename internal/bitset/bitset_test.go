@@ -1,0 +1,173 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetClearTest(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 7 {
+		t.Fatal("Clear broken")
+	}
+}
+
+func TestAnyAndReset(t *testing.T) {
+	s := New(100)
+	if s.Any() {
+		t.Fatal("fresh set reports Any")
+	}
+	s.Set(99)
+	if !s.Any() {
+		t.Fatal("Any missed bit 99")
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(70)
+	s.Set(5)
+	c := s.Clone()
+	c.Set(69)
+	if s.Test(69) {
+		t.Fatal("Clone aliases original")
+	}
+	if !c.Test(5) {
+		t.Fatal("Clone lost bits")
+	}
+	d := New(70)
+	d.CopyFrom(s)
+	if !d.Test(5) || d.Count() != 1 {
+		t.Fatal("CopyFrom broken")
+	}
+}
+
+func TestAndNotOrIntersect(t *testing.T) {
+	a, b := New(200), New(200)
+	for i := 0; i < 200; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 5 {
+		b.Set(i)
+	}
+	// |a ∩ b| = multiples of 15 in [0,200) = 14.
+	if got := a.IntersectCount(b); got != 14 {
+		t.Fatalf("IntersectCount = %d, want 14", got)
+	}
+	c := a.Clone()
+	c.AndNot(b)
+	if c.IntersectCount(b) != 0 {
+		t.Fatal("AndNot left intersection")
+	}
+	if c.Count() != a.Count()-14 {
+		t.Fatalf("AndNot count = %d", c.Count())
+	}
+	d := a.Clone()
+	d.Or(b)
+	if d.Count() != a.Count()+b.Count()-14 {
+		t.Fatalf("Or count = %d", d.Count())
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(150)
+	want := []int{3, 64, 100, 149}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: bitset semantics match a map-based reference model under
+// random operation sequences.
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 257
+	s := New(n)
+	model := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Set(i)
+			model[i] = true
+		case 1:
+			s.Clear(i)
+			delete(model, i)
+		case 2:
+			if s.Test(i) != model[i] {
+				t.Fatalf("Test(%d) mismatch at op %d", i, op)
+			}
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("Count %d != model %d", s.Count(), len(model))
+	}
+}
+
+// Property via testing/quick: Or then AndNot restores disjointness.
+func TestOrAndNotQuick(t *testing.T) {
+	f := func(aa, bb []uint8) bool {
+		a, b := New(256), New(256)
+		for _, i := range aa {
+			a.Set(int(i))
+		}
+		for _, i := range bb {
+			b.Set(int(i))
+		}
+		u := a.Clone()
+		u.Or(b)
+		u.AndNot(b)
+		// u = a \ b; union with b must equal a ∪ b, and u ∩ b = ∅.
+		if u.IntersectCount(b) != 0 {
+			return false
+		}
+		u.Or(b)
+		v := a.Clone()
+		v.Or(b)
+		return u.Count() == v.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 2 {
+		x.Set(i)
+	}
+	for i := 0; i < 4096; i += 3 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.IntersectCount(y)
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps the test-suite runtime reasonable; the full paper
+// parameters run through cmd/figures and the benchmarks.
+func fastCfg() Config { return Config{Seed: 42, Reps: 2, Workers: 4} }
+
+func TestTreeTrialShape(t *testing.T) {
+	tr := TreeTrial(DefaultTreeSize, DefaultDensity, DefaultLambda, DefaultTreeK, 7)
+	if tr.Tree == nil {
+		t.Fatal("tree trial missing tree")
+	}
+	if tr.Inst.G.NumNodes() != DefaultTreeSize {
+		t.Fatalf("tree size = %d", tr.Inst.G.NumNodes())
+	}
+	if len(tr.Inst.Flows) == 0 {
+		t.Fatal("no flows")
+	}
+	for _, f := range tr.Inst.Flows {
+		if f.Dst() != tr.Tree.Root {
+			t.Fatal("flow not rooted")
+		}
+	}
+	if tr.K != DefaultTreeK {
+		t.Fatalf("k = %d", tr.K)
+	}
+}
+
+func TestTreeTrialDeterministic(t *testing.T) {
+	a := TreeTrial(22, 0.5, 0.5, 8, 7)
+	b := TreeTrial(22, 0.5, 0.5, 8, 7)
+	if len(a.Inst.Flows) != len(b.Inst.Flows) || a.Inst.RawDemand() != b.Inst.RawDemand() {
+		t.Fatal("same seed produced different trials")
+	}
+}
+
+func TestGeneralTrialShape(t *testing.T) {
+	tr := GeneralTrial(DefaultGeneralSize, DefaultDensity, DefaultLambda, DefaultGeneralK, 9)
+	if tr.Tree != nil {
+		t.Fatal("general trial should not carry a tree")
+	}
+	if tr.Inst.G.NumNodes() != DefaultGeneralSize {
+		t.Fatalf("size = %d", tr.Inst.G.NumNodes())
+	}
+	if len(tr.Inst.Flows) == 0 {
+		t.Fatal("no flows")
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig9(Config{Seed: 1, Reps: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 6 { // k = 1, 4, 7, 10, 13, 16
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	// DP is optimal: at every point its mean bandwidth is minimal.
+	for _, p := range fig.Points {
+		dp := p.Bandwidth[DP]
+		if dp.N() == 0 {
+			t.Fatalf("k=%v: no DP observations", p.X)
+		}
+		for _, a := range fig.Algs {
+			s := p.Bandwidth[a]
+			if s.N() == 0 {
+				t.Fatalf("k=%v: no %s observations", p.X, a)
+			}
+			if s.Mean() < dp.Mean()-1e-9 {
+				t.Fatalf("k=%v: %s mean %v below DP %v", p.X, a, s.Mean(), dp.Mean())
+			}
+		}
+	}
+	// Bandwidth decreases (weakly) as k grows for the DP series.
+	first := fig.Points[0].Bandwidth[DP].Mean()
+	last := fig.Points[len(fig.Points)-1].Bandwidth[DP].Mean()
+	if last > first {
+		t.Fatalf("DP bandwidth rose with k: %v -> %v", first, last)
+	}
+}
+
+func TestFig10LambdaMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig10(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger λ diminishes less, so DP bandwidth grows with λ; assert
+	// on the endpoints (per-point workloads are independent draws, so
+	// neighbours carry sampling noise).
+	first := fig.Points[0].Bandwidth[DP].Mean()
+	last := fig.Points[len(fig.Points)-1].Bandwidth[DP].Mean()
+	if last <= first {
+		t.Fatalf("DP bandwidth did not rise from λ=0 (%v) to λ=0.9 (%v)", first, last)
+	}
+}
+
+func TestFig13GeneralRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig13(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 6 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		gtp := p.Bandwidth[GTP].Mean()
+		rnd := p.Bandwidth[Random].Mean()
+		if gtp > rnd+1e-9 {
+			t.Fatalf("k=%v: GTP mean %v worse than Random %v", p.X, gtp, rnd)
+		}
+	}
+}
+
+func TestFig17TreeSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	surf, err := Fig17Tree(Config{Seed: 3, Reps: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surf.Cells) != 6*5 {
+		t.Fatalf("cells = %d", len(surf.Cells))
+	}
+	// The paper's headline observation for Fig. 17: bandwidth drops as
+	// k grows (spam filters intercept more flows at their sources),
+	// checked in aggregate across densities to ride out sampling noise.
+	sumByK := map[int]float64{}
+	for _, c := range surf.Cells {
+		if c.Bandwidth < 0 {
+			t.Fatalf("negative bandwidth in cell %+v", c)
+		}
+		sumByK[c.K] += c.Bandwidth
+	}
+	loK, hiK := surf.Cells[0].K, surf.Cells[len(surf.Cells)-1].K
+	if sumByK[hiK] > sumByK[loK] {
+		t.Fatalf("bandwidth did not drop with k: sum(k=%d)=%v vs sum(k=%d)=%v",
+			loK, sumByK[loK], hiK, sumByK[hiK])
+	}
+	var buf bytes.Buffer
+	if err := surf.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig17a") {
+		t.Fatal("TSV missing header")
+	}
+	surf.WriteTable(&buf)
+}
+
+func TestRenderTSVAndTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig11(Config{Seed: 5, Reps: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsv bytes.Buffer
+	if err := fig.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	out := tsv.String()
+	if !strings.Contains(out, "bandwidth") || !strings.Contains(out, "exec_seconds") {
+		t.Fatalf("TSV missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "GTP\tGTP_err") {
+		t.Fatal("TSV missing error columns")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2*(1+1+6) { // two sections, header+6 points each
+		t.Fatalf("TSV too short: %d lines", len(lines))
+	}
+	var tbl bytes.Buffer
+	fig.WriteTable(&tbl)
+	if !strings.Contains(tbl.String(), "fig11") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestSeqHelpers(t *testing.T) {
+	got := seq(1, 16, 3)
+	want := []float64{1, 4, 7, 10, 13, 16}
+	if len(got) != len(want) {
+		t.Fatalf("seq = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v", got)
+		}
+	}
+	gotF := seqF(0.3, 0.8, 0.1)
+	if len(gotF) != 6 || gotF[0] != 0.3 || gotF[5] != 0.8 {
+		t.Fatalf("seqF = %v", gotF)
+	}
+	gotL := seqF(0, 0.9, 0.1)
+	if len(gotL) != 10 || gotL[9] != 0.9 {
+		t.Fatalf("seqF lambda = %v", gotL)
+	}
+}

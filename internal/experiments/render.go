@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTSV emits a figure's two metric tables (bandwidth, execution
+// time) as tab-separated values, one row per sweep point with
+// mean and stderr columns per algorithm — the exact series behind the
+// paper's sub-figures (a) and (b).
+func (f *Figure) WriteTSV(w io.Writer) error {
+	for _, metric := range []string{"bandwidth", "exec_seconds"} {
+		fmt.Fprintf(w, "# %s: %s — %s\n", f.ID, f.Title, metric)
+		cols := []string{f.XLabel}
+		for _, a := range f.Algs {
+			cols = append(cols, string(a), string(a)+"_err")
+		}
+		fmt.Fprintln(w, strings.Join(cols, "\t"))
+		for _, p := range f.Points {
+			row := []string{trimFloat(p.X)}
+			for _, a := range f.Algs {
+				s := p.Bandwidth[a]
+				if metric == "exec_seconds" {
+					s = p.ExecSec[a]
+				}
+				row = append(row, fmt.Sprintf("%.6g", s.Mean()), fmt.Sprintf("%.3g", s.StdErr()))
+			}
+			fmt.Fprintln(w, strings.Join(row, "\t"))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteTable renders a human-readable summary of the bandwidth metric.
+func (f *Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-10s", f.XLabel)
+	for _, a := range f.Algs {
+		fmt.Fprintf(w, "%16s", a)
+	}
+	fmt.Fprintln(w)
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%-10s", trimFloat(p.X))
+		for _, a := range f.Algs {
+			s := p.Bandwidth[a]
+			fmt.Fprintf(w, "%10.1f±%-5.1f", s.Mean(), s.StdErr())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "exec(s)")
+	for _, a := range f.Algs {
+		// Mean execution time across all sweep points.
+		var total float64
+		var n int
+		for _, p := range f.Points {
+			total += p.ExecSec[a].Mean()
+			n++
+		}
+		fmt.Fprintf(w, "%16.4f", total/float64(n))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// WriteTSV emits a surface as k/density/bandwidth triples.
+func (s *Surface) WriteTSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s: %s — GTP bandwidth, lambda=0 (spam filter)\n", s.ID, s.Title)
+	fmt.Fprintln(w, "k\tdensity\tbandwidth\tbandwidth_err")
+	for _, c := range s.Cells {
+		fmt.Fprintf(w, "%d\t%s\t%.6g\t%.3g\n", c.K, trimFloat(c.Density), c.Bandwidth, c.StdErr)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteTable renders the surface as a k × density matrix.
+func (s *Surface) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s (GTP bandwidth, λ=0)\n", s.ID, s.Title)
+	var ks []int
+	var ds []float64
+	seenK := map[int]bool{}
+	seenD := map[float64]bool{}
+	for _, c := range s.Cells {
+		if !seenK[c.K] {
+			seenK[c.K] = true
+			ks = append(ks, c.K)
+		}
+		if !seenD[c.Density] {
+			seenD[c.Density] = true
+			ds = append(ds, c.Density)
+		}
+	}
+	fmt.Fprintf(w, "%-8s", "k\\dens")
+	for _, d := range ds {
+		fmt.Fprintf(w, "%12s", trimFloat(d))
+	}
+	fmt.Fprintln(w)
+	for _, k := range ks {
+		fmt.Fprintf(w, "%-8d", k)
+		for _, d := range ds {
+			for _, c := range s.Cells {
+				if c.K == k && c.Density == d {
+					fmt.Fprintf(w, "%12.1f", c.Bandwidth)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	return s
+}
+
+// jsonFigure is the machine-readable form of a Figure.
+type jsonFigure struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Algorithm string        `json:"algorithm"`
+	Points    []jsonMeasure `json:"points"`
+}
+
+type jsonMeasure struct {
+	X            float64 `json:"x"`
+	Bandwidth    float64 `json:"bandwidth"`
+	BandwidthErr float64 `json:"bandwidth_err"`
+	ExecSeconds  float64 `json:"exec_seconds"`
+	ExecErr      float64 `json:"exec_err"`
+	Repetitions  int     `json:"repetitions"`
+}
+
+// WriteJSON emits the figure for downstream tooling (plotting
+// notebooks, dashboards).
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel}
+	for _, a := range f.Algs {
+		s := jsonSeries{Algorithm: string(a)}
+		for _, p := range f.Points {
+			bw := p.Bandwidth[a]
+			ex := p.ExecSec[a]
+			s.Points = append(s.Points, jsonMeasure{
+				X:            p.X,
+				Bandwidth:    bw.Mean(),
+				BandwidthErr: bw.StdErr(),
+				ExecSeconds:  ex.Mean(),
+				ExecErr:      ex.StdErr(),
+				Repetitions:  bw.N(),
+			})
+		}
+		out.Series = append(out.Series, s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteJSON emits the surface's cells.
+func (s *Surface) WriteJSON(w io.Writer) error {
+	out := struct {
+		ID    string      `json:"id"`
+		Title string      `json:"title"`
+		Cells []GridPoint `json:"cells"`
+	}{s.ID, s.Title, s.Cells}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tdmd/internal/viz"
+)
+
+// SVG renders the figure's bandwidth metric as an error-bar line
+// chart, one series per algorithm — the visual counterpart of the
+// paper's sub-figure (a).
+func (f *Figure) SVG() string {
+	return f.chart("bandwidth consumption", false).SVG()
+}
+
+// ExecSVG renders the execution-time metric — sub-figure (b).
+func (f *Figure) ExecSVG() string {
+	return f.chart("execution time (s)", true).SVG()
+}
+
+func (f *Figure) chart(ylabel string, exec bool) viz.LineChart {
+	c := viz.LineChart{Title: f.Title, XLabel: f.XLabel, YLabel: ylabel}
+	for _, a := range f.Algs {
+		s := viz.Series{Name: string(a)}
+		for _, p := range f.Points {
+			sample := p.Bandwidth[a]
+			if exec {
+				sample = p.ExecSec[a]
+			}
+			if sample.N() == 0 {
+				continue
+			}
+			s.X = append(s.X, p.X)
+			s.Y = append(s.Y, sample.Mean())
+			s.Err = append(s.Err, sample.StdErr())
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// SVG renders the surface as a k × density heatmap (the paper shows a
+// 3-D surface; a heatmap carries the same information printably).
+func (s *Surface) SVG() string {
+	var ks []int
+	var ds []float64
+	seenK := map[int]bool{}
+	seenD := map[float64]bool{}
+	for _, c := range s.Cells {
+		if !seenK[c.K] {
+			seenK[c.K] = true
+			ks = append(ks, c.K)
+		}
+		if !seenD[c.Density] {
+			seenD[c.Density] = true
+			ds = append(ds, c.Density)
+		}
+	}
+	sort.Ints(ks)
+	sort.Float64s(ds)
+	hm := viz.Heatmap{
+		Title:  s.Title + " (GTP bandwidth, λ=0)",
+		XLabel: "flow density",
+		YLabel: "middlebox budget k",
+		Values: make([][]float64, len(ks)),
+	}
+	for _, d := range ds {
+		hm.XLabels = append(hm.XLabels, trimFloat(d))
+	}
+	for yi, k := range ks {
+		hm.YLabels = append(hm.YLabels, fmt.Sprintf("k=%d", k))
+		hm.Values[yi] = make([]float64, len(ds))
+		for xi, d := range ds {
+			for _, c := range s.Cells {
+				if c.K == k && c.Density == d {
+					hm.Values[yi][xi] = c.Bandwidth
+				}
+			}
+		}
+	}
+	return hm.SVG()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFigureSVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig9(Config{Seed: 2, Reps: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := fig.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, a := range fig.Algs {
+		if !strings.Contains(svg, ">"+string(a)+"</text>") {
+			t.Fatalf("legend missing %s", a)
+		}
+	}
+	// 5 series -> 5 polylines.
+	if got := strings.Count(svg, "<polyline"); got != len(fig.Algs) {
+		t.Fatalf("polylines = %d, want %d", got, len(fig.Algs))
+	}
+	exec := fig.ExecSVG()
+	if !strings.Contains(exec, "execution time") {
+		t.Fatal("exec chart missing y label")
+	}
+}
+
+func TestSurfaceSVG(t *testing.T) {
+	surf := &Surface{
+		ID:    "fig17a",
+		Title: "Spam filters in tree",
+		Cells: []GridPoint{
+			{K: 5, Density: 0.4, Bandwidth: 284},
+			{K: 5, Density: 0.5, Bandwidth: 323},
+			{K: 7, Density: 0.4, Bandwidth: 202},
+			{K: 7, Density: 0.5, Bandwidth: 248},
+		},
+	}
+	svg := surf.SVG()
+	if !strings.Contains(svg, "k=5") || !strings.Contains(svg, "k=7") {
+		t.Fatal("row labels missing")
+	}
+	if !strings.Contains(svg, "0.4") || !strings.Contains(svg, "0.5") {
+		t.Fatal("column labels missing")
+	}
+	// 4 cells + background.
+	if got := strings.Count(svg, "<rect"); got != 5 {
+		t.Fatalf("rects = %d, want 5", got)
+	}
+}
+
+func TestFigureJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	fig, err := Fig13(Config{Seed: 3, Reps: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Algorithm string `json:"algorithm"`
+			Points    []struct {
+				X           float64 `json:"x"`
+				Bandwidth   float64 `json:"bandwidth"`
+				Repetitions int     `json:"repetitions"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "fig13" || len(back.Series) != 3 {
+		t.Fatalf("json shape wrong: %+v", back)
+	}
+	if len(back.Series[0].Points) != 6 || back.Series[0].Points[0].Repetitions != 1 {
+		t.Fatalf("points wrong: %+v", back.Series[0])
+	}
+	surf := &Surface{ID: "s", Cells: []GridPoint{{K: 5, Density: 0.4, Bandwidth: 1}}}
+	buf.Reset()
+	if err := surf.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("surface JSON invalid")
+	}
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig5Tree builds the paper's Fig. 5 tree:
+// v1 -> {v2, v3}; v2 -> {v4, v5}; v3 -> {v6}; v6 -> {v7, v8}.
+// Vertex vN maps to NodeID N-1. Links are bidirectional (flows travel
+// leaf -> root, i.e. against the parent->child direction).
+func fig5Tree(t *testing.T) (*Graph, *Tree) {
+	t.Helper()
+	g := New()
+	g.AddNodes(8)
+	pairs := [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {5, 6}, {5, 7}}
+	for _, p := range pairs {
+		g.AddBiEdge(p[0], p[1])
+	}
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	return g, tr
+}
+
+func TestTreeStructureFig5(t *testing.T) {
+	_, tr := fig5Tree(t)
+	if tr.Parent(0) != Invalid {
+		t.Fatalf("root parent = %d", tr.Parent(0))
+	}
+	wantParent := map[NodeID]NodeID{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 5, 7: 5}
+	for v, p := range wantParent {
+		if tr.Parent(v) != p {
+			t.Fatalf("Parent(%d) = %d, want %d", v, tr.Parent(v), p)
+		}
+	}
+	wantDepth := map[NodeID]int{0: 0, 1: 1, 2: 1, 3: 2, 4: 2, 5: 2, 6: 3, 7: 3}
+	for v, d := range wantDepth {
+		if tr.Depth(v) != d {
+			t.Fatalf("Depth(%d) = %d, want %d", v, tr.Depth(v), d)
+		}
+	}
+}
+
+func TestTreeLeavesFig5(t *testing.T) {
+	_, tr := fig5Tree(t)
+	got := tr.Leaves()
+	want := []NodeID{3, 4, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Leaves = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Leaves = %v, want %v", got, want)
+		}
+	}
+	if tr.IsLeaf(5) {
+		t.Fatal("v6 (id 5) is internal")
+	}
+}
+
+func TestTreePostOrderChildrenFirst(t *testing.T) {
+	_, tr := fig5Tree(t)
+	pos := make(map[NodeID]int)
+	for i, v := range tr.PostOrder() {
+		pos[v] = i
+	}
+	if len(pos) != 8 {
+		t.Fatalf("post-order visits %d vertices, want 8", len(pos))
+	}
+	for v := NodeID(0); v < 8; v++ {
+		for _, c := range tr.Children(v) {
+			if pos[c] > pos[v] {
+				t.Fatalf("child %d after parent %d in post-order", c, v)
+			}
+		}
+	}
+	if pos[0] != 7 {
+		t.Fatalf("root must be last in post-order, got index %d", pos[0])
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	_, tr := fig5Tree(t)
+	p := tr.PathToRoot(6) // v7: v7 -> v6 -> v3 -> v1
+	want := Path{6, 5, 2, 0}
+	if len(p) != len(want) {
+		t.Fatalf("PathToRoot = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("PathToRoot = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	_, tr := fig5Tree(t)
+	cases := []struct {
+		a, v NodeID
+		want bool
+	}{
+		{0, 7, true}, {2, 6, true}, {5, 5, true}, {1, 6, false}, {6, 5, false},
+	}
+	for _, c := range cases {
+		if got := tr.IsAncestor(c.a, c.v); got != c.want {
+			t.Fatalf("IsAncestor(%d, %d) = %v, want %v", c.a, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNaiveLCAPaperExamples(t *testing.T) {
+	_, tr := fig5Tree(t)
+	// Paper: LCA(v4, v5) = v2 and LCA(v1, v6) = v1 (IDs 3,4 -> 1; 0,5 -> 0).
+	if got := tr.NaiveLCA(3, 4); got != 1 {
+		t.Fatalf("LCA(v4,v5) = %d, want 1", got)
+	}
+	if got := tr.NaiveLCA(0, 5); got != 0 {
+		t.Fatalf("LCA(v1,v6) = %d, want 0", got)
+	}
+	if got := tr.NaiveLCA(3, 6); got != 0 {
+		t.Fatalf("LCA(v4,v7) = %d, want 0", got)
+	}
+	if got := tr.NaiveLCA(6, 7); got != 5 {
+		t.Fatalf("LCA(v7,v8) = %d, want 5", got)
+	}
+}
+
+func TestSubtreeNodes(t *testing.T) {
+	_, tr := fig5Tree(t)
+	got := tr.SubtreeNodes(2) // T_v3 = {v6, v7, v8, v3}... ids {5,6,7,2}
+	want := map[NodeID]bool{2: true, 5: true, 6: true, 7: true}
+	if len(got) != len(want) {
+		t.Fatalf("SubtreeNodes = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected subtree vertex %d", v)
+		}
+	}
+	if got[len(got)-1] != 2 {
+		t.Fatal("subtree root must come last (post-order)")
+	}
+}
+
+func TestNewTreeRejectsCycle(t *testing.T) {
+	g := New()
+	g.AddNodes(3)
+	g.AddBiEdge(0, 1)
+	g.AddBiEdge(1, 2)
+	g.AddBiEdge(2, 0)
+	if _, err := NewTree(g, 0); err != ErrNotTree {
+		t.Fatalf("err = %v, want ErrNotTree", err)
+	}
+}
+
+func TestNewTreeRejectsDisconnected(t *testing.T) {
+	g := New()
+	g.AddNodes(3)
+	g.AddBiEdge(0, 1)
+	if _, err := NewTree(g, 0); err != ErrNotTree {
+		t.Fatalf("err = %v, want ErrNotTree", err)
+	}
+}
+
+func TestNewTreeRejectsSelfLoop(t *testing.T) {
+	g := New()
+	g.AddNodes(2)
+	g.AddBiEdge(0, 1)
+	g.AddEdge(0, 0)
+	if _, err := NewTree(g, 0); err != ErrNotTree {
+		t.Fatalf("err = %v, want ErrNotTree", err)
+	}
+}
+
+func TestNewTreeInvalidRoot(t *testing.T) {
+	g := New()
+	g.AddNode("only")
+	if _, err := NewTree(g, 5); err == nil {
+		t.Fatal("expected error for invalid root")
+	}
+}
+
+func TestNewTreeSingleVertex(t *testing.T) {
+	g := New()
+	r := g.AddNode("root")
+	tr, err := NewTree(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsLeaf(r) || tr.Depth(r) != 0 {
+		t.Fatal("single vertex must be a depth-0 leaf")
+	}
+}
+
+// Property: on random trees, NaiveLCA agrees with the definitional
+// check (deepest common ancestor).
+func TestNaiveLCARandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New()
+		g.AddNodes(n)
+		for i := 1; i < n; i++ {
+			g.AddBiEdge(NodeID(rng.Intn(i)), NodeID(i))
+		}
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			l := tr.NaiveLCA(a, b)
+			if !tr.IsAncestor(l, a) || !tr.IsAncestor(l, b) {
+				t.Fatalf("LCA(%d,%d)=%d is not a common ancestor", a, b, l)
+			}
+			// No child of l may also be a common ancestor.
+			for _, c := range tr.Children(l) {
+				if tr.IsAncestor(c, a) && tr.IsAncestor(c, b) {
+					t.Fatalf("LCA(%d,%d)=%d not lowest (child %d works)", a, b, l, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package lca provides lowest-common-ancestor oracles over rooted
+// trees. The paper's HAT heuristic (Alg. 2) performs O(|V|) LCA
+// queries per merge round and cites Schieber–Vishkin [29] for fast
+// queries; this package supplies two interchangeable oracles:
+//
+//   - Lifting: binary lifting, O(n log n) preprocessing, O(log n) query.
+//   - Sparse: Euler tour + sparse-table range-minimum, O(n log n)
+//     preprocessing, O(1) query (the classical reduction equivalent in
+//     power to Schieber–Vishkin on a RAM).
+//
+// Both are verified against each other and against the naive
+// parent-walk in the tests.
+package lca
+
+import (
+	"math/bits"
+
+	"tdmd/internal/graph"
+)
+
+// Oracle answers lowest-common-ancestor queries on a fixed tree.
+type Oracle interface {
+	// LCA returns the lowest common ancestor of a and b. Every vertex
+	// is an ancestor of itself.
+	LCA(a, b graph.NodeID) graph.NodeID
+}
+
+// Lifting is a binary-lifting LCA oracle.
+type Lifting struct {
+	depth []int
+	up    [][]graph.NodeID // up[j][v] = 2^j-th ancestor of v (Invalid past root)
+}
+
+// NewLifting preprocesses t for O(log n) LCA queries.
+func NewLifting(t *graph.Tree) *Lifting {
+	n := t.G.NumNodes()
+	levels := 1
+	for 1<<levels < n {
+		levels++
+	}
+	l := &Lifting{
+		depth: make([]int, n),
+		up:    make([][]graph.NodeID, levels+1),
+	}
+	l.up[0] = make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		l.depth[v] = t.Depth(graph.NodeID(v))
+		l.up[0][v] = t.Parent(graph.NodeID(v))
+	}
+	for j := 1; j <= levels; j++ {
+		l.up[j] = make([]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			mid := l.up[j-1][v]
+			if mid == graph.Invalid {
+				l.up[j][v] = graph.Invalid
+			} else {
+				l.up[j][v] = l.up[j-1][mid]
+			}
+		}
+	}
+	return l
+}
+
+// Ancestor returns the k-th ancestor of v (0th is v itself), or
+// Invalid if v is fewer than k edges below the root.
+func (l *Lifting) Ancestor(v graph.NodeID, k int) graph.NodeID {
+	for j := 0; k > 0 && v != graph.Invalid; j, k = j+1, k>>1 {
+		if k&1 == 1 {
+			v = l.up[j][v]
+		}
+	}
+	return v
+}
+
+// Depth returns the depth of v recorded at preprocessing time.
+func (l *Lifting) Depth(v graph.NodeID) int { return l.depth[v] }
+
+// LCA implements Oracle.
+func (l *Lifting) LCA(a, b graph.NodeID) graph.NodeID {
+	if l.depth[a] < l.depth[b] {
+		a, b = b, a
+	}
+	a = l.Ancestor(a, l.depth[a]-l.depth[b])
+	if a == b {
+		return a
+	}
+	for j := len(l.up) - 1; j >= 0; j-- {
+		if l.up[j][a] != l.up[j][b] {
+			a, b = l.up[j][a], l.up[j][b]
+		}
+	}
+	return l.up[0][a]
+}
+
+// Sparse is an Euler-tour sparse-table LCA oracle with O(1) queries.
+type Sparse struct {
+	first []int          // first[v] = index of v's first Euler occurrence
+	euler []graph.NodeID // Euler tour of the tree
+	depth []int          // depth[i] = depth of euler[i]
+	table [][]int32      // table[j][i] = index of min-depth entry in euler[i:i+2^j]
+	logs  []int          // logs[x] = floor(log2 x)
+}
+
+// NewSparse preprocesses t for O(1) LCA queries.
+func NewSparse(t *graph.Tree) *Sparse {
+	n := t.G.NumNodes()
+	s := &Sparse{first: make([]int, n)}
+	for i := range s.first {
+		s.first[i] = -1
+	}
+	// Iterative Euler tour.
+	type frame struct {
+		v    graph.NodeID
+		next int
+	}
+	stack := []frame{{v: t.Root}}
+	visit := func(v graph.NodeID) {
+		if s.first[v] < 0 {
+			s.first[v] = len(s.euler)
+		}
+		s.euler = append(s.euler, v)
+		s.depth = append(s.depth, t.Depth(v))
+	}
+	visit(t.Root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children(f.v)
+		if f.next >= len(kids) {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				visit(stack[len(stack)-1].v)
+			}
+			continue
+		}
+		c := kids[f.next]
+		f.next++
+		visit(c)
+		stack = append(stack, frame{v: c})
+	}
+	m := len(s.euler)
+	s.logs = make([]int, m+1)
+	for x := 2; x <= m; x++ {
+		s.logs[x] = s.logs[x/2] + 1
+	}
+	levels := s.logs[m] + 1
+	s.table = make([][]int32, levels)
+	s.table[0] = make([]int32, m)
+	for i := 0; i < m; i++ {
+		s.table[0][i] = int32(i)
+	}
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		s.table[j] = make([]int32, m-width+1)
+		for i := 0; i+width <= m; i++ {
+			a, b := s.table[j-1][i], s.table[j-1][i+width/2]
+			if s.depth[a] <= s.depth[b] {
+				s.table[j][i] = a
+			} else {
+				s.table[j][i] = b
+			}
+		}
+	}
+	return s
+}
+
+// LCA implements Oracle.
+func (s *Sparse) LCA(a, b graph.NodeID) graph.NodeID {
+	i, j := s.first[a], s.first[b]
+	if i > j {
+		i, j = j, i
+	}
+	width := j - i + 1
+	k := s.logs[width]
+	x, y := s.table[k][i], s.table[k][j+1-(1<<k)]
+	if s.depth[x] <= s.depth[y] {
+		return s.euler[x]
+	}
+	return s.euler[y]
+}
+
+// Dist returns the tree distance (number of edges) between a and b
+// using the oracle o and the depths of t.
+func Dist(t *graph.Tree, o Oracle, a, b graph.NodeID) int {
+	l := o.LCA(a, b)
+	return t.Depth(a) + t.Depth(b) - 2*t.Depth(l)
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1; used by sizing helpers.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,187 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+// randomTree builds a random rooted tree with n vertices.
+func randomTree(n int, rng *rand.Rand) *graph.Tree {
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i))
+	}
+	t, err := graph.NewTree(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// pathTree builds a degenerate path 0 - 1 - ... - n-1 rooted at 0.
+func pathTree(n int) *graph.Tree {
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	t, err := graph.NewTree(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func fig5(t *testing.T) *graph.Tree {
+	t.Helper()
+	g := graph.New()
+	g.AddNodes(8)
+	for _, p := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {5, 6}, {5, 7}} {
+		g.AddBiEdge(p[0], p[1])
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLiftingPaperExamples(t *testing.T) {
+	tr := fig5(t)
+	o := NewLifting(tr)
+	cases := []struct{ a, b, want graph.NodeID }{
+		{3, 4, 1}, {0, 5, 0}, {6, 7, 5}, {3, 6, 0}, {5, 5, 5}, {2, 7, 2},
+	}
+	for _, c := range cases {
+		if got := o.LCA(c.a, c.b); got != c.want {
+			t.Fatalf("Lifting LCA(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSparsePaperExamples(t *testing.T) {
+	tr := fig5(t)
+	o := NewSparse(tr)
+	cases := []struct{ a, b, want graph.NodeID }{
+		{3, 4, 1}, {0, 5, 0}, {6, 7, 5}, {3, 6, 0}, {5, 5, 5}, {2, 7, 2},
+	}
+	for _, c := range cases {
+		if got := o.LCA(c.a, c.b); got != c.want {
+			t.Fatalf("Sparse LCA(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	tr := pathTree(10)
+	o := NewLifting(tr)
+	if got := o.Ancestor(9, 0); got != 9 {
+		t.Fatalf("Ancestor(9,0) = %d", got)
+	}
+	if got := o.Ancestor(9, 4); got != 5 {
+		t.Fatalf("Ancestor(9,4) = %d, want 5", got)
+	}
+	if got := o.Ancestor(9, 9); got != 0 {
+		t.Fatalf("Ancestor(9,9) = %d, want 0", got)
+	}
+	if got := o.Ancestor(3, 7); got != graph.Invalid {
+		t.Fatalf("Ancestor past root = %d, want Invalid", got)
+	}
+}
+
+func TestOraclesAgreeOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(120)
+		tr := randomTree(n, rng)
+		lift := NewLifting(tr)
+		sparse := NewSparse(tr)
+		for q := 0; q < 200; q++ {
+			a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			want := tr.NaiveLCA(a, b)
+			if got := lift.LCA(a, b); got != want {
+				t.Fatalf("n=%d Lifting LCA(%d,%d) = %d, want %d", n, a, b, got, want)
+			}
+			if got := sparse.LCA(a, b); got != want {
+				t.Fatalf("n=%d Sparse LCA(%d,%d) = %d, want %d", n, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestOraclesOnPathTree(t *testing.T) {
+	tr := pathTree(64)
+	lift := NewLifting(tr)
+	sparse := NewSparse(tr)
+	for a := 0; a < 64; a += 7 {
+		for b := 0; b < 64; b += 5 {
+			want := graph.NodeID(min(a, b))
+			if got := lift.LCA(graph.NodeID(a), graph.NodeID(b)); got != want {
+				t.Fatalf("Lifting path LCA(%d,%d) = %d", a, b, got)
+			}
+			if got := sparse.LCA(graph.NodeID(a), graph.NodeID(b)); got != want {
+				t.Fatalf("Sparse path LCA(%d,%d) = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	tr := fig5(t)
+	o := NewSparse(tr)
+	if got := Dist(tr, o, 3, 4); got != 2 {
+		t.Fatalf("Dist(v4,v5) = %d, want 2", got)
+	}
+	if got := Dist(tr, o, 3, 6); got != 5 {
+		t.Fatalf("Dist(v4,v7) = %d, want 5", got)
+	}
+	if got := Dist(tr, o, 5, 5); got != 0 {
+		t.Fatalf("Dist(v6,v6) = %d, want 0", got)
+	}
+}
+
+func TestSingleVertexTree(t *testing.T) {
+	g := graph.New()
+	g.AddNode("r")
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Oracle{NewLifting(tr), NewSparse(tr)} {
+		if got := o.LCA(0, 0); got != 0 {
+			t.Fatalf("LCA on singleton = %d", got)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkLiftingLCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTree(4096, rng)
+	o := NewLifting(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.LCA(graph.NodeID(i%4096), graph.NodeID((i*31)%4096))
+	}
+}
+
+func BenchmarkSparseLCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTree(4096, rng)
+	o := NewSparse(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.LCA(graph.NodeID(i%4096), graph.NodeID((i*31)%4096))
+	}
+}

@@ -1,0 +1,105 @@
+package lca
+
+import (
+	"tdmd/internal/graph"
+)
+
+// Batch answers many LCA queries at once with Tarjan's offline
+// algorithm: one DFS over the tree with a union-find, O((n+q)·α(n))
+// total. HAT's initial pair matrix — O(|leaves|²) queries on a fixed
+// tree — is the natural client; the online oracles answer the queries
+// that arise during merging.
+func Batch(t *graph.Tree, queries [][2]graph.NodeID) []graph.NodeID {
+	n := t.G.NumNodes()
+	uf := newUnionFind(n)
+	anchor := make([]graph.NodeID, n) // representative vertex of each set
+	for i := range anchor {
+		anchor[i] = graph.NodeID(i)
+	}
+	// Index queries by endpoint.
+	type q struct {
+		other graph.NodeID
+		idx   int
+	}
+	byVertex := make([][]q, n)
+	out := make([]graph.NodeID, len(queries))
+	for i, pair := range queries {
+		a, b := pair[0], pair[1]
+		if a == b {
+			out[i] = a
+			continue
+		}
+		byVertex[a] = append(byVertex[a], q{b, i})
+		byVertex[b] = append(byVertex[b], q{a, i})
+	}
+	visited := make([]bool, n)
+	// Iterative post-order DFS from the root.
+	type frame struct {
+		v    graph.NodeID
+		next int
+	}
+	stack := []frame{{v: t.Root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children(f.v)
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		// Post-visit of f.v: answer queries whose partner is done,
+		// then fold f.v into its parent's set.
+		v := f.v
+		visited[v] = true
+		for _, qq := range byVertex[v] {
+			if visited[qq.other] {
+				out[qq.idx] = anchor[uf.find(int(qq.other))]
+			}
+		}
+		if parent := t.Parent(v); parent != graph.Invalid {
+			root := uf.union(int(parent), int(v))
+			anchor[root] = parent
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// unionFind is a weighted quick-union with path compression.
+type unionFind struct {
+	parent []int
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b and returns the new root.
+func (uf *unionFind) union(a, b int) int {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return ra
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return ra
+}

@@ -1,0 +1,92 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+func TestBatchFig5Examples(t *testing.T) {
+	tr := fig5(t)
+	queries := [][2]graph.NodeID{
+		{3, 4}, {0, 5}, {6, 7}, {3, 6}, {5, 5}, {2, 7},
+	}
+	want := []graph.NodeID{1, 0, 5, 0, 5, 2}
+	got := Batch(tr, queries)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Batch query %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchMatchesOnlineOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		tr := randomTree(n, rng)
+		oracle := NewSparse(tr)
+		var queries [][2]graph.NodeID
+		for q := 0; q < 300; q++ {
+			queries = append(queries, [2]graph.NodeID{
+				graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))})
+		}
+		got := Batch(tr, queries)
+		for i, pair := range queries {
+			if want := oracle.LCA(pair[0], pair[1]); got[i] != want {
+				t.Fatalf("trial %d query %v: batch %d != oracle %d", trial, pair, got[i], want)
+			}
+		}
+	}
+}
+
+func TestBatchEmptyAndSelf(t *testing.T) {
+	tr := pathTree(4)
+	if out := Batch(tr, nil); len(out) != 0 {
+		t.Fatalf("empty batch = %v", out)
+	}
+	out := Batch(tr, [][2]graph.NodeID{{2, 2}})
+	if out[0] != 2 {
+		t.Fatalf("self query = %d", out[0])
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	for i := 0; i < 6; i++ {
+		if uf.find(i) != i {
+			t.Fatalf("fresh find(%d) = %d", i, uf.find(i))
+		}
+	}
+	uf.union(0, 1)
+	uf.union(2, 3)
+	if uf.find(0) != uf.find(1) || uf.find(2) != uf.find(3) {
+		t.Fatal("union failed")
+	}
+	if uf.find(0) == uf.find(2) {
+		t.Fatal("separate sets merged")
+	}
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(3) {
+		t.Fatal("transitive union failed")
+	}
+	// Union of already-joined sets is a no-op returning the root.
+	r := uf.union(0, 3)
+	if r != uf.find(0) {
+		t.Fatal("idempotent union broken")
+	}
+}
+
+func BenchmarkBatchLCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTree(4096, rng)
+	queries := make([][2]graph.NodeID, 10000)
+	for i := range queries {
+		queries[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(4096)), graph.NodeID(rng.Intn(4096))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Batch(tr, queries)
+	}
+}

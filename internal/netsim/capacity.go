@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"sort"
+
+	"tdmd/internal/graph"
+)
+
+// Capacitated model: the paper assumes "a middlebox does not have a
+// capacity limit" (Sec. 1); real deployments do (cf. Sallam & Ji,
+// INFOCOM'19, which the paper cites for capacity-constrained
+// placement). This file extends the model with a uniform per-middlebox
+// processing capacity: the total initial rate a single box may serve.
+//
+// With capacities the allocation is no longer per-flow independent —
+// flows compete for the box nearest their source. We assign flows in
+// descending rate order (first-fit-decreasing over each flow's
+// preference list), which is deterministic and keeps heavy flows at
+// their best boxes; ties break by flow index.
+
+// AllocateCapacitated assigns each flow to the best deployed vertex on
+// its path with residual capacity. capacity <= 0 means unlimited and
+// defers to Allocate. Flows that fit nowhere are Unserved.
+func (in *Instance) AllocateCapacitated(p Plan, capacity int) Allocation {
+	if capacity <= 0 {
+		return in.Allocate(p)
+	}
+	alloc := make(Allocation, len(in.Flows))
+	for i := range alloc {
+		alloc[i] = Unserved
+	}
+	order := make([]int, len(in.Flows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := in.Flows[order[a]], in.Flows[order[b]]
+		if fa.Rate != fb.Rate {
+			return fa.Rate > fb.Rate
+		}
+		return order[a] < order[b]
+	})
+	residual := map[graph.NodeID]int{}
+	for _, v := range p.Vertices() {
+		residual[v] = capacity
+	}
+	for _, i := range order {
+		f := in.Flows[i]
+		if in.Lambda <= 1 {
+			for _, v := range f.Path {
+				if p.Has(v) && residual[v] >= f.Rate {
+					alloc[i] = v
+					residual[v] -= f.Rate
+					break
+				}
+			}
+		} else {
+			for j := len(f.Path) - 1; j >= 0; j-- {
+				v := f.Path[j]
+				if p.Has(v) && residual[v] >= f.Rate {
+					alloc[i] = v
+					residual[v] -= f.Rate
+					break
+				}
+			}
+		}
+	}
+	return alloc
+}
+
+// FeasibleCapacitated reports whether the capacitated assignment
+// serves every flow. Note this checks the first-fit-decreasing
+// assignment, not the existence of *any* feasible assignment (which
+// embeds bin packing); it can report false negatives on adversarial
+// rate mixes.
+func (in *Instance) FeasibleCapacitated(p Plan, capacity int) bool {
+	for _, v := range in.AllocateCapacitated(p, capacity) {
+		if v == Unserved {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalBandwidthCapacitated scores the capacitated assignment.
+func (in *Instance) TotalBandwidthCapacitated(p Plan, capacity int) float64 {
+	alloc := in.AllocateCapacitated(p, capacity)
+	var total float64
+	for i := range in.Flows {
+		total += in.FlowBandwidth(i, alloc[i])
+	}
+	return total
+}

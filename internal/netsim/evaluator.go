@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"fmt"
+
+	"tdmd/internal/graph"
+)
+
+// Evaluator maintains b(P) and the allocation incrementally under
+// single-vertex plan mutations. Local search probes O(|P|·|V|) swaps
+// per round; recomputing the full objective for each probe costs
+// O(|V|·|F|) while the evaluator pays only for the flows actually
+// affected by the mutated vertex. The state after any Add/Remove
+// sequence is a pure function of the resulting plan, so mutations are
+// exactly revertible.
+//
+// The evaluator supports the diminishing regime (λ ≤ 1); that is where
+// the local search runs.
+type Evaluator struct {
+	in       *Instance
+	plan     Plan
+	serving  Allocation // serving[i] = vertex serving flow i, or Unserved
+	total    float64
+	unserved int
+}
+
+// NewEvaluator builds the incremental state for the given plan.
+func NewEvaluator(in *Instance, p Plan) (*Evaluator, error) {
+	if in.Lambda > 1 {
+		return nil, fmt.Errorf("netsim: Evaluator requires a traffic-diminishing middlebox (λ ≤ 1)")
+	}
+	e := &Evaluator{in: in, plan: p.Clone()}
+	e.serving = in.Allocate(e.plan)
+	for i := range in.Flows {
+		e.total += in.FlowBandwidth(i, e.serving[i])
+		if e.serving[i] == Unserved {
+			e.unserved++
+		}
+	}
+	return e, nil
+}
+
+// Bandwidth returns the current b(P).
+func (e *Evaluator) Bandwidth() float64 { return e.total }
+
+// Feasible reports whether every flow is served.
+func (e *Evaluator) Feasible() bool { return e.unserved == 0 }
+
+// Plan returns a copy of the current plan.
+func (e *Evaluator) Plan() Plan { return e.plan.Clone() }
+
+// Has reports whether v currently hosts a middlebox (no copy).
+func (e *Evaluator) Has(v graph.NodeID) bool { return e.plan.Has(v) }
+
+// Serving returns flow i's current serving vertex.
+func (e *Evaluator) Serving(i int) graph.NodeID { return e.serving[i] }
+
+// Add deploys a middlebox on v and returns the bandwidth delta
+// (always <= 0 in the diminishing regime). Adding a deployed vertex is
+// a no-op.
+func (e *Evaluator) Add(v graph.NodeID) float64 {
+	if e.plan.Has(v) {
+		return 0
+	}
+	e.plan.Add(v)
+	var delta float64
+	for _, fa := range e.in.Through(v) {
+		i := fa.Flow
+		cur := -1 // below any real downstream count
+		if e.serving[i] != Unserved {
+			cur = e.in.Flows[i].Path.Downstream(e.serving[i])
+		}
+		if fa.Downstream > cur {
+			old := e.in.FlowBandwidth(i, e.serving[i])
+			if e.serving[i] == Unserved {
+				e.unserved--
+			}
+			e.serving[i] = v
+			delta += e.in.FlowBandwidth(i, v) - old
+		}
+	}
+	e.total += delta
+	return delta
+}
+
+// Remove deletes the middlebox on v and returns the bandwidth delta
+// (always >= 0 in the diminishing regime). Removing an undeployed
+// vertex is a no-op.
+func (e *Evaluator) Remove(v graph.NodeID) float64 {
+	if !e.plan.Has(v) {
+		return 0
+	}
+	e.plan.Remove(v)
+	var delta float64
+	for _, fa := range e.in.Through(v) {
+		i := fa.Flow
+		if e.serving[i] != v {
+			continue
+		}
+		old := e.in.FlowBandwidth(i, v)
+		// Re-scan the flow's path for the best remaining middlebox.
+		next := Unserved
+		for _, u := range e.in.Flows[i].Path {
+			if e.plan.Has(u) {
+				next = u
+				break // first hit = nearest the source (λ ≤ 1)
+			}
+		}
+		e.serving[i] = next
+		if next == Unserved {
+			e.unserved++
+		}
+		delta += e.in.FlowBandwidth(i, next) - old
+	}
+	e.total += delta
+	return delta
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/paperfix"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestEvaluatorMatchesModelFig1(t *testing.T) {
+	in := fig1(t)
+	e, err := NewEvaluator(in, NewPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bandwidth() != in.RawDemand() || e.Feasible() {
+		t.Fatalf("fresh evaluator: %v feasible=%v", e.Bandwidth(), e.Feasible())
+	}
+	e.Add(paperfix.V(5))
+	if e.Bandwidth() != 12 { // f1 saved 4
+		t.Fatalf("after v5: %v, want 12", e.Bandwidth())
+	}
+	e.Add(paperfix.V(2))
+	if !e.Feasible() || e.Bandwidth() != 12 {
+		t.Fatalf("after v2: %v feasible=%v", e.Bandwidth(), e.Feasible())
+	}
+	e.Remove(paperfix.V(5))
+	// f1 falls back to... no other box on its path -> unserved.
+	if e.Feasible() {
+		t.Fatal("v5 removal must strand f1")
+	}
+	if e.Bandwidth() != 16 {
+		t.Fatalf("after removal: %v, want 16", e.Bandwidth())
+	}
+	// Idempotent no-ops.
+	if d := e.Remove(paperfix.V(5)); d != 0 {
+		t.Fatalf("double remove delta = %v", d)
+	}
+	if d := e.Add(paperfix.V(2)); d != 0 {
+		t.Fatalf("re-add delta = %v", d)
+	}
+}
+
+func TestEvaluatorRejectsExpanding(t *testing.T) {
+	g, flows, _ := paperfix.Fig1()
+	in := MustNew(g, flows, 1.5)
+	if _, err := NewEvaluator(in, NewPlan()); err == nil {
+		t.Fatal("expanding instance accepted")
+	}
+}
+
+// Property: after any random Add/Remove sequence the evaluator agrees
+// exactly with the from-scratch model (bandwidth, feasibility, and
+// serving assignment), and reverting restores the original state.
+func TestEvaluatorMatchesModelRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		g := topology.GeneralRandom(5+rng.Intn(15), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.5, Seed: rng.Int63(), MaxFlows: 15})
+		if len(flows) == 0 {
+			continue
+		}
+		in := MustNew(g, flows, float64(rng.Intn(10))/10)
+		e, err := NewEvaluator(in, NewPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 60; op++ {
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if rng.Intn(2) == 0 {
+				e.Add(v)
+			} else {
+				e.Remove(v)
+			}
+			p := e.Plan()
+			wantBW := in.TotalBandwidth(p)
+			if math.Abs(e.Bandwidth()-wantBW) > 1e-9*(1+wantBW) {
+				t.Fatalf("trial %d op %d: incremental %v != scratch %v", trial, op, e.Bandwidth(), wantBW)
+			}
+			if e.Feasible() != in.Feasible(p) {
+				t.Fatalf("trial %d op %d: feasibility mismatch", trial, op)
+			}
+			wantAlloc := in.Allocate(p)
+			for i := range flows {
+				if e.Serving(i) != wantAlloc[i] {
+					t.Fatalf("trial %d op %d: flow %d served at %v, model says %v",
+						trial, op, i, e.Serving(i), wantAlloc[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorRevertExact(t *testing.T) {
+	in := fig1(t)
+	base := NewPlan(paperfix.V(2), paperfix.V(5))
+	e, err := NewEvaluator(in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Bandwidth()
+	// Probe a swap and revert it.
+	e.Remove(paperfix.V(2))
+	e.Add(paperfix.V(3))
+	e.Remove(paperfix.V(3))
+	e.Add(paperfix.V(2))
+	if math.Abs(e.Bandwidth()-before) > 1e-12 {
+		t.Fatalf("revert drifted: %v vs %v", e.Bandwidth(), before)
+	}
+	if e.Plan().String() != base.String() {
+		t.Fatalf("plan not restored: %v", e.Plan())
+	}
+}

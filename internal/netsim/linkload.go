@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"tdmd/internal/graph"
+)
+
+// LinkKey identifies a directed link.
+type LinkKey struct {
+	From, To graph.NodeID
+}
+
+// LinkLoads walks every flow hop by hop, applying the rate drop at the
+// vertex that serves it, and accumulates the load carried by each
+// directed link. This is an independent, operational recomputation of
+// the closed-form model: tests assert that the loads sum to
+// TotalBandwidth(p) exactly.
+func (in *Instance) LinkLoads(p Plan) map[LinkKey]float64 {
+	loads := make(map[LinkKey]float64)
+	alloc := in.Allocate(p)
+	for i, f := range in.Flows {
+		rate := float64(f.Rate)
+		processed := false
+		for hop := 0; hop+1 < len(f.Path); hop++ {
+			u, w := f.Path[hop], f.Path[hop+1]
+			if !processed && alloc[i] == u {
+				rate *= in.Lambda
+				processed = true
+			}
+			loads[LinkKey{u, w}] += rate
+		}
+	}
+	return loads
+}
+
+// SumLoads adds up a link-load map; equals the total bandwidth
+// consumption by construction.
+func SumLoads(loads map[LinkKey]float64) float64 {
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	return total
+}
+
+// MaxLinkLoad returns the most loaded directed link and its load
+// (zero value and 0 for an empty map). Useful for the congestion
+// sanity checks the paper's over-provisioning assumption relies on.
+func MaxLinkLoad(loads map[LinkKey]float64) (LinkKey, float64) {
+	var bestKey LinkKey
+	var best float64
+	first := true
+	for k, l := range loads {
+		if first || l > best || (l == best && (k.From < bestKey.From || (k.From == bestKey.From && k.To < bestKey.To))) {
+			bestKey, best = k, l
+			first = false
+		}
+	}
+	return bestKey, best
+}
+
+// CongestionFree reports whether every directed link's load stays
+// within the given uniform capacity. The paper assumes links are
+// over-provisioned so this always holds in its experiments; the
+// harness asserts it rather than assuming it.
+func (in *Instance) CongestionFree(p Plan, capacity float64) bool {
+	for _, l := range in.LinkLoads(p) {
+		if l > capacity {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,294 @@
+// Package netsim implements the TDMD bandwidth-consumption model of
+// Sec. 3: deployments, the nearest-to-source allocation rule, per-flow
+// and total bandwidth consumption (Eq. 1), the decrement function and
+// its marginals (Defs. 1-2), and feasibility checking. A separate
+// link-load simulator (linkload.go) recomputes consumption edge by
+// edge and is used by tests to validate the closed-form model.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tdmd/internal/bitset"
+	"tdmd/internal/graph"
+	"tdmd/internal/traffic"
+)
+
+// Instance is one TDMD problem instance: a network, a workload, and
+// the middlebox's traffic-changing ratio λ. Build it with New, which
+// validates inputs and precomputes the per-vertex flow index used by
+// all algorithms.
+type Instance struct {
+	G      *graph.Graph
+	Flows  []traffic.Flow
+	Lambda float64
+
+	// through[v] lists, for every vertex v, the flows whose path
+	// visits v together with l_v(f), the downstream edge count.
+	through [][]FlowAt
+	// rawDemand caches Σ r_f·|p_f|.
+	rawDemand float64
+
+	coverOnce sync.Once
+	cover     []*bitset.Set // per-vertex covered-flow bitsets, built lazily
+}
+
+// FlowAt records that a flow's path visits some vertex with the given
+// number of downstream edges.
+type FlowAt struct {
+	Flow       int // index into Instance.Flows
+	Downstream int // l_v(f): edges from the vertex to dst_f
+}
+
+// New validates and indexes a problem instance. λ may be any
+// non-negative ratio, matching the model's general traffic-changing
+// middlebox (Sec. 3.1, "λ ≥ 0"): λ ≤ 1 is the traffic-diminishing case
+// the paper's algorithms target, λ > 1 models traffic-expanding boxes
+// (e.g. encryption or tunneling overhead). The allocation rule adapts
+// automatically; the tree algorithms and GTP's guarantee require
+// λ ≤ 1 and enforce it themselves.
+func New(g *graph.Graph, flows []traffic.Flow, lambda float64) (*Instance, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("netsim: negative lambda %v", lambda)
+	}
+	if err := traffic.Validate(g, flows); err != nil {
+		return nil, err
+	}
+	inst := &Instance{G: g, Flows: flows, Lambda: lambda}
+	inst.through = make([][]FlowAt, g.NumNodes())
+	for i, f := range flows {
+		hops := f.Hops()
+		for pos, v := range f.Path {
+			inst.through[v] = append(inst.through[v], FlowAt{Flow: i, Downstream: hops - pos})
+		}
+		inst.rawDemand += float64(f.Rate) * float64(hops)
+	}
+	return inst, nil
+}
+
+// MustNew is New that panics on error; used by tests and examples
+// whose inputs are static.
+func MustNew(g *graph.Graph, flows []traffic.Flow, lambda float64) *Instance {
+	inst, err := New(g, flows, lambda)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Through returns the flows visiting v with their downstream counts.
+// The slice is owned by the instance.
+func (in *Instance) Through(v graph.NodeID) []FlowAt { return in.through[v] }
+
+// RawDemand returns Σ r_f·|p_f|, the consumption with no middlebox.
+func (in *Instance) RawDemand() float64 { return in.rawDemand }
+
+// Plan is a middlebox deployment: the set of vertices hosting a
+// middlebox (P in the paper). The zero value is an empty plan.
+type Plan struct {
+	set map[graph.NodeID]bool
+}
+
+// NewPlan returns a plan containing the given vertices.
+func NewPlan(vs ...graph.NodeID) Plan {
+	p := Plan{set: make(map[graph.NodeID]bool, len(vs))}
+	for _, v := range vs {
+		p.set[v] = true
+	}
+	return p
+}
+
+// Add deploys a middlebox on v (idempotent).
+func (p *Plan) Add(v graph.NodeID) {
+	if p.set == nil {
+		p.set = make(map[graph.NodeID]bool)
+	}
+	p.set[v] = true
+}
+
+// Remove deletes the middlebox on v if present.
+func (p *Plan) Remove(v graph.NodeID) { delete(p.set, v) }
+
+// Has reports whether v hosts a middlebox.
+func (p Plan) Has(v graph.NodeID) bool { return p.set[v] }
+
+// Size returns |P|, the number of deployed middleboxes.
+func (p Plan) Size() int { return len(p.set) }
+
+// Vertices returns the deployed vertices in increasing order.
+func (p Plan) Vertices() []graph.NodeID {
+	vs := make([]graph.NodeID, 0, len(p.set))
+	for v := range p.set {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Clone returns an independent copy.
+func (p Plan) Clone() Plan {
+	c := Plan{set: make(map[graph.NodeID]bool, len(p.set))}
+	for v := range p.set {
+		c.set[v] = true
+	}
+	return c
+}
+
+// String renders "{v1, v5}" using vertex IDs.
+func (p Plan) String() string {
+	vs := p.Vertices()
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Unserved marks a flow with no middlebox on its path in an
+// Allocation.
+const Unserved graph.NodeID = graph.Invalid
+
+// Allocation maps each flow (by index) to the vertex whose middlebox
+// serves it, or Unserved. This is F in the paper; given P it is
+// uniquely determined by the nearest-to-source rule.
+type Allocation []graph.NodeID
+
+// Allocate applies the optimal allocation rule. For traffic-
+// diminishing middleboxes (λ ≤ 1) each flow is served by the deployed
+// vertex on its path with the maximum downstream count (nearest the
+// source); for traffic-expanding ones (λ > 1) by the minimum downstream
+// count (nearest the destination). Both minimize the flow's
+// consumption b(f) = r·(|p| − (1−λ)·l_v).
+func (in *Instance) Allocate(p Plan) Allocation {
+	alloc := make(Allocation, len(in.Flows))
+	for i, f := range in.Flows {
+		alloc[i] = Unserved
+		if in.Lambda <= 1 {
+			for _, v := range f.Path { // src -> dst: first hit is nearest the source
+				if p.Has(v) {
+					alloc[i] = v
+					break
+				}
+			}
+		} else {
+			for j := len(f.Path) - 1; j >= 0; j-- { // last hit: nearest the destination
+				if p.Has(f.Path[j]) {
+					alloc[i] = f.Path[j]
+					break
+				}
+			}
+		}
+	}
+	return alloc
+}
+
+// Feasible reports whether every flow has a middlebox on its path.
+func (in *Instance) Feasible(p Plan) bool {
+	for _, v := range in.Allocate(p) {
+		if v == Unserved {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowBandwidth returns b(f) for flow index i when served at v
+// (Unserved means the flow keeps its initial rate on every hop):
+// b(f) = r_f·( |p_f| − (1−λ)·l_v(f) ).
+func (in *Instance) FlowBandwidth(i int, v graph.NodeID) float64 {
+	f := in.Flows[i]
+	full := float64(f.Rate) * float64(f.Hops())
+	if v == Unserved {
+		return full
+	}
+	l := f.Path.Downstream(v)
+	if l < 0 {
+		panic(fmt.Sprintf("netsim: vertex %d not on path of flow %d", v, i))
+	}
+	return full - float64(f.Rate)*(1-in.Lambda)*float64(l)
+}
+
+// TotalBandwidth returns b(P): the sum of every flow's consumption
+// under the optimal allocation for p. Unserved flows consume their
+// full initial-rate bandwidth (they still traverse their paths).
+func (in *Instance) TotalBandwidth(p Plan) float64 {
+	alloc := in.Allocate(p)
+	var total float64
+	for i := range in.Flows {
+		total += in.FlowBandwidth(i, alloc[i])
+	}
+	return total
+}
+
+// Decrement returns d(P) = Σ r_f·|p_f| − b(P) (Def. 1): the bandwidth
+// saved by the deployment relative to deploying nothing.
+func (in *Instance) Decrement(p Plan) float64 {
+	return in.rawDemand - in.TotalBandwidth(p)
+}
+
+// MarginalDecrement returns d_P({v}) = d(P ∪ {v}) − d(P) (Def. 2)
+// computed incrementally in O(flows through v). In the diminishing
+// case only flows whose current serving point is strictly farther from
+// their source than v improve; in the expanding case (λ > 1) the
+// allocation moves toward the destination instead, and newly covered
+// flows contribute a negative marginal (expansion is a cost the
+// coverage constraint forces).
+func (in *Instance) MarginalDecrement(p Plan, alloc Allocation, v graph.NodeID) float64 {
+	if p.Has(v) {
+		return 0
+	}
+	var gain float64
+	for _, fa := range in.through[v] {
+		f := in.Flows[fa.Flow]
+		cur := 0 // downstream count at current serving vertex; 0 is the unserved baseline
+		served := alloc[fa.Flow] != Unserved
+		if served {
+			cur = f.Path.Downstream(alloc[fa.Flow])
+		}
+		moves := false
+		if in.Lambda <= 1 {
+			moves = fa.Downstream > cur // includes the unserved case
+		} else {
+			moves = !served || fa.Downstream < cur
+		}
+		if moves {
+			gain += float64(f.Rate) * (1 - in.Lambda) * float64(fa.Downstream-cur)
+		}
+	}
+	return gain
+}
+
+// CoveredBy returns, for every vertex, the set of flow indices whose
+// paths visit it — the set-cover structure underlying feasibility
+// (Theorem 1).
+func (in *Instance) CoveredBy() [][]int {
+	out := make([][]int, in.G.NumNodes())
+	for v := range out {
+		flows := make([]int, 0, len(in.through[v]))
+		for _, fa := range in.through[v] {
+			flows = append(flows, fa.Flow)
+		}
+		out[v] = flows
+	}
+	return out
+}
+
+// CoverSet returns the bitset of flow indices covered by v, built
+// lazily once per instance. The budget guard's greedy set cover runs
+// word-parallel over these.
+func (in *Instance) CoverSet(v graph.NodeID) *bitset.Set {
+	in.coverOnce.Do(func() {
+		in.cover = make([]*bitset.Set, in.G.NumNodes())
+		for u := range in.cover {
+			s := bitset.New(len(in.Flows))
+			for _, fa := range in.through[u] {
+				s.Set(fa.Flow)
+			}
+			in.cover[u] = s
+		}
+	})
+	return in.cover[v]
+}

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// Core model operation costs at realistic scale; these are the inner
+// loops of every placement algorithm.
+
+func benchInstance(b *testing.B, n, flows int) (*Instance, Plan) {
+	b.Helper()
+	g := topology.GeneralRandom(n, 0.8, 7)
+	fl := traffic.GeneralFlows(g, []graph.NodeID{0, 1, 2}, traffic.GenConfig{
+		Density: 2.0, Seed: 9, MaxFlows: flows})
+	if len(fl) == 0 {
+		b.Skip("no flows")
+	}
+	in := MustNew(g, fl, 0.5)
+	rng := rand.New(rand.NewSource(3))
+	p := NewPlan()
+	for _, v := range g.Nodes() {
+		if rng.Intn(5) == 0 {
+			p.Add(v)
+		}
+	}
+	return in, p
+}
+
+func BenchmarkAllocate1000(b *testing.B) {
+	in, p := benchInstance(b, 1000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Allocate(p)
+	}
+}
+
+func BenchmarkTotalBandwidth1000(b *testing.B) {
+	in, p := benchInstance(b, 1000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.TotalBandwidth(p)
+	}
+}
+
+func BenchmarkMarginalDecrement1000(b *testing.B) {
+	in, p := benchInstance(b, 1000, 5000)
+	alloc := in.Allocate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.MarginalDecrement(p, alloc, graph.NodeID(i%1000))
+	}
+}
+
+func BenchmarkLinkLoads1000(b *testing.B) {
+	in, p := benchInstance(b, 1000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.LinkLoads(p)
+	}
+}
+
+func BenchmarkEvaluatorSwap1000(b *testing.B) {
+	in, p := benchInstance(b, 1000, 5000)
+	e, err := NewEvaluator(in, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := p.Vertices()
+	if len(vs) == 0 {
+		b.Skip("empty plan")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := vs[i%len(vs)]
+		e.Remove(out)
+		e.Add(graph.NodeID(i % 1000))
+		e.Remove(graph.NodeID(i % 1000))
+		e.Add(out)
+	}
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tdmd/internal/paperfix"
+)
+
+func TestReportFig1K3(t *testing.T) {
+	in := fig1(t)
+	p := NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
+	rep := in.Report(p)
+	if !rep.Feasible {
+		t.Fatal("k=3 optimal plan reported infeasible")
+	}
+	if rep.TotalBandwidth != 8 || rep.RawDemand != 16 {
+		t.Fatalf("bandwidth/raw = %v/%v", rep.TotalBandwidth, rep.RawDemand)
+	}
+	// Saving fraction: (16-8)/(0.5·16) = 1 — every flow processed at
+	// its source.
+	if rep.SavingFraction != 1 {
+		t.Fatalf("saving fraction = %v, want 1", rep.SavingFraction)
+	}
+	if rep.MeanProcessingDepth != 0 {
+		t.Fatalf("processing depth = %v, want 0 (all at sources)", rep.MeanProcessingDepth)
+	}
+	if len(rep.Boxes) != 3 {
+		t.Fatalf("boxes = %d", len(rep.Boxes))
+	}
+	// v6 serves f2 and f3 (rate 4), v4 serves f4 (2), v5 serves f1 (4).
+	byVertex := map[int]BoxStats{}
+	for _, bs := range rep.Boxes {
+		byVertex[int(bs.Vertex)] = bs
+	}
+	if bs := byVertex[int(paperfix.V(6))]; bs.Flows != 2 || bs.Rate != 4 {
+		t.Fatalf("v6 stats = %+v", bs)
+	}
+	if bs := byVertex[int(paperfix.V(5))]; bs.Flows != 1 || bs.Rate != 4 || bs.Idle {
+		t.Fatalf("v5 stats = %+v", bs)
+	}
+}
+
+func TestReportPartialAndIdle(t *testing.T) {
+	in := fig1(t)
+	// v5 serves f1; v1 is f1's destination -> idle (f1 already served
+	// nearer its source); f2-f4 unserved.
+	p := NewPlan(paperfix.V(5), paperfix.V(1))
+	rep := in.Report(p)
+	if rep.Feasible {
+		t.Fatal("partial plan reported feasible")
+	}
+	if len(rep.UnservedFlows) != 3 {
+		t.Fatalf("unserved = %v", rep.UnservedFlows)
+	}
+	var sawIdle bool
+	for _, bs := range rep.Boxes {
+		if bs.Vertex == paperfix.V(1) {
+			if !bs.Idle {
+				t.Fatal("v1 should be idle")
+			}
+			sawIdle = true
+		}
+	}
+	if !sawIdle {
+		t.Fatal("idle box missing from report")
+	}
+	out := rep.String()
+	for _, want := range []string{"UNSERVED", "[idle]", "feasible=false"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportProcessingDepth(t *testing.T) {
+	in := fig1(t)
+	// All flows served at their destinations: depth 1.
+	p := NewPlan(paperfix.V(1), paperfix.V(2))
+	rep := in.Report(p)
+	if math.Abs(rep.MeanProcessingDepth-1) > 1e-12 {
+		t.Fatalf("depth = %v, want 1", rep.MeanProcessingDepth)
+	}
+	if rep.SavingFraction != 0 {
+		t.Fatalf("saving = %v, want 0", rep.SavingFraction)
+	}
+}
+
+func TestReportExpanding(t *testing.T) {
+	g, flows, _ := paperfix.Fig1()
+	in := MustNew(g, flows, 2.0)
+	p := NewPlan(paperfix.V(1), paperfix.V(2))
+	rep := in.Report(p)
+	if !rep.Feasible {
+		t.Fatal("destination plan infeasible")
+	}
+	// Destination placement adds no expansion: bandwidth == raw, and
+	// the inflation share is 0.
+	if rep.TotalBandwidth != rep.RawDemand || rep.SavingFraction != 0 {
+		t.Fatalf("expanding report: %+v", rep)
+	}
+}

@@ -1,0 +1,65 @@
+// Package paperfix reconstructs the worked examples published in the
+// TDMD paper (Figs. 1 and 5, Table 2, Figs. 6-7) as executable
+// fixtures. Golden tests across the repository check algorithm output
+// against the numbers printed in the paper; the reconstructions were
+// derived in DESIGN.md ("Reconstructed paper examples").
+package paperfix
+
+import (
+	"tdmd/internal/graph"
+	"tdmd/internal/traffic"
+)
+
+// Fig1 returns the motivating example of Fig. 1 / Table 2:
+// six vertices, four flows, λ = 0.5. Vertex vN of the paper has
+// NodeID N-1.
+//
+// Edges: v5→v3, v3→v1, v6→v3, v3→v2, v6→v2, v4→v2.
+// Flows: f1: v5→v3→v1 (r=4), f2: v6→v3→v2 (r=2),
+// f3: v6→v2 (r=2), f4: v4→v2 (r=2).
+func Fig1() (*graph.Graph, []traffic.Flow, float64) {
+	g := graph.New()
+	g.AddNodes(6) // IDs 0..5 = v1..v6
+	v := func(n int) graph.NodeID { return graph.NodeID(n - 1) }
+	edges := [][2]int{{5, 3}, {3, 1}, {6, 3}, {3, 2}, {6, 2}, {4, 2}}
+	for _, e := range edges {
+		g.AddEdge(v(e[0]), v(e[1]))
+	}
+	flows := []traffic.Flow{
+		{ID: 0, Rate: 4, Path: graph.Path{v(5), v(3), v(1)}},
+		{ID: 1, Rate: 2, Path: graph.Path{v(6), v(3), v(2)}},
+		{ID: 2, Rate: 2, Path: graph.Path{v(6), v(2)}},
+		{ID: 3, Rate: 2, Path: graph.Path{v(4), v(2)}},
+	}
+	return g, flows, 0.5
+}
+
+// Fig5 returns the tree example of Figs. 5-7: eight vertices rooted at
+// v1, four leaf-to-root flows, λ = 0.5. Vertex vN has NodeID N-1.
+//
+// Tree: v1→{v2,v3}, v2→{v4,v5}, v3→{v6}, v6→{v7,v8}.
+// Flows: f1@v4 (r=2), f2@v8 (r=1), f3@v7 (r=5), f4@v5 (r=1); all
+// destinations are the root v1.
+func Fig5() (*graph.Graph, *graph.Tree, []traffic.Flow, float64) {
+	g := graph.New()
+	g.AddNodes(8) // IDs 0..7 = v1..v8
+	v := func(n int) graph.NodeID { return graph.NodeID(n - 1) }
+	pairs := [][2]int{{1, 2}, {1, 3}, {2, 4}, {2, 5}, {3, 6}, {6, 7}, {6, 8}}
+	for _, p := range pairs {
+		g.AddBiEdge(v(p[0]), v(p[1]))
+	}
+	t, err := graph.NewTree(g, v(1))
+	if err != nil {
+		panic("paperfix: Fig5 tree construction failed: " + err.Error())
+	}
+	flows := []traffic.Flow{
+		{ID: 0, Rate: 2, Path: graph.Path{v(4), v(2), v(1)}},       // f1
+		{ID: 1, Rate: 1, Path: graph.Path{v(8), v(6), v(3), v(1)}}, // f2
+		{ID: 2, Rate: 5, Path: graph.Path{v(7), v(6), v(3), v(1)}}, // f3
+		{ID: 3, Rate: 1, Path: graph.Path{v(5), v(2), v(1)}},       // f4
+	}
+	return g, t, flows, 0.5
+}
+
+// V converts the paper's 1-based vertex naming (vN) to a NodeID.
+func V(n int) graph.NodeID { return graph.NodeID(n - 1) }

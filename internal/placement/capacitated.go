@@ -1,0 +1,123 @@
+package placement
+
+import (
+	"math"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/traffic"
+)
+
+// GTPCapacitated is the budgeted greedy adapted to per-middlebox
+// processing capacities (see netsim's capacitated model): every round
+// it deploys the vertex whose addition most reduces the capacitated
+// bandwidth, until all flows are served or the budget runs out.
+//
+// Capacities break the clean submodular structure GTP's guarantee
+// rests on (a new box can *reshuffle* the first-fit assignment), so
+// this variant re-scores candidates by full re-allocation rather than
+// by the marginal-decrement shortcut, and carries no approximation
+// bound. A quick necessary-condition check (k·capacity ≥ total rate,
+// no single flow above capacity) rejects hopeless inputs early.
+func GTPCapacitated(in *netsim.Instance, k, capacity int) (Result, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, err
+	}
+	if capacity <= 0 {
+		r, err := GTPBudget(in, k)
+		return r, err
+	}
+	if traffic.MaxRate(in.Flows) > capacity {
+		return Result{}, ErrInfeasible // some flow fits no box at all
+	}
+	if k*capacity < traffic.TotalRate(in.Flows) {
+		return Result{}, ErrInfeasible // aggregate capacity short
+	}
+	// Phase 1: gain-first greedy (matches GTP's behaviour when the
+	// capacity never binds). If it strands flows, phase 2 reruns with
+	// coverage-first scoring; only then do we give up.
+	if r, ok := runCapacitatedGreedy(in, k, capacity, false); ok {
+		return r, nil
+	}
+	if r, ok := runCapacitatedGreedy(in, k, capacity, true); ok {
+		return r, nil
+	}
+	return Result{}, ErrInfeasible
+}
+
+// runCapacitatedGreedy builds a plan with the chosen scoring order.
+// coverageFirst prefers (served, gain); otherwise (gain, served).
+func runCapacitatedGreedy(in *netsim.Instance, k, capacity int, coverageFirst bool) (Result, bool) {
+	p := netsim.NewPlan()
+	n := in.G.NumNodes()
+	for p.Size() < k {
+		alloc := in.AllocateCapacitated(p, capacity)
+		feasible := feasibleAlloc(alloc)
+		best, gain, served := bestCapacitatedCandidate(in, p, capacity, n, coverageFirst)
+		if best == graph.Invalid {
+			break
+		}
+		if feasible && gain <= 0 {
+			break // everything served and no further saving available
+		}
+		if !feasible && gain <= 0 && served == 0 {
+			break // stuck: candidate helps neither coverage nor bandwidth
+		}
+		p.Add(best)
+	}
+	alloc := in.AllocateCapacitated(p, capacity)
+	if !feasibleAlloc(alloc) {
+		return Result{}, false
+	}
+	var total float64
+	for i := range in.Flows {
+		total += in.FlowBandwidth(i, alloc[i])
+	}
+	return Result{Plan: p, Bandwidth: total, Feasible: true}, true
+}
+
+// bestCapacitatedCandidate scores each undeployed vertex by full
+// re-allocation: gain = bandwidth saved, served = newly served flows.
+func bestCapacitatedCandidate(in *netsim.Instance, p netsim.Plan, capacity, n int, coverageFirst bool) (graph.NodeID, float64, int) {
+	baseAlloc := in.AllocateCapacitated(p, capacity)
+	baseServed := 0
+	var baseBW float64
+	for i := range in.Flows {
+		if baseAlloc[i] != netsim.Unserved {
+			baseServed++
+		}
+		baseBW += in.FlowBandwidth(i, baseAlloc[i])
+	}
+	best := graph.Invalid
+	bestGain := math.Inf(-1)
+	bestServed := -1
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if p.Has(v) {
+			continue
+		}
+		cand := p.Clone()
+		cand.Add(v)
+		alloc := in.AllocateCapacitated(cand, capacity)
+		served := -baseServed
+		var bw float64
+		for i := range in.Flows {
+			if alloc[i] != netsim.Unserved {
+				served++
+			}
+			bw += in.FlowBandwidth(i, alloc[i])
+		}
+		gain := baseBW - bw
+		var better bool
+		if coverageFirst {
+			better = served > bestServed || (served == bestServed && (gain > bestGain+1e-12 ||
+				(math.Abs(gain-bestGain) <= 1e-12 && v < best)))
+		} else {
+			better = gain > bestGain+1e-12 || (math.Abs(gain-bestGain) <= 1e-12 &&
+				(served > bestServed || (served == bestServed && v < best)))
+		}
+		if better {
+			best, bestGain, bestServed = v, gain, served
+		}
+	}
+	return best, bestGain, bestServed
+}

@@ -1,0 +1,147 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/paperfix"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestCapacitatedUnlimitedMatchesPlain(t *testing.T) {
+	in := fig1Instance(t)
+	plain, err := GTPBudget(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capd, err := GTPCapacitated(in, 3, 0) // 0 = unlimited
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capd.Bandwidth != plain.Bandwidth {
+		t.Fatalf("unlimited capacitated %v != plain %v", capd.Bandwidth, plain.Bandwidth)
+	}
+	// Huge capacity behaves like unlimited too.
+	huge, err := GTPCapacitated(in, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Bandwidth != plain.Bandwidth {
+		t.Fatalf("huge capacity %v != plain %v", huge.Bandwidth, plain.Bandwidth)
+	}
+}
+
+func TestCapacitatedRejectsImpossible(t *testing.T) {
+	in := fig1Instance(t) // rates 4,2,2,2; total 10
+	// A single flow exceeding capacity can never be served.
+	if _, err := GTPCapacitated(in, 4, 3); err == nil {
+		t.Fatal("capacity below max rate accepted")
+	}
+	// Aggregate capacity too small: 2 boxes × 4 = 8 < 10.
+	if _, err := GTPCapacitated(in, 2, 4); err == nil {
+		t.Fatal("aggregate shortfall accepted")
+	}
+}
+
+func TestCapacitatedForcesSpreading(t *testing.T) {
+	in := fig1Instance(t)
+	// Capacity 4: no box can serve more than rate 4, so the 3-box
+	// uncapacitated optimum {v4, v5, v6} (v6 serves 4) still fits, but
+	// a 2-box plan cannot (one box would need ≥ 6).
+	r, err := GTPCapacitated(in, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("k=3 capacity=4 should be feasible")
+	}
+	alloc := in.AllocateCapacitated(r.Plan, 4)
+	load := map[graph.NodeID]int{}
+	for i, v := range alloc {
+		if v == netsim.Unserved {
+			t.Fatalf("flow %d unserved", i)
+		}
+		load[v] += in.Flows[i].Rate
+	}
+	for v, l := range load {
+		if l > 4 {
+			t.Fatalf("box %d overloaded: %d > 4", v, l)
+		}
+	}
+	if _, err := GTPCapacitated(in, 2, 4); err == nil {
+		t.Fatal("k=2 capacity=4 should be infeasible (needs 3 boxes)")
+	}
+}
+
+func TestCapacitatedAllocationFirstFitDecreasing(t *testing.T) {
+	in := fig1Instance(t)
+	p := netsim.NewPlan(paperfix.V(3), paperfix.V(2))
+	// Capacity 6 at v3: flows through v3 are f1 (4) and f2 (2), both
+	// prefer v3 over v2 (nearer source for f1 and f2). FFD: f1 first
+	// (rate 4), then f2 (2) — both fit at v3. f3, f4 go to v2.
+	alloc := in.AllocateCapacitated(p, 6)
+	if alloc[0] != paperfix.V(3) || alloc[1] != paperfix.V(3) {
+		t.Fatalf("f1/f2 at %v/%v, want v3/v3", alloc[0], alloc[1])
+	}
+	// Capacity 5: f1 (4) takes v3, f2 (2) no longer fits there and
+	// falls through to v2.
+	alloc = in.AllocateCapacitated(p, 5)
+	if alloc[0] != paperfix.V(3) {
+		t.Fatalf("f1 at %v, want v3", alloc[0])
+	}
+	if alloc[1] != paperfix.V(2) {
+		t.Fatalf("f2 at %v, want v2 (spillover)", alloc[1])
+	}
+}
+
+// Property: tighter capacity never reduces bandwidth, and feasibility
+// is monotone in capacity for the FFD assignment on tree workloads.
+func TestCapacitatedMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		g := topology.RandomTree(5+rng.Intn(12), 0, rng.Int63())
+		tree, err := graph.NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := traffic.TreeFlows(tree, traffic.GenConfig{
+			Density: 0.4, Dist: traffic.Uniform{Lo: 1, Hi: 5}, Seed: rng.Int63(), MaxFlows: 10})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		opt, err := Exhaustive(in, 4)
+		if err != nil {
+			continue
+		}
+		for _, capacity := range []int{traffic.TotalRate(flows), 2 * traffic.MaxRate(flows), traffic.MaxRate(flows)} {
+			r, err := GTPCapacitated(in, 4, capacity)
+			if err != nil {
+				continue // tighter capacity may be infeasible; fine
+			}
+			if !r.Feasible || r.Plan.Size() > 4 {
+				t.Fatalf("trial %d: invalid capacitated result %+v", trial, r)
+			}
+			// No capacitated solution can beat the uncapacitated optimum.
+			if r.Bandwidth < opt.Bandwidth-1e-9 {
+				t.Fatalf("trial %d: capacity %d beat the uncapacitated optimum (%v < %v)",
+					trial, capacity, r.Bandwidth, opt.Bandwidth)
+			}
+			// The reported score must match the model's scoring of the plan.
+			if got := in.TotalBandwidthCapacitated(r.Plan, capacity); math.Abs(got-r.Bandwidth) > 1e-9 {
+				t.Fatalf("trial %d: reported %v, model says %v", trial, r.Bandwidth, got)
+			}
+		}
+	}
+}
+
+func TestCapacitatedBudgetValidation(t *testing.T) {
+	in := fig1Instance(t)
+	if _, err := GTPCapacitated(in, 0, 5); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

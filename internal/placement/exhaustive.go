@@ -1,0 +1,63 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+)
+
+// maxExhaustiveVertices bounds Exhaustive's input size; beyond this the
+// subset enumeration is hopeless and the caller almost certainly
+// reached for the wrong tool.
+const maxExhaustiveVertices = 24
+
+// Exhaustive finds a true optimum by enumerating every vertex subset
+// of size <= k and keeping the feasible one with the least total
+// bandwidth. It exists to certify the other algorithms in tests and is
+// limited to very small instances.
+func Exhaustive(in *netsim.Instance, k int) (Result, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, err
+	}
+	n := in.G.NumNodes()
+	if n > maxExhaustiveVertices {
+		return Result{}, fmt.Errorf("placement: Exhaustive limited to %d vertices, got %d", maxExhaustiveVertices, n)
+	}
+	if k > n {
+		k = n
+	}
+	bestVal := math.Inf(1)
+	var bestPlan netsim.Plan
+	found := false
+	chosen := make([]graph.NodeID, 0, k)
+	var rec func(start graph.NodeID)
+	rec = func(start graph.NodeID) {
+		if len(chosen) > 0 {
+			p := netsim.NewPlan(chosen...)
+			if in.Feasible(p) {
+				if b := in.TotalBandwidth(p); b < bestVal {
+					bestVal = b
+					bestPlan = p
+					found = true
+				}
+				// Supersets cannot beat this subset by feasibility, but
+				// they can still lower bandwidth, so keep recursing.
+			}
+		}
+		if len(chosen) == k {
+			return
+		}
+		for v := start; int(v) < n; v++ {
+			chosen = append(chosen, v)
+			rec(v + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	if !found {
+		return Result{}, ErrInfeasible
+	}
+	return Result{Plan: bestPlan, Bandwidth: bestVal, Feasible: true}, nil
+}

@@ -1,0 +1,107 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/paperfix"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// Traffic-expanding middleboxes (λ > 1): GTP still covers every flow,
+// and its greedy now gravitates toward destinations, where expansion
+// inflates the fewest links.
+
+func expandingFig1(t *testing.T, lambda float64) *netsim.Instance {
+	t.Helper()
+	g, flows, _ := paperfix.Fig1()
+	return netsim.MustNew(g, flows, lambda)
+}
+
+func TestGTPExpandingFeasible(t *testing.T) {
+	in := expandingFig1(t, 2.0)
+	r := GTP(in)
+	if !r.Feasible {
+		t.Fatalf("GTP infeasible on expanding instance: %v", r.Plan)
+	}
+	// With λ = 2, the cheapest coverage puts boxes at destinations:
+	// v1 (f1) and v2 (f2, f3, f4) keep every flow unexpanded until its
+	// last hop — here l_dst = 0 edges, so bandwidth equals raw demand.
+	if r.Bandwidth != in.RawDemand() {
+		t.Fatalf("bandwidth = %v, want raw demand %v (destination placement)", r.Bandwidth, in.RawDemand())
+	}
+	if !planEquals(r.Plan, paperfix.V(1), paperfix.V(2)) {
+		t.Fatalf("plan = %v, want the destination pair {v1, v2}", r.Plan)
+	}
+}
+
+func TestGTPBudgetExpandingNeverBelowRawDemand(t *testing.T) {
+	in := expandingFig1(t, 1.5)
+	r, err := GTPBudget(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bandwidth < in.RawDemand()-1e-9 {
+		t.Fatalf("expanding bandwidth %v below raw demand %v", r.Bandwidth, in.RawDemand())
+	}
+}
+
+func TestExpandingBeatsNaiveSourcePlacement(t *testing.T) {
+	in := expandingFig1(t, 2.0)
+	gtp := GTP(in)
+	// Source placement is the diminishing optimum but the expanding
+	// worst case.
+	sources := netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
+	srcBW := in.TotalBandwidth(sources)
+	if !(gtp.Bandwidth < srcBW) {
+		t.Fatalf("GTP (%v) should beat source placement (%v) when λ > 1", gtp.Bandwidth, srcBW)
+	}
+}
+
+func TestTreeAlgorithmsRejectExpanding(t *testing.T) {
+	g, tree, flows, _ := paperfix.Fig5()
+	in := netsim.MustNew(g, flows, 1.2)
+	if _, err := TreeDP(in, tree, 3); err == nil {
+		t.Fatal("TreeDP accepted λ > 1")
+	}
+	if _, err := HAT(in, tree, 3); err == nil {
+		t.Fatal("HAT accepted λ > 1")
+	}
+	if _, _, err := ScaledTreeDP(in, tree, 3, ScaledDPOpts{}); err == nil {
+		t.Fatal("ScaledTreeDP accepted λ > 1")
+	}
+}
+
+// Exhaustive handles any λ (it only evaluates plans), so it certifies
+// GTP's expanding behaviour on random small instances.
+func TestGTPExpandingVersusExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		g := topology.GeneralRandom(5+rng.Intn(7), 0.6, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.4, Seed: rng.Int63(), MaxFlows: 10})
+		if len(flows) == 0 {
+			continue
+		}
+		lambda := 1.1 + rng.Float64()*2
+		in := netsim.MustNew(g, flows, lambda)
+		gtp := GTP(in)
+		if !gtp.Feasible {
+			t.Fatalf("trial %d: infeasible GTP plan", trial)
+		}
+		opt, err := Exhaustive(in, gtp.Plan.Size())
+		if err != nil {
+			continue
+		}
+		if gtp.Bandwidth < opt.Bandwidth-1e-9 {
+			t.Fatalf("trial %d: GTP %v beat the optimum %v", trial, gtp.Bandwidth, opt.Bandwidth)
+		}
+		// Every feasible expanding deployment costs at least raw demand.
+		if opt.Bandwidth < in.RawDemand()-1e-9 {
+			t.Fatalf("trial %d: optimum %v below raw demand %v", trial, opt.Bandwidth, in.RawDemand())
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"tdmd/internal/bitset"
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/pq"
+)
+
+// GTP is the paper's Algorithm 1 (General Topology Placement): starting
+// from the empty plan, repeatedly deploy on the vertex with the maximum
+// marginal decrement d_P(v) until every flow is served. The number of
+// middleboxes k is an output, not an input; Theorem 3 gives the
+// (1 − 1/e) decrement guarantee for that k.
+//
+// Ties on the marginal decrement are broken toward the vertex covering
+// more still-unserved flows (which is what lets the greedy terminate
+// once positive gains are exhausted), then toward the smaller vertex
+// ID for determinism.
+func GTP(in *netsim.Instance) Result {
+	p := netsim.NewPlan()
+	alloc := in.Allocate(p)
+	for !feasibleAlloc(alloc) {
+		v, ok := bestCandidate(in, p, alloc, nil)
+		if !ok {
+			// No vertex covers any unserved flow: cannot happen for
+			// valid instances (each flow's own source qualifies), but
+			// guard against pathological inputs.
+			break
+		}
+		p.Add(v)
+		alloc = in.Allocate(p)
+	}
+	return finish(in, p)
+}
+
+// GTPBudget is the budgeted variant used in the evaluation: it runs
+// the same greedy rule but never lets the residual coverage problem
+// outgrow the remaining budget. At every step a candidate is admitted
+// only if, after deploying it, the still-unserved flows can be covered
+// with the middleboxes left (estimated by greedy set cover, an upper
+// bound on the optimum). This reproduces the paper's k=2 walk-through
+// on Fig. 1, where v2 is forced although v6 has the larger marginal.
+//
+// Because the feasibility check itself is NP-hard (Theorem 1), the
+// guard is conservative: GTPBudget may return ErrInfeasible even when
+// some feasible plan exists.
+func GTPBudget(in *netsim.Instance, k int) (Result, error) {
+	return CompletePlan(in, netsim.NewPlan(), k, nil)
+}
+
+// CompletePlan extends a partial deployment to cover every flow within
+// a total budget of k middleboxes, never deploying on a banned vertex,
+// then spends leftover budget on further decrement. It is the engine
+// behind GTPBudget (empty base) and the failure-repair path (base =
+// surviving boxes, banned = failed servers).
+func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph.NodeID]bool) (Result, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, err
+	}
+	if base.Size() > k {
+		return Result{}, fmt.Errorf("placement: base plan already exceeds budget %d: %w", k, ErrInfeasible)
+	}
+	p := base.Clone()
+	alloc := in.Allocate(p)
+	for p.Size() < k && !feasibleAlloc(alloc) {
+		remaining := k - p.Size() - 1 // budget left after the next pick
+		guard := func(v graph.NodeID) bool {
+			if banned[v] {
+				return false
+			}
+			return greedyCoverSize(in, p, alloc, v, banned) <= remaining
+		}
+		v, ok := bestCandidate(in, p, alloc, guard)
+		if !ok {
+			return Result{}, ErrInfeasible
+		}
+		p.Add(v)
+		alloc = in.Allocate(p)
+	}
+	if !feasibleAlloc(alloc) {
+		return Result{}, ErrInfeasible
+	}
+	// Spend any leftover budget on further decrement (pure gain).
+	for p.Size() < k {
+		v, ok := bestCandidate(in, p, alloc, func(v graph.NodeID) bool { return !banned[v] })
+		if !ok || in.MarginalDecrement(p, alloc, v) <= 0 {
+			break
+		}
+		p.Add(v)
+		alloc = in.Allocate(p)
+	}
+	return finish(in, p), nil
+}
+
+// GTPLazy is GTP accelerated by lazy evaluation: because d(P) is
+// submodular (Theorem 2), a vertex's marginal from an earlier round
+// upper-bounds its current marginal, so stale heap entries only ever
+// overestimate. The plan produced is identical to GTP's.
+func GTPLazy(in *netsim.Instance) Result {
+	p := netsim.NewPlan()
+	alloc := in.Allocate(p)
+	heap := pq.NewMax[graph.NodeID]()
+	for _, v := range in.G.Nodes() {
+		heap.Push(v, in.MarginalDecrement(p, alloc, v))
+	}
+	for !feasibleAlloc(alloc) && heap.Len() > 0 {
+		v, ok := popBestLazy(in, p, alloc, heap)
+		if !ok {
+			break
+		}
+		p.Add(v)
+		alloc = in.Allocate(p)
+	}
+	return finish(in, p)
+}
+
+// popBestLazy extracts the true-best vertex from a heap of possibly
+// stale marginals, reproducing GTP's exact tie-breaking: among all
+// vertices whose refreshed marginal equals the maximum, prefer more
+// unserved flows covered, then the smaller ID.
+func popBestLazy(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, heap *pq.Heap[graph.NodeID]) (graph.NodeID, bool) {
+	type cand struct {
+		v       graph.NodeID
+		gain    float64
+		covered int
+	}
+	var fresh []cand
+	best := math.Inf(-1)
+	// Pop while a stale entry could still beat or tie the best fresh
+	// value (stale priorities never underestimate, by submodularity).
+	for heap.Len() > 0 {
+		_, stalePri, _ := heap.Peek()
+		if stalePri < best {
+			break
+		}
+		v, _, _ := heap.Pop()
+		g := in.MarginalDecrement(p, alloc, v)
+		fresh = append(fresh, cand{v, g, unservedCovered(in, alloc, v)})
+		if g > best {
+			best = g
+		}
+	}
+	chosen := cand{v: graph.Invalid, covered: -1}
+	for _, c := range fresh {
+		if c.gain < best {
+			continue
+		}
+		if chosen.v == graph.Invalid || c.covered > chosen.covered ||
+			(c.covered == chosen.covered && c.v < chosen.v) {
+			chosen = c
+		}
+	}
+	// Re-insert the losers with their refreshed values.
+	for _, c := range fresh {
+		if c.v != chosen.v {
+			heap.Push(c.v, c.gain)
+		}
+	}
+	if chosen.v == graph.Invalid || (best <= 0 && chosen.covered == 0) {
+		return graph.Invalid, false
+	}
+	return chosen.v, true
+}
+
+// bestCandidate returns the undeployed vertex with the maximum
+// marginal decrement among those passing the guard (nil means no
+// guard), breaking ties toward more unserved flows covered, then the
+// smaller ID. ok is false when no vertex improves the plan: positive
+// marginal, or coverage of at least one unserved flow.
+func bestCandidate(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, guard func(graph.NodeID) bool) (graph.NodeID, bool) {
+	best := graph.Invalid
+	bestGain := math.Inf(-1)
+	bestCovered := -1
+	for _, v := range in.G.Nodes() {
+		if p.Has(v) {
+			continue
+		}
+		if guard != nil && !guard(v) {
+			continue
+		}
+		gain := in.MarginalDecrement(p, alloc, v)
+		covered := unservedCovered(in, alloc, v)
+		if gain > bestGain || (gain == bestGain && (covered > bestCovered ||
+			(covered == bestCovered && v < best))) {
+			best, bestGain, bestCovered = v, gain, covered
+		}
+	}
+	if best == graph.Invalid || (bestGain <= 0 && bestCovered == 0) {
+		return graph.Invalid, false
+	}
+	return best, true
+}
+
+// unservedCovered counts the unserved flows whose paths visit v.
+func unservedCovered(in *netsim.Instance, alloc netsim.Allocation, v graph.NodeID) int {
+	n := 0
+	for _, fa := range in.Through(v) {
+		if alloc[fa.Flow] == netsim.Unserved {
+			n++
+		}
+	}
+	return n
+}
+
+// feasibleAlloc reports whether every flow is served.
+func feasibleAlloc(alloc netsim.Allocation) bool {
+	for _, v := range alloc {
+		if v == netsim.Unserved {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyCoverSize estimates how many extra middleboxes (beyond p and
+// the tentative vertex v) are needed to serve the remaining flows,
+// using greedy set cover over per-vertex coverage bitsets. The
+// estimate upper-bounds the true optimum, so admitting a candidate
+// when the estimate fits the budget is always safe. The bitset
+// representation is what keeps the guard affordable (see the
+// BenchmarkAblationBudgetGuard history in DESIGN.md).
+func greedyCoverSize(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, v graph.NodeID, banned map[graph.NodeID]bool) int {
+	unserved := bitset.New(len(in.Flows))
+	for i, a := range alloc {
+		if a == netsim.Unserved {
+			unserved.Set(i)
+		}
+	}
+	unserved.AndNot(in.CoverSet(v))
+	boxes := 0
+	n := in.G.NumNodes()
+	for unserved.Any() {
+		best := graph.Invalid
+		bestCnt := 0
+		for w := graph.NodeID(0); int(w) < n; w++ {
+			if p.Has(w) || w == v || banned[w] {
+				continue
+			}
+			if cnt := unserved.IntersectCount(in.CoverSet(w)); cnt > bestCnt {
+				best, bestCnt = w, cnt
+			}
+		}
+		if best == graph.Invalid {
+			return int(^uint(0) >> 1) // remaining flows uncoverable
+		}
+		unserved.AndNot(in.CoverSet(best))
+		boxes++
+	}
+	return boxes
+}

@@ -1,0 +1,158 @@
+package placement
+
+import (
+	"tdmd/internal/graph"
+	"tdmd/internal/lca"
+	"tdmd/internal/netsim"
+	"tdmd/internal/pq"
+)
+
+// pairKey identifies an unordered deployed-vertex pair (A < B).
+type pairKey struct{ A, B graph.NodeID }
+
+func mkPair(x, y graph.NodeID) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+// MergeTrace reports one HAT merge for observability.
+type MergeTrace struct {
+	A, B, LCA graph.NodeID
+	Cost      float64
+}
+
+// HAT is the paper's Heuristic Algorithm for Trees (Alg. 2): start
+// with a middlebox on every flow-sourcing leaf (the consumption-
+// minimal deployment) and, while more than k middleboxes remain,
+// merge the pair (v_i, v_j) whose replacement by a single middlebox on
+// LCA(v_i, v_j) increases total bandwidth the least. The pairwise
+// merge costs Δb(i, j) live in an indexed min-heap; each merge deletes
+// the pairs touching the merged vertices and inserts pairs for the
+// LCA.
+//
+// For a flow served at vertex v on a root-destination tree,
+// l_v(f) = depth(v), so moving the middleboxes of v_i and v_j (serving
+// aggregate rates R_i and R_j) up to their LCA costs
+//
+//	Δb(i, j) = (1−λ)·( R_i·(depth_i − depth_lca) + R_j·(depth_j − depth_lca) ).
+//
+// Ties break toward the lexicographically smallest pair for
+// determinism. The final bandwidth is recomputed exactly by netsim, so
+// any drift in the incremental bookkeeping (possible when a merge
+// target is an ancestor of a third deployed vertex) never mis-scores
+// the result.
+func HAT(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
+	r, _, err := hat(in, t, k, false)
+	return r, err
+}
+
+// HATWithTrace runs HAT and additionally returns the sequence of
+// merges performed, in order; the walkthrough tests and examples use
+// it to show the algorithm's decisions.
+func HATWithTrace(in *netsim.Instance, t *graph.Tree, k int) (Result, []MergeTrace, error) {
+	return hat(in, t, k, true)
+}
+
+func hat(in *netsim.Instance, t *graph.Tree, k int, wantTrace bool) (Result, []MergeTrace, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, nil, err
+	}
+	if err := checkTreeWorkload(in, t); err != nil {
+		return Result{}, nil, err
+	}
+	oracle := lca.NewSparse(t)
+
+	// Initial plan: a middlebox on every leaf that sources traffic.
+	// (Leaves without flows would only waste budget; see DESIGN.md.)
+	served := make(map[graph.NodeID]float64) // aggregate served rate per deployed vertex
+	for _, f := range in.Flows {
+		served[f.Src()] += float64(f.Rate)
+	}
+	plan := netsim.NewPlan()
+	for v := range served {
+		plan.Add(v)
+	}
+
+	cost := func(x, y graph.NodeID) float64 {
+		l := oracle.LCA(x, y)
+		up := float64(t.Depth(x)-t.Depth(l))*served[x] + float64(t.Depth(y)-t.Depth(l))*served[y]
+		return (1 - in.Lambda) * up
+	}
+
+	heap := pq.NewMin[pairKey]()
+	vs := plan.Vertices()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			heap.Push(mkPair(vs[i], vs[j]), cost(vs[i], vs[j]))
+		}
+	}
+
+	var trace []MergeTrace
+	for plan.Size() > k {
+		best, bestCost, ok := popMinPair(heap)
+		if !ok {
+			// Above budget with fewer than two middleboxes left: only
+			// possible for k < 1, which validateBudget excluded.
+			return Result{}, nil, ErrInfeasible
+		}
+		vi, vj := best.A, best.B
+		l := oracle.LCA(vi, vj)
+		if wantTrace {
+			trace = append(trace, MergeTrace{A: vi, B: vj, LCA: l, Cost: bestCost})
+		}
+		// Drop every pair touching the merged vertices (the plan still
+		// contains them at this point).
+		for _, other := range plan.Vertices() {
+			if other != vi {
+				heap.Remove(mkPair(vi, other))
+			}
+			if other != vj {
+				heap.Remove(mkPair(vj, other))
+			}
+		}
+		merged := served[vi] + served[vj]
+		delete(served, vi)
+		delete(served, vj)
+		plan.Remove(vi)
+		plan.Remove(vj)
+		served[l] += merged // l may coincide with vi (ancestor merges) or be already deployed
+		plan.Add(l)
+		// Insert or refresh pairs involving the LCA; all other pair
+		// costs are unaffected because their endpoints' served rates
+		// did not change.
+		for _, other := range plan.Vertices() {
+			if other != l {
+				heap.Update(mkPair(l, other), cost(l, other))
+			}
+		}
+	}
+	return finish(in, plan), trace, nil
+}
+
+// popMinPair pops the minimum-cost pair, breaking exact ties toward
+// the lexicographically smallest pair so runs are deterministic
+// regardless of heap layout. Tied losers are re-inserted.
+func popMinPair(heap *pq.Heap[pairKey]) (pairKey, float64, bool) {
+	best, bestPri, ok := heap.Pop()
+	if !ok {
+		return pairKey{}, 0, false
+	}
+	var ties []pairKey
+	for {
+		k, p, ok2 := heap.Peek()
+		if !ok2 || p > bestPri {
+			break
+		}
+		heap.Pop()
+		ties = append(ties, k)
+	}
+	for _, cand := range ties {
+		if cand.A < best.A || (cand.A == best.A && cand.B < best.B) {
+			best, cand = cand, best
+		}
+		heap.Push(cand, bestPri)
+	}
+	return best, bestPri, true
+}

@@ -1,0 +1,166 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/netsim"
+	"tdmd/internal/paperfix"
+)
+
+// Paper walkthrough (Sec. 5.2): with k >= 4 HAT keeps the all-sources
+// plan {v4, v5, v7, v8}.
+func TestHATFig5KeepsSourcesForLargeK(t *testing.T) {
+	in, tree := fig5Instance(t)
+	r, err := HAT(in, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planEquals(r.Plan, paperfix.V(4), paperfix.V(5), paperfix.V(7), paperfix.V(8)) {
+		t.Fatalf("k=4 plan = %v, want {v4, v5, v7, v8}", r.Plan)
+	}
+	if r.Bandwidth != 12 {
+		t.Fatalf("k=4 bandwidth = %v, want 12", r.Bandwidth)
+	}
+}
+
+// Paper walkthrough: the first merge is (v4, v5) -> v2 at Δb = 1.5
+// (the minimum of the six pairs; Δb(7,8) = 3 and Δb(4,7) = 9.5), so
+// the k=3 plan is {v2, v7, v8}.
+func TestHATFig5K3Walkthrough(t *testing.T) {
+	in, tree := fig5Instance(t)
+	r, trace, err := HATWithTrace(in, tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 {
+		t.Fatalf("expected 1 merge, got %d", len(trace))
+	}
+	m := trace[0]
+	if m.A != paperfix.V(4) || m.B != paperfix.V(5) || m.LCA != paperfix.V(2) {
+		t.Fatalf("merge = %+v, want (v4, v5) -> v2", m)
+	}
+	if m.Cost != 1.5 {
+		t.Fatalf("merge cost = %v, want 1.5", m.Cost)
+	}
+	if !planEquals(r.Plan, paperfix.V(2), paperfix.V(7), paperfix.V(8)) {
+		t.Fatalf("k=3 plan = %v, want {v2, v7, v8}", r.Plan)
+	}
+	if r.Bandwidth != 13.5 {
+		t.Fatalf("k=3 bandwidth = %v, want 13.5", r.Bandwidth)
+	}
+}
+
+// Paper walkthrough: at k=2 the second round has Δb(2,7) = 9,
+// Δb(2,8) = 3, Δb(7,8) = 3; either tie gives {v2, v6} or {v1, v7}.
+func TestHATFig5K2Walkthrough(t *testing.T) {
+	in, tree := fig5Instance(t)
+	r, trace, err := HATWithTrace(in, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("expected 2 merges, got %d", len(trace))
+	}
+	if trace[1].Cost != 3 {
+		t.Fatalf("second merge cost = %v, want 3", trace[1].Cost)
+	}
+	ok := planEquals(r.Plan, paperfix.V(2), paperfix.V(6)) ||
+		planEquals(r.Plan, paperfix.V(1), paperfix.V(7))
+	if !ok {
+		t.Fatalf("k=2 plan = %v, want {v2, v6} or {v1, v7}", r.Plan)
+	}
+	if r.Bandwidth != 16.5 {
+		t.Fatalf("k=2 bandwidth = %v, want 16.5", r.Bandwidth)
+	}
+}
+
+// Paper walkthrough: P = {v1} when k = 1.
+func TestHATFig5K1(t *testing.T) {
+	in, tree := fig5Instance(t)
+	r, err := HAT(in, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planEquals(r.Plan, paperfix.V(1)) {
+		t.Fatalf("k=1 plan = %v, want {v1}", r.Plan)
+	}
+	if r.Bandwidth != 24 {
+		t.Fatalf("k=1 bandwidth = %v, want 24", r.Bandwidth)
+	}
+}
+
+func TestHATHeapMatchesBruteForceTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		in, tree := randomTreeInstance(rng, 3+rng.Intn(15))
+		if len(in.Flows) == 0 {
+			continue
+		}
+		for k := 1; k <= 4; k++ {
+			fast, err1 := HAT(in, tree, k)
+			slow, _, err2 := HATWithTrace(in, tree, k)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d k=%d: error mismatch %v vs %v", trial, k, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if math.Abs(fast.Bandwidth-slow.Bandwidth) > 1e-9 {
+				t.Fatalf("trial %d k=%d: heap HAT %v (plan %v) != brute HAT %v (plan %v)",
+					trial, k, fast.Bandwidth, fast.Plan, slow.Bandwidth, slow.Plan)
+			}
+		}
+	}
+}
+
+// HAT is always feasible on root-destination trees for k >= 1 and
+// never better than the DP optimum.
+func TestHATFeasibleAndBoundedByDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 25; trial++ {
+		in, tree := randomTreeInstance(rng, 3+rng.Intn(12))
+		if len(in.Flows) == 0 {
+			continue
+		}
+		for k := 1; k <= 4; k++ {
+			h, err := HAT(in, tree, k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			if !h.Feasible {
+				t.Fatalf("trial %d k=%d: HAT infeasible plan %v", trial, k, h.Plan)
+			}
+			if h.Plan.Size() > k {
+				t.Fatalf("trial %d k=%d: plan size %d over budget", trial, k, h.Plan.Size())
+			}
+			d, err := TreeDP(in, tree, k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: DP: %v", trial, k, err)
+			}
+			if h.Bandwidth < d.Bandwidth-1e-9 {
+				t.Fatalf("trial %d k=%d: HAT %v beat the optimum %v", trial, k, h.Bandwidth, d.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestHATRejectsZeroBudget(t *testing.T) {
+	in, tree := fig5Instance(t)
+	if _, err := HAT(in, tree, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestHATEmptyWorkload(t *testing.T) {
+	g, tree, _, _ := paperfix.Fig5()
+	in := netsim.MustNew(g, nil, 0.5)
+	r, err := HAT(in, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Size() != 0 || r.Bandwidth != 0 {
+		t.Fatalf("empty workload: %+v", r)
+	}
+}

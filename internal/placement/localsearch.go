@@ -1,0 +1,132 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+)
+
+// LocalSearch refines a feasible plan by 1-swaps: repeatedly replace
+// one deployed vertex with one undeployed vertex when the exchange
+// lowers total bandwidth while preserving feasibility, until no swap
+// improves (a local optimum). Greedy solutions are the usual seed —
+// submodular greedy is (1−1/e)-bounded but rarely tight, and a swap
+// pass often recovers part of the gap at polynomial cost
+// (O(rounds · |P| · |V|) plan evaluations).
+//
+// The result is never worse than the seed; the plan size never
+// changes. Pure-drop improvements are exposed separately via Prune
+// because the evaluation's budget semantics ("deploy exactly what you
+// were given") and bandwidth semantics (extra boxes never hurt) differ.
+func LocalSearch(in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
+	if !in.Feasible(seed) {
+		// Refuse to "improve" an infeasible plan into a feasible-looking
+		// score; return it scored as-is.
+		return finish(in, seed)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	// λ > 1 has no incremental evaluator; swaps are pointless there
+	// anyway (destination placement is already optimal per flow), so
+	// return the seed unchanged.
+	eval, err := netsim.NewEvaluator(in, seed)
+	if err != nil {
+		return finish(in, seed)
+	}
+	n := in.G.NumNodes()
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for _, out := range eval.Plan().Vertices() {
+			curBW := eval.Bandwidth()
+			bestIn := graph.Invalid
+			bestBW := curBW
+			eval.Remove(out)
+			for v := graph.NodeID(0); int(v) < n; v++ {
+				if v == out || eval.Has(v) {
+					continue
+				}
+				eval.Add(v)
+				if eval.Feasible() && eval.Bandwidth() < bestBW-1e-12 {
+					bestBW = eval.Bandwidth()
+					bestIn = v
+				}
+				eval.Remove(v)
+			}
+			if bestIn != graph.Invalid {
+				eval.Add(bestIn)
+				improved = true
+			} else {
+				eval.Add(out) // revert
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// Score the final plan from scratch: incremental float deltas are
+	// exact enough to rank swaps but the reported value must be the
+	// model's own.
+	return finish(in, eval.Plan())
+}
+
+// Prune removes middleboxes that serve no flow (idle boxes) from a
+// plan; bandwidth is unchanged and the freed budget can be respent.
+// Returns the pruned plan and how many boxes were dropped.
+func Prune(in *netsim.Instance, p netsim.Plan) (netsim.Plan, int) {
+	alloc := in.Allocate(p)
+	used := map[graph.NodeID]bool{}
+	for _, v := range alloc {
+		if v != netsim.Unserved {
+			used[v] = true
+		}
+	}
+	pruned := netsim.NewPlan()
+	dropped := 0
+	for _, v := range p.Vertices() {
+		if used[v] {
+			pruned.Add(v)
+		} else {
+			dropped++
+		}
+	}
+	return pruned, dropped
+}
+
+// GTPWithLocalSearch chains the budgeted greedy with a swap pass — the
+// recommended general-topology pipeline when a few extra milliseconds
+// buy bandwidth.
+func GTPWithLocalSearch(in *netsim.Instance, k int) (Result, error) {
+	seedRes, err := GTPBudget(in, k)
+	if err != nil {
+		return Result{}, err
+	}
+	return LocalSearch(in, seedRes.Plan, 0), nil
+}
+
+// MultiStartLocalSearch escapes 1-swap local optima by restarting the
+// swap pass from several seeds: the greedy plan plus starts−1 random
+// feasible plans. Returns the best local optimum found. Cost scales
+// linearly in starts; the greedy seed alone (starts = 1) equals
+// GTPWithLocalSearch.
+func MultiStartLocalSearch(in *netsim.Instance, k, starts int, rng *rand.Rand) (Result, error) {
+	if starts < 1 {
+		return Result{}, fmt.Errorf("placement: MultiStartLocalSearch needs starts >= 1")
+	}
+	best, err := GTPWithLocalSearch(in, k)
+	if err != nil {
+		return Result{}, err
+	}
+	for s := 1; s < starts; s++ {
+		seed, err := RandomPlacement(in, k, rng)
+		if err != nil {
+			continue // random seeding can fail where greedy succeeded
+		}
+		if r := LocalSearch(in, seed.Plan, 0); r.Feasible && r.Bandwidth < best.Bandwidth {
+			best = r
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,28 @@
+package placement
+
+import (
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/setcover"
+)
+
+// MinBoxes answers the related-work objective of Sang et al. [28]
+// (which the paper positions against): the minimum number of
+// middleboxes that fully serves every flow, ignoring bandwidth. It
+// runs greedy set cover over the coverage structure — within H(n) of
+// the optimal count — and scores the resulting plan under the TDMD
+// bandwidth model so the two objectives can be compared directly:
+// the count-minimal deployment is typically far from bandwidth-
+// minimal for the same k (tests quantify the gap).
+func MinBoxes(in *netsim.Instance) (Result, error) {
+	sc := setcover.FromTDMD(in)
+	chosen := setcover.Greedy(sc)
+	if chosen == nil && len(in.Flows) > 0 {
+		return Result{}, ErrInfeasible
+	}
+	p := netsim.NewPlan()
+	for _, v := range chosen {
+		p.Add(graph.NodeID(v))
+	}
+	return finish(in, p), nil
+}

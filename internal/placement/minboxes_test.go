@@ -1,0 +1,99 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestMinBoxesFig1(t *testing.T) {
+	in := fig1Instance(t)
+	r, err := MinBoxes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("MinBoxes plan infeasible")
+	}
+	// Fig. 1's minimum cover is 2 ({v2, v5} or equivalents).
+	if r.Plan.Size() != 2 {
+		t.Fatalf("MinBoxes used %d boxes, want 2", r.Plan.Size())
+	}
+}
+
+func TestMinBoxesEmptyWorkload(t *testing.T) {
+	g := graph.New()
+	g.AddNodes(3)
+	g.AddBiEdge(0, 1)
+	g.AddBiEdge(1, 2)
+	in := netsim.MustNew(g, nil, 0.5)
+	r, err := MinBoxes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Size() != 0 {
+		t.Fatalf("empty workload used %d boxes", r.Plan.Size())
+	}
+}
+
+// The two objectives diverge: at equal k, GTPBudget's bandwidth is
+// never worse than MinBoxes' (both feasible, same box count budget).
+func TestMinBoxesVsGTPBandwidthGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	worse := 0
+	runs := 0
+	for trial := 0; trial < 25; trial++ {
+		g := topology.GeneralRandom(8+rng.Intn(12), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.5, Seed: rng.Int63(), MaxFlows: 15})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		mb, err := MinBoxes(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// A paper-style minimality certificate on small instances: no
+		// feasible plan with fewer boxes exists.
+		if in.G.NumNodes() <= 14 && mb.Plan.Size() > 1 {
+			if _, err := Exhaustive(in, mb.Plan.Size()-1); err == nil {
+				// Greedy cover is only H(n)-approximate; a smaller plan
+				// may exist, but then greedy must be within the bound.
+				opt, _ := Exhaustive(in, mb.Plan.Size()-1)
+				if opt.Plan.Size() < (mb.Plan.Size()+1)/2 && mb.Plan.Size() > 2*opt.Plan.Size() {
+					t.Fatalf("trial %d: greedy cover %d wildly above optimum %d",
+						trial, mb.Plan.Size(), opt.Plan.Size())
+				}
+			}
+		}
+		gtp, err := GTPBudget(in, mb.Plan.Size())
+		if err != nil {
+			continue
+		}
+		runs++
+		if mb.Bandwidth > gtp.Bandwidth {
+			worse++
+		}
+		if gtp.Bandwidth > mb.Bandwidth+1e-9 && gtp.Plan.Size() <= mb.Plan.Size() {
+			// GTP optimizes bandwidth at the same budget; it can tie but
+			// should essentially never lose to a count-only baseline.
+			t.Fatalf("trial %d: GTP (%v) lost to MinBoxes (%v) at equal k", trial, gtp.Bandwidth, mb.Bandwidth)
+		}
+	}
+	if runs > 5 && worse == 0 {
+		t.Log("note: MinBoxes never worse than GTP on this sample (expected it usually is)")
+	}
+}
+
+func TestMinBoxesMatchesSetCoverOptimumSmall(t *testing.T) {
+	in := fig1Instance(t)
+	// Exhaustive search at k = 1 must fail, certifying 2 is optimal.
+	if _, err := Exhaustive(in, 1); err == nil {
+		t.Fatal("1 box should not cover Fig. 1")
+	}
+}

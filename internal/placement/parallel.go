@@ -1,0 +1,263 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+)
+
+// Parallel variants of the placement algorithms. The paper counts GTP
+// in oracle queries (Theorem 3); those queries — marginal-decrement
+// evaluations across candidate vertices — are embarrassingly parallel
+// within one greedy round, as are the independent subtree tables of
+// the tree DP. These variants exploit that with bounded worker pools
+// while producing bit-identical plans to their serial counterparts
+// (tests assert equality).
+
+// ParallelOpts bounds the worker pool. The zero value means
+// GOMAXPROCS workers.
+type ParallelOpts struct {
+	Workers int
+}
+
+func (o ParallelOpts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// GTPParallel is GTP (Alg. 1, unbudgeted) with each round's candidate
+// scan fanned out across workers. The reduction keeps GTP's exact
+// tie-breaking (gain, then unserved flows covered, then vertex ID), so
+// the plan equals GTP's.
+func GTPParallel(in *netsim.Instance, opts ParallelOpts) Result {
+	p := netsim.NewPlan()
+	alloc := in.Allocate(p)
+	for !feasibleAlloc(alloc) {
+		v, ok := bestCandidateParallel(in, p, alloc, opts.workers())
+		if !ok {
+			break
+		}
+		p.Add(v)
+		alloc = in.Allocate(p)
+	}
+	return finish(in, p)
+}
+
+// candScore is one vertex's greedy key.
+type candScore struct {
+	v       graph.NodeID
+	gain    float64
+	covered int
+	valid   bool
+}
+
+// better reports whether a beats b under GTP's ordering.
+func (a candScore) better(b candScore) bool {
+	if !a.valid {
+		return false
+	}
+	if !b.valid {
+		return true
+	}
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.covered != b.covered {
+		return a.covered > b.covered
+	}
+	return a.v < b.v
+}
+
+func bestCandidateParallel(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, workers int) (graph.NodeID, bool) {
+	n := in.G.NumNodes()
+	if workers > n {
+		workers = n
+	}
+	results := make([]candScore, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var best candScore
+			for idx := w; idx < n; idx += workers {
+				v := graph.NodeID(idx)
+				if p.Has(v) {
+					continue
+				}
+				c := candScore{
+					v:       v,
+					gain:    in.MarginalDecrement(p, alloc, v),
+					covered: unservedCovered(in, alloc, v),
+					valid:   true,
+				}
+				if c.better(best) {
+					best = c
+				}
+			}
+			results[w] = best
+		}(w)
+	}
+	wg.Wait()
+	var best candScore
+	for _, c := range results {
+		if c.better(best) {
+			best = c
+		}
+	}
+	if !best.valid || (best.gain <= 0 && best.covered == 0) {
+		return graph.Invalid, false
+	}
+	return best.v, true
+}
+
+// TreeDPParallel runs the tree DP with independent subtrees solved
+// concurrently: every vertex's table depends only on its children's
+// tables, so the post-order DAG schedules naturally with a counter of
+// unfinished children per vertex. The result is identical to TreeDP
+// (same tables, same traceback).
+func TreeDPParallel(in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts) (Result, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, err
+	}
+	if err := checkTreeWorkload(in, t); err != nil {
+		return Result{}, err
+	}
+	d := newDPRun(in, t, k)
+	solveTreeParallel(d, t, opts.workers())
+	root := d.memo[t.Root]
+	bRoot := d.subRate[t.Root]
+	bestK := -1
+	bestVal := math.Inf(1)
+	for kk := 0; kk <= root.maxK; kk++ {
+		if val := root.at(kk, bRoot); val < bestVal {
+			bestK, bestVal = kk, val
+		}
+	}
+	if bestK < 0 || math.IsInf(bestVal, 1) {
+		return Result{}, ErrInfeasible
+	}
+	plan := netsim.NewPlan()
+	d.trace(root, bestK, bRoot, &plan)
+	return finish(in, plan), nil
+}
+
+// solveTreeParallel computes every vertex's DP table bottom-up with a
+// ready-queue of vertices whose children are all done.
+func solveTreeParallel(d *dpRun, t *graph.Tree, workers int) {
+	n := t.G.NumNodes()
+	pending := make([]int, n) // unfinished children count
+	for v := 0; v < n; v++ {
+		pending[v] = len(t.Children(graph.NodeID(v)))
+	}
+	ready := make(chan graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		if pending[v] == 0 {
+			ready <- graph.NodeID(v)
+		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := 0
+	var finish func(v graph.NodeID)
+	finish = func(v graph.NodeID) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if parent := t.Parent(v); parent != graph.Invalid {
+			pending[parent]--
+			if pending[parent] == 0 {
+				ready <- parent
+			}
+		}
+		if done == n {
+			close(ready)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range ready {
+				d.solveNode(v)
+				finish(v)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ExhaustiveParallel splits the subset enumeration of Exhaustive over
+// workers by first-element stripes. Results are identical (the same
+// minimum is found; ties resolve to the lexicographically smallest
+// plan to stay deterministic).
+func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, error) {
+	if err := validateBudget(k); err != nil {
+		return Result{}, err
+	}
+	n := in.G.NumNodes()
+	if n > maxExhaustiveVertices {
+		return Result{}, fmt.Errorf("placement: ExhaustiveParallel limited to %d vertices, got %d", maxExhaustiveVertices, n)
+	}
+	if k > n {
+		k = n
+	}
+	workers := opts.workers()
+	type best struct {
+		val   float64
+		plan  netsim.Plan
+		found bool
+	}
+	results := make([]best, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for first := 0; first < n; first++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(first int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			b := &results[first]
+			b.val = math.Inf(1)
+			chosen := []graph.NodeID{graph.NodeID(first)}
+			var rec func(start graph.NodeID)
+			rec = func(start graph.NodeID) {
+				p := netsim.NewPlan(chosen...)
+				if in.Feasible(p) {
+					if v := in.TotalBandwidth(p); v < b.val {
+						b.val = v
+						b.plan = p
+						b.found = true
+					}
+				}
+				if len(chosen) == k {
+					return
+				}
+				for v := start; int(v) < n; v++ {
+					chosen = append(chosen, v)
+					rec(v + 1)
+					chosen = chosen[:len(chosen)-1]
+				}
+			}
+			rec(graph.NodeID(first + 1))
+		}(first)
+	}
+	wg.Wait()
+	out := best{val: math.Inf(1)}
+	for _, b := range results {
+		if b.found && (!out.found || b.val < out.val ||
+			(b.val == out.val && b.plan.String() < out.plan.String())) {
+			out = b
+		}
+	}
+	if !out.found {
+		return Result{}, ErrInfeasible
+	}
+	return Result{Plan: out.plan, Bandwidth: out.val, Feasible: true}, nil
+}

@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestGTPParallelMatchesSerialFig1(t *testing.T) {
+	in := fig1Instance(t)
+	serial := GTP(in)
+	for _, workers := range []int{1, 2, 4, 13} {
+		par := GTPParallel(in, ParallelOpts{Workers: workers})
+		if par.Plan.String() != serial.Plan.String() {
+			t.Fatalf("workers=%d: plan %v != serial %v", workers, par.Plan, serial.Plan)
+		}
+		if par.Bandwidth != serial.Bandwidth {
+			t.Fatalf("workers=%d: bandwidth %v != %v", workers, par.Bandwidth, serial.Bandwidth)
+		}
+	}
+}
+
+// Property: parallel GTP produces bit-identical plans to serial GTP on
+// random general instances, for several worker counts.
+func TestGTPParallelMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		g := topology.GeneralRandom(5+rng.Intn(30), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.4, Seed: rng.Int63(), MaxFlows: 40})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		serial := GTP(in)
+		par := GTPParallel(in, ParallelOpts{Workers: 1 + rng.Intn(8)})
+		if par.Plan.String() != serial.Plan.String() {
+			t.Fatalf("trial %d: plan %v != serial %v", trial, par.Plan, serial.Plan)
+		}
+	}
+}
+
+func TestTreeDPParallelMatchesSerialFig5(t *testing.T) {
+	in, tree := fig5Instance(t)
+	for k := 1; k <= 4; k++ {
+		serial, err := TreeDP(in, tree, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := TreeDPParallel(in, tree, k, ParallelOpts{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Bandwidth != serial.Bandwidth {
+			t.Fatalf("k=%d: parallel %v != serial %v", k, par.Bandwidth, serial.Bandwidth)
+		}
+		if par.Plan.String() != serial.Plan.String() {
+			t.Fatalf("k=%d: parallel plan %v != serial %v", k, par.Plan, serial.Plan)
+		}
+	}
+}
+
+// Property: parallel DP equals serial DP (and thus the optimum) on
+// random trees across worker counts, including workers > vertices.
+func TestTreeDPParallelMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		in, tree := randomTreeInstance(rng, 3+rng.Intn(20))
+		if len(in.Flows) == 0 {
+			continue
+		}
+		k := 1 + rng.Intn(5)
+		serial, err := TreeDP(in, tree, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, workers := range []int{1, 2, 7, 64} {
+			par, err := TreeDPParallel(in, tree, k, ParallelOpts{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if math.Abs(par.Bandwidth-serial.Bandwidth) > 1e-9 {
+				t.Fatalf("trial %d workers=%d: %v != %v", trial, workers, par.Bandwidth, serial.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestTreeDPParallelSingleVertex(t *testing.T) {
+	g := graph.New()
+	g.AddNode("r")
+	tree, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := netsim.MustNew(g, nil, 0.5)
+	r, err := TreeDPParallel(in, tree, 1, ParallelOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bandwidth != 0 {
+		t.Fatalf("bandwidth = %v", r.Bandwidth)
+	}
+}
+
+func TestExhaustiveParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 15; trial++ {
+		g := topology.GeneralRandom(4+rng.Intn(8), 0.6, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.4, Seed: rng.Int63(), MaxFlows: 10})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		for k := 1; k <= 3; k++ {
+			serial, errS := Exhaustive(in, k)
+			par, errP := ExhaustiveParallel(in, k, ParallelOpts{Workers: 4})
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("trial %d k=%d: error mismatch %v vs %v", trial, k, errS, errP)
+			}
+			if errS != nil {
+				continue
+			}
+			if math.Abs(serial.Bandwidth-par.Bandwidth) > 1e-9 {
+				t.Fatalf("trial %d k=%d: %v != %v", trial, k, serial.Bandwidth, par.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestExhaustiveParallelRejectsLargeInstance(t *testing.T) {
+	g := topology.GeneralRandom(30, 0.5, 1)
+	flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{Density: 0.2, Seed: 2, MaxFlows: 5})
+	in := netsim.MustNew(g, flows, 0.5)
+	if _, err := ExhaustiveParallel(in, 3, ParallelOpts{}); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestParallelOptsDefaults(t *testing.T) {
+	if (ParallelOpts{}).workers() < 1 {
+		t.Fatal("default workers < 1")
+	}
+	if (ParallelOpts{Workers: 3}).workers() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+}
+
+func BenchmarkTreeDPSerialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in, tree := randomTreeInstance(rng, 60)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TreeDP(in, tree, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TreeDPParallel(in, tree, 8, ParallelOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

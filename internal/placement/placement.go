@@ -1,0 +1,48 @@
+// Package placement implements the paper's middlebox placement
+// algorithms: GTP for general topologies (Alg. 1, with lazy and
+// budget-constrained variants), the optimal tree dynamic program
+// (Sec. 5.1), the HAT merge heuristic (Alg. 2), the Random and
+// Best-effort baselines of the evaluation, and an exhaustive solver
+// used by tests to certify optimality.
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"tdmd/internal/netsim"
+)
+
+// Result is the outcome of a placement algorithm.
+type Result struct {
+	// Plan is the set of vertices chosen to host middleboxes.
+	Plan netsim.Plan
+	// Bandwidth is the total consumption b(P) under the optimal
+	// (nearest-to-source) allocation, recomputed by netsim so every
+	// algorithm is scored by the same authoritative model.
+	Bandwidth float64
+	// Feasible reports whether every flow is served by the plan.
+	Feasible bool
+}
+
+// ErrInfeasible is returned when an algorithm cannot produce a plan
+// serving all flows within the middlebox budget.
+var ErrInfeasible = errors.New("placement: no feasible deployment within budget")
+
+// finish scores a plan and packages it as a Result.
+func finish(in *netsim.Instance, p netsim.Plan) Result {
+	return Result{
+		Plan:      p,
+		Bandwidth: in.TotalBandwidth(p),
+		Feasible:  in.Feasible(p),
+	}
+}
+
+// validateBudget rejects non-positive budgets, which can never serve a
+// non-empty workload.
+func validateBudget(k int) error {
+	if k < 1 {
+		return fmt.Errorf("placement: middlebox budget %d < 1: %w", k, ErrInfeasible)
+	}
+	return nil
+}

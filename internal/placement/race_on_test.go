@@ -1,0 +1,8 @@
+//go:build race
+
+package placement
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; wall-clock-bounded scale tests widen their budgets (the
+// detector slows execution 5-10×).
+const raceEnabled = true

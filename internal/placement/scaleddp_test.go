@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestScaledTreeDPScaleOneIsExact(t *testing.T) {
+	in, tree := fig5Instance(t)
+	exact, err := TreeDP(in, tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, scale, err := ScaledTreeDP(in, tree, 3, ScaledDPOpts{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("scale = %d, want 1", scale)
+	}
+	if scaled.Bandwidth != exact.Bandwidth {
+		t.Fatalf("scale-1 result %v != exact %v", scaled.Bandwidth, exact.Bandwidth)
+	}
+}
+
+func TestScaledTreeDPAutoScaleCapsTotalRate(t *testing.T) {
+	// Big rates: auto-scaling must kick in.
+	g := topology.RandomTree(16, 0, 5)
+	tree, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.TreeFlows(tree, traffic.GenConfig{
+		Density: 0.5,
+		Dist:    traffic.Uniform{Lo: 500, Hi: 3000},
+		Seed:    9,
+	})
+	in := netsim.MustNew(g, flows, 0.5)
+	res, scale, err := ScaledTreeDP(in, tree, 4, ScaledDPOpts{MaxTotalRate: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale <= 1 {
+		t.Fatalf("expected scaling for huge rates, scale = %d", scale)
+	}
+	if !res.Feasible {
+		t.Fatal("scaled plan infeasible")
+	}
+	if res.Plan.Size() > 4 {
+		t.Fatalf("plan size %d over budget", res.Plan.Size())
+	}
+}
+
+// Property: the scaled plan's true objective stays within the additive
+// error bound of the exact optimum, and never beats it.
+func TestScaledTreeDPWithinErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 15; trial++ {
+		g := topology.RandomTree(4+rng.Intn(8), 0, rng.Int63())
+		tree, err := graph.NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := traffic.TreeFlows(tree, traffic.GenConfig{
+			Density:  0.4,
+			Dist:     traffic.Uniform{Lo: 10, Hi: 90},
+			Seed:     rng.Int63(),
+			MaxFlows: 8,
+		})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		k := 1 + rng.Intn(3)
+		exact, err := TreeDP(in, tree, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, scale := range []int{2, 8, 32} {
+			approx, usedScale, err := ScaledTreeDP(in, tree, k, ScaledDPOpts{Scale: scale})
+			if err != nil {
+				t.Fatalf("trial %d scale=%d: %v", trial, scale, err)
+			}
+			if usedScale != scale {
+				t.Fatalf("requested scale %d, used %d", scale, usedScale)
+			}
+			if approx.Bandwidth < exact.Bandwidth-1e-9 {
+				t.Fatalf("trial %d scale=%d: approx %v beat exact %v", trial, scale, approx.Bandwidth, exact.Bandwidth)
+			}
+			bound := ScaledErrorBound(in, tree, scale)
+			if approx.Bandwidth > exact.Bandwidth+bound+1e-9 {
+				t.Fatalf("trial %d scale=%d: gap %v exceeds bound %v",
+					trial, scale, approx.Bandwidth-exact.Bandwidth, bound)
+			}
+		}
+	}
+}
+
+func TestScaledErrorBoundZeroAtScaleOne(t *testing.T) {
+	in, tree := fig5Instance(t)
+	if ScaledErrorBound(in, tree, 1) != 0 {
+		t.Fatal("scale-1 bound must be 0")
+	}
+	if ScaledErrorBound(in, tree, 0) != 0 {
+		t.Fatal("degenerate scale bound must be 0")
+	}
+	b2 := ScaledErrorBound(in, tree, 2)
+	b4 := ScaledErrorBound(in, tree, 4)
+	if !(0 < b2 && b2 < b4) {
+		t.Fatalf("bounds not increasing: %v, %v", b2, b4)
+	}
+	// Fig. 5 source depths: 2+3+3+2 = 10; λ=0.5; scale 2 → 0.5·1·10 = 5.
+	if math.Abs(b2-5) > 1e-12 {
+		t.Fatalf("bound = %v, want 5", b2)
+	}
+}
+
+func TestScaledTreeDPRejectsBadBudget(t *testing.T) {
+	in, tree := fig5Instance(t)
+	if _, _, err := ScaledTreeDP(in, tree, 0, ScaledDPOpts{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// The whole point: scaling makes huge-rate instances solvable fast.
+func BenchmarkScaledVsExactDPHugeRates(b *testing.B) {
+	g := topology.RandomTree(20, 0, 5)
+	tree, err := graph.NewTree(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := traffic.TreeFlows(tree, traffic.GenConfig{
+		Density: 0.4,
+		Dist:    traffic.Uniform{Lo: 200, Hi: 800},
+		Seed:    9,
+	})
+	in := netsim.MustNew(g, flows, 0.5)
+	b.Run("scaled-auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ScaledTreeDP(in, tree, 6, ScaledDPOpts{MaxTotalRate: 128}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

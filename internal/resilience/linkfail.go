@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"fmt"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/traffic"
+)
+
+// Link failures. A middlebox failure (resilience.Degrade) keeps paths
+// intact; a link failure invalidates every flow path crossing it, so
+// the analysis must re-route before it can re-score. Flows are
+// re-routed over minimum-hop paths avoiding the dead link (both
+// directions of the bidirectional pair fail together, as a fiber cut
+// would); flows with no alternative route are disconnected.
+
+// LinkImpact quantifies a bidirectional link failure against a fixed
+// deployment.
+type LinkImpact struct {
+	// From/To identify the failed link (either direction).
+	From, To graph.NodeID
+	// Disconnected counts flows with no alternative route.
+	Disconnected int
+	// Rerouted counts flows that changed paths.
+	Rerouted int
+	// UnservedAfter counts surviving flows whose new path no longer
+	// crosses any middlebox of the plan.
+	UnservedAfter int
+	// BandwidthDelta is the consumption change over the surviving
+	// flows (old consumption of disconnected flows excluded from both
+	// sides).
+	BandwidthDelta float64
+}
+
+// LinkFailure computes the impact of cutting the link a<->b on the
+// instance's flows under plan p. The instance itself is not mutated.
+func LinkFailure(in *netsim.Instance, p netsim.Plan, a, b graph.NodeID) (LinkImpact, error) {
+	if !in.G.HasEdge(a, b) && !in.G.HasEdge(b, a) {
+		return LinkImpact{}, fmt.Errorf("resilience: no link between %d and %d", a, b)
+	}
+	imp := LinkImpact{From: a, To: b}
+	// Build the degraded graph: same vertices, all edges except the
+	// failed pair.
+	dg := graph.New()
+	for _, v := range in.G.Nodes() {
+		dg.AddNode(in.G.Name(v))
+	}
+	for _, e := range in.G.Edges() {
+		if (e.From == a && e.To == b) || (e.From == b && e.To == a) {
+			continue
+		}
+		dg.AddWeightedEdge(e.From, e.To, e.Weight)
+	}
+	usesLink := func(path graph.Path) bool {
+		for i := 0; i+1 < len(path); i++ {
+			if (path[i] == a && path[i+1] == b) || (path[i] == b && path[i+1] == a) {
+				return true
+			}
+		}
+		return false
+	}
+	var survivors []traffic.Flow
+	var oldSurvivorBW float64
+	oldAlloc := in.Allocate(p)
+	for i, f := range in.Flows {
+		if !usesLink(f.Path) {
+			survivors = append(survivors, f)
+			oldSurvivorBW += in.FlowBandwidth(i, oldAlloc[i])
+			continue
+		}
+		newPath, err := dg.ShortestPath(f.Src(), f.Dst())
+		if err != nil {
+			imp.Disconnected++
+			continue
+		}
+		imp.Rerouted++
+		survivors = append(survivors, traffic.Flow{ID: f.ID, Rate: f.Rate, Path: newPath})
+		oldSurvivorBW += in.FlowBandwidth(i, oldAlloc[i])
+	}
+	if len(survivors) == 0 {
+		return imp, nil
+	}
+	// Renumber and re-score the surviving workload on the degraded
+	// graph under the same plan.
+	for i := range survivors {
+		survivors[i].ID = i
+	}
+	degraded, err := netsim.New(dg, survivors, in.Lambda)
+	if err != nil {
+		return LinkImpact{}, fmt.Errorf("resilience: rebuilding degraded instance: %w", err)
+	}
+	alloc := degraded.Allocate(p)
+	var newBW float64
+	for i := range survivors {
+		if alloc[i] == netsim.Unserved {
+			imp.UnservedAfter++
+		}
+		newBW += degraded.FlowBandwidth(i, alloc[i])
+	}
+	imp.BandwidthDelta = newBW - oldSurvivorBW
+	return imp, nil
+}
+
+// WorstLink scans every bidirectional link and returns the failure
+// with the most disconnections, breaking ties by unserved flows, then
+// bandwidth delta. Returns an error for edgeless graphs.
+func WorstLink(in *netsim.Instance, p netsim.Plan) (LinkImpact, error) {
+	seen := map[[2]graph.NodeID]bool{}
+	var worst LinkImpact
+	found := false
+	for _, e := range in.G.Edges() {
+		x, y := e.From, e.To
+		if x > y {
+			x, y = y, x
+		}
+		key := [2]graph.NodeID{x, y}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		imp, err := LinkFailure(in, p, x, y)
+		if err != nil {
+			continue
+		}
+		if !found || worse(imp, worst) {
+			worst = imp
+			found = true
+		}
+	}
+	if !found {
+		return LinkImpact{}, fmt.Errorf("resilience: graph has no links")
+	}
+	return worst, nil
+}
+
+func worse(a, b LinkImpact) bool {
+	if a.Disconnected != b.Disconnected {
+		return a.Disconnected > b.Disconnected
+	}
+	if a.UnservedAfter != b.UnservedAfter {
+		return a.UnservedAfter > b.UnservedAfter
+	}
+	return a.BandwidthDelta > b.BandwidthDelta
+}

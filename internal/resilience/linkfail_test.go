@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/paperfix"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+func TestLinkFailureDisconnects(t *testing.T) {
+	in := fig1(t)
+	p := netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
+	// Fig. 1's graph is directed with no redundancy: cutting v5->v3
+	// disconnects f1 entirely.
+	imp, err := LinkFailure(in, p, paperfix.V(5), paperfix.V(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Disconnected != 1 || imp.Rerouted != 0 {
+		t.Fatalf("impact = %+v, want 1 disconnected", imp)
+	}
+	// Survivors keep their consumption: delta 0.
+	if imp.BandwidthDelta != 0 {
+		t.Fatalf("delta = %v, want 0", imp.BandwidthDelta)
+	}
+}
+
+func TestLinkFailureReroutes(t *testing.T) {
+	// Diamond with a detour: a->b->d and a->c->d; flow routed via b.
+	g := graph.New()
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	g.AddBiEdge(a, b)
+	g.AddBiEdge(b, d)
+	g.AddBiEdge(a, c)
+	g.AddBiEdge(c, d)
+	flows := []traffic.Flow{{ID: 0, Rate: 4, Path: graph.Path{a, b, d}}}
+	in := netsim.MustNew(g, flows, 0.5)
+	// Middlebox on the source: survives any reroute.
+	p := netsim.NewPlan(a)
+	imp, err := LinkFailure(in, p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Disconnected != 0 || imp.Rerouted != 1 {
+		t.Fatalf("impact = %+v, want 1 rerouted", imp)
+	}
+	// New path a->c->d has the same length; box at a still serves it:
+	// delta 0.
+	if math.Abs(imp.BandwidthDelta) > 1e-9 {
+		t.Fatalf("delta = %v, want 0", imp.BandwidthDelta)
+	}
+	if imp.UnservedAfter != 0 {
+		t.Fatalf("unserved = %d", imp.UnservedAfter)
+	}
+	// Middlebox on b instead: the reroute dodges the box.
+	p2 := netsim.NewPlan(b)
+	imp2, err := LinkFailure(in, p2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp2.UnservedAfter != 1 {
+		t.Fatalf("unserved = %d, want 1 (box bypassed)", imp2.UnservedAfter)
+	}
+	// The flow now runs unprocessed: 4·2 = 8 vs old 4·(2−0.5) = 6.
+	if math.Abs(imp2.BandwidthDelta-2) > 1e-9 {
+		t.Fatalf("delta = %v, want 2", imp2.BandwidthDelta)
+	}
+}
+
+func TestLinkFailureUnknownLink(t *testing.T) {
+	in := fig1(t)
+	if _, err := LinkFailure(in, netsim.NewPlan(), paperfix.V(4), paperfix.V(5)); err == nil {
+		t.Fatal("nonexistent link accepted")
+	}
+}
+
+func TestWorstLinkFig1(t *testing.T) {
+	in := fig1(t)
+	p := netsim.NewPlan(paperfix.V(2), paperfix.V(5))
+	worst, err := WorstLink(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every link in Fig. 1 is a bridge for some flow; the worst one
+	// must disconnect at least one flow.
+	if worst.Disconnected < 1 {
+		t.Fatalf("worst link disconnects %d flows", worst.Disconnected)
+	}
+}
+
+func TestWorstLinkRedundantFabric(t *testing.T) {
+	// On a fat-tree no single link failure disconnects edge-to-core
+	// flows.
+	g := topology.FatTree(4)
+	core := g.NodeByName("core0")
+	var flows []traffic.Flow
+	for pod := 0; pod < 4; pod++ {
+		src := g.NodeByName("edge" + string(rune('0'+pod)) + ".0")
+		p, err := g.ShortestPath(src, core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, traffic.Flow{ID: len(flows), Rate: 2, Path: p})
+	}
+	in := netsim.MustNew(g, flows, 0.5)
+	plan := netsim.NewPlan(core)
+	worst, err := WorstLink(in, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Disconnected != 0 {
+		t.Fatalf("fat-tree link failure disconnected %d flows", worst.Disconnected)
+	}
+}
+
+func TestWorstLinkEmptyGraph(t *testing.T) {
+	g := graph.New()
+	g.AddNode("lonely")
+	in := netsim.MustNew(g, nil, 0.5)
+	if _, err := WorstLink(in, netsim.NewPlan()); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}

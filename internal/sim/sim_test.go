@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/paperfix"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// Static snapshot: flows active over the whole horizon must reproduce
+// the closed-form objective exactly.
+func TestStaticSnapshotMatchesClosedForm(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	in := netsim.MustNew(g, flows, lambda)
+	for _, p := range []netsim.Plan{
+		netsim.NewPlan(),
+		netsim.NewPlan(paperfix.V(2), paperfix.V(5)),
+		netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6)),
+	} {
+		m, err := Run(g, p, lambda, Config{Horizon: 10, InitialFlows: flows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in.TotalBandwidth(p)
+		if math.Abs(m.TimeAvgBandwidth-want) > 1e-9 {
+			t.Fatalf("plan %v: time-avg %v != closed form %v", p, m.TimeAvgBandwidth, want)
+		}
+		if m.MeanActiveFlows != 4 || m.MaxActiveFlows != 4 {
+			t.Fatalf("active accounting broken: %+v", m)
+		}
+	}
+}
+
+func TestUnservedCounting(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	// Plan {v5} serves only f1.
+	m, err := Run(g, netsim.NewPlan(paperfix.V(5)), lambda, Config{Horizon: 5, InitialFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals != 4 || m.Unserved != 3 {
+		t.Fatalf("arrivals %d unserved %d, want 4/3", m.Arrivals, m.Unserved)
+	}
+}
+
+func TestPeakLinkLoadStatic(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	in := netsim.MustNew(g, flows, lambda)
+	p := netsim.NewPlan(paperfix.V(2), paperfix.V(5))
+	m, err := Run(g, p, lambda, Config{Horizon: 1, InitialFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantPeak := netsim.MaxLinkLoad(in.LinkLoads(p))
+	if math.Abs(m.PeakLinkLoad-wantPeak) > 1e-9 {
+		t.Fatalf("peak %v != static max %v", m.PeakLinkLoad, wantPeak)
+	}
+}
+
+func TestPoissonLittlesLaw(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	cfg := Config{
+		Horizon:      2000,
+		ArrivalRate:  2.0,
+		MeanDuration: 3.0,
+		Templates:    flows,
+		Seed:         42,
+	}
+	m, err := Run(g, netsim.NewPlan(paperfix.V(1), paperfix.V(2)), lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Little's law: E[active] = λ·E[duration] = 6 (durations truncated
+	// at the horizon bias this down slightly; 10% tolerance).
+	if m.MeanActiveFlows < 5.0 || m.MeanActiveFlows > 7.0 {
+		t.Fatalf("mean active = %v, want ≈ 6", m.MeanActiveFlows)
+	}
+	// ~2·2000 arrivals expected.
+	if m.Arrivals < 3500 || m.Arrivals > 4500 {
+		t.Fatalf("arrivals = %d, want ≈ 4000", m.Arrivals)
+	}
+	if m.MaxActiveFlows < int(m.MeanActiveFlows) {
+		t.Fatal("max active below mean")
+	}
+}
+
+// The dynamic time-average converges to concurrency × static average
+// when all templates are equally likely.
+func TestPoissonBandwidthTracksStaticAverage(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	in := netsim.MustNew(g, flows, lambda)
+	plan := netsim.NewPlan(paperfix.V(2), paperfix.V(5))
+	// Static per-flow average consumption under the plan.
+	var perFlow float64
+	alloc := in.Allocate(plan)
+	for i := range flows {
+		perFlow += in.FlowBandwidth(i, alloc[i])
+	}
+	perFlow /= float64(len(flows))
+	cfg := Config{
+		Horizon:      5000,
+		ArrivalRate:  1.5,
+		MeanDuration: 2.0,
+		Templates:    flows,
+		Seed:         7,
+	}
+	m, err := Run(g, plan, lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ArrivalRate * cfg.MeanDuration * perFlow // ≈ E[active]·E[b(f)]
+	if m.TimeAvgBandwidth < 0.85*want || m.TimeAvgBandwidth > 1.15*want {
+		t.Fatalf("time-avg bandwidth %v, want ≈ %v", m.TimeAvgBandwidth, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	if _, err := Run(g, netsim.NewPlan(), lambda, Config{Horizon: 0}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := Run(g, netsim.NewPlan(), lambda, Config{Horizon: 1, ArrivalRate: 1}); err == nil {
+		t.Fatal("arrivals without templates accepted")
+	}
+	bad := []traffic.Flow{{ID: 0, Rate: 1, Path: graph.Path{99}}}
+	if _, err := Run(g, netsim.NewPlan(), lambda, Config{Horizon: 1, InitialFlows: bad}); err == nil {
+		t.Fatal("invalid initial flow accepted")
+	}
+	_ = flows
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	cfg := Config{Horizon: 100, ArrivalRate: 1, MeanDuration: 2, Templates: flows, Seed: 5}
+	a, err := Run(g, netsim.NewPlan(paperfix.V(1), paperfix.V(2)), lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, netsim.NewPlan(paperfix.V(1), paperfix.V(2)), lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+// A GTP plan keeps dynamic peak load lower than no plan at all on a
+// heavier random workload (sanity that placement matters dynamically).
+func TestPlacementReducesDynamicLoad(t *testing.T) {
+	g := topology.RandomTree(22, 0, 9)
+	tree, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.TreeFlows(tree, traffic.GenConfig{Density: 0.5, Seed: 4})
+	in := netsim.MustNew(g, flows, 0.2)
+	cfg := Config{Horizon: 500, ArrivalRate: 1, MeanDuration: 4, Templates: flows, Seed: 11}
+	empty, err := Run(g, netsim.NewPlan(), 0.2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := netsim.NewPlan()
+	for _, f := range flows {
+		full.Add(f.Src())
+	}
+	placed, err := Run(g, full, 0.2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(placed.TimeAvgBandwidth < empty.TimeAvgBandwidth) {
+		t.Fatalf("placement did not reduce dynamic bandwidth: %v vs %v",
+			placed.TimeAvgBandwidth, empty.TimeAvgBandwidth)
+	}
+	_ = in
+}
+
+func TestExpandingDynamic(t *testing.T) {
+	g, flows, _ := paperfix.Fig1()
+	lambda := 2.0
+	in := netsim.MustNew(g, flows, lambda)
+	p := netsim.NewPlan(paperfix.V(1), paperfix.V(2))
+	m, err := Run(g, p, lambda, Config{Horizon: 3, InitialFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := in.TotalBandwidth(p); math.Abs(m.TimeAvgBandwidth-want) > 1e-9 {
+		t.Fatalf("expanding time-avg %v != closed form %v", m.TimeAvgBandwidth, want)
+	}
+}
+
+// ON/OFF bursty arrivals: with the ON rate scaled to preserve the mean
+// arrival count, bursts drive a higher peak link load than plain
+// Poisson — the phenomenon over-provisioning must absorb.
+func TestBurstyArrivalsRaisePeaks(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	plan := netsim.NewPlan(paperfix.V(1), paperfix.V(2))
+	base := Config{
+		Horizon:      4000,
+		ArrivalRate:  1.0,
+		MeanDuration: 2.0,
+		Templates:    flows,
+		Seed:         13,
+	}
+	plain, err := Run(g, plan, lambda, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := base
+	bursty.BurstOn, bursty.BurstOff = 5, 15 // ON 25% of the time
+	bursty.BurstFactor = 4                  // same long-run mean rate
+	b, err := Run(g, plan, lambda, bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean arrival counts comparable (within 20%).
+	ratio := float64(b.Arrivals) / float64(plain.Arrivals)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("mean rate not preserved: %d vs %d arrivals", b.Arrivals, plain.Arrivals)
+	}
+	if !(b.PeakLinkLoad > plain.PeakLinkLoad) {
+		t.Fatalf("bursts did not raise peak: %v vs %v", b.PeakLinkLoad, plain.PeakLinkLoad)
+	}
+	if b.MaxActiveFlows <= plain.MaxActiveFlows {
+		t.Fatalf("bursts did not raise concurrency peak: %d vs %d", b.MaxActiveFlows, plain.MaxActiveFlows)
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	g, flows, lambda := paperfix.Fig1()
+	cfg := Config{Horizon: 300, ArrivalRate: 1, MeanDuration: 2, Templates: flows,
+		Seed: 5, BurstOn: 4, BurstOff: 8, BurstFactor: 3}
+	a, err := Run(g, netsim.NewPlan(paperfix.V(1), paperfix.V(2)), lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, netsim.NewPlan(paperfix.V(1), paperfix.V(2)), lambda, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed, different bursty metrics")
+	}
+}

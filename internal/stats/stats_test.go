@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population stddev of this classic example is 2; sample variance
+	// is 32/7.
+	if got, want := s.Var(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.StdErr() <= 0 {
+		t.Fatal("StdErr must be positive for varied data")
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 {
+		t.Fatalf("single: mean %v var %v", s.Mean(), s.Var())
+	}
+}
+
+// Property: streaming mean/var match the two-pass formulas.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		return math.Abs(s.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(s.Var()-wantVar) < 1e-6*(1+wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 15 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for exp := uint64(0); exp < 10; exp++ {
+		for rep := uint64(0); rep < 10; rep++ {
+			s := DeriveSeed(42, exp, rep)
+			if s < 0 {
+				t.Fatalf("negative derived seed %d", s)
+			}
+			if seen[s] {
+				t.Fatalf("seed collision at exp=%d rep=%d", exp, rep)
+			}
+			seen[s] = true
+		}
+	}
+	if DeriveSeed(42, 1, 2) != DeriveSeed(42, 1, 2) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(42, 1, 2) == DeriveSeed(43, 1, 2) {
+		t.Fatal("master seed ignored")
+	}
+}
+
+func TestDerivedStreamsLookIndependent(t *testing.T) {
+	// Crude independence check: correlation between two derived
+	// streams should be small.
+	a := rand.New(rand.NewSource(DeriveSeed(7, 0)))
+	b := rand.New(rand.NewSource(DeriveSeed(7, 1)))
+	var sa, sb Sample
+	var cross float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa.Add(x)
+		sb.Add(y)
+		cross += (x - 0.5) * (y - 0.5)
+	}
+	corr := cross / n / (sa.Std() * sb.Std())
+	if math.Abs(corr) > 0.05 {
+		t.Fatalf("streams correlated: r = %v", corr)
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the canonical SplitMix64 with seed 0: the
+	// canonical generator advances an internal counter by the golden
+	// gamma; our pure function matches it when called on successive
+	// counter values.
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4}
+	if SplitMix64(0) != want[0] {
+		t.Fatalf("SplitMix64(0) = %#x, want %#x", SplitMix64(0), want[0])
+	}
+	if SplitMix64(0x9e3779b97f4a7c15) != want[1] {
+		t.Fatalf("SplitMix64(gamma) = %#x, want %#x", SplitMix64(0x9e3779b97f4a7c15), want[1])
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got == "" {
+		t.Fatal("empty String")
+	}
+}

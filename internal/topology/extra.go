@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdmd/internal/graph"
+)
+
+// Additional generators: classic shapes used by edge-case tests
+// (line, star, ring) and two further data-center / WAN fabrics
+// (leaf-spine, Jellyfish) broadening the evaluation beyond the
+// paper's topologies.
+
+// Line returns the path graph v0 - v1 - ... - v(n-1) with
+// bidirectional links; rooted at 0 it is the deepest possible tree.
+func Line(n int) *graph.Graph {
+	if n < 1 {
+		panic("topology: Line needs n >= 1")
+	}
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddBiEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+// Star returns a hub (vertex 0) with n-1 leaves — the shallowest tree.
+func Star(n int) *graph.Graph {
+	if n < 1 {
+		panic("topology: Star needs n >= 1")
+	}
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(0, graph.NodeID(i))
+	}
+	return g
+}
+
+// Ring returns the n-cycle; the smallest topology where every
+// flow has two candidate directions (general, not a tree, for n >= 3).
+func Ring(n int) *graph.Graph {
+	if n < 3 {
+		panic("topology: Ring needs n >= 3")
+	}
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.AddBiEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return g
+}
+
+// LeafSpine returns a two-tier Clos fabric: every one of `leaves` leaf
+// switches connects to every one of `spines` spine switches. Spines
+// come first (IDs 0..spines-1), then leaves.
+func LeafSpine(spines, leaves int) *graph.Graph {
+	if spines < 1 || leaves < 1 {
+		panic("topology: LeafSpine needs spines, leaves >= 1")
+	}
+	g := graph.New()
+	for s := 0; s < spines; s++ {
+		g.AddNode(fmt.Sprintf("spine%d", s))
+	}
+	for l := 0; l < leaves; l++ {
+		id := g.AddNode(fmt.Sprintf("leaf%d", l))
+		for s := 0; s < spines; s++ {
+			g.AddBiEdge(graph.NodeID(s), id)
+		}
+	}
+	return g
+}
+
+// Jellyfish returns a random (approximately) d-regular graph over n
+// switches [Singla et al., NSDI'12]: the degree-constrained random
+// topology that outperforms structured fabrics at equal cost. Uses the
+// pairing model with retries; the result is connected (regenerated
+// internally until it is) and has no self-loops or duplicate links.
+func Jellyfish(n, d int, seed int64) *graph.Graph {
+	if n < 2 || d < 1 || d >= n {
+		panic(fmt.Sprintf("topology: Jellyfish needs 2 <= d+1 <= n, got n=%d d=%d", n, d))
+	}
+	if n*d%2 != 0 {
+		panic("topology: Jellyfish needs n·d even")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		if g, ok := tryJellyfish(n, d, rng); ok {
+			return g
+		}
+		if attempt > 200 {
+			panic("topology: Jellyfish failed to build a connected regular graph")
+		}
+	}
+}
+
+func tryJellyfish(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
+	// Pairing model: d stubs per vertex, random perfect matching.
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b || g.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+			return nil, false // reject and retry
+		}
+		g.AddBiEdge(graph.NodeID(a), graph.NodeID(b))
+	}
+	return g, g.WeaklyConnected()
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+func TestLine(t *testing.T) {
+	g := Line(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 8 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth(4) != 4 {
+		t.Fatalf("depth = %d", tr.Depth(4))
+	}
+	if g1 := Line(1); g1.NumNodes() != 1 || g1.NumEdges() != 0 {
+		t.Fatal("singleton line broken")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Leaves()) != 5 {
+		t.Fatalf("leaves = %d", len(tr.Leaves()))
+	}
+	for v := 1; v < 6; v++ {
+		if tr.Depth(graph.NodeID(v)) != 1 {
+			t.Fatalf("depth(%d) = %d", v, tr.Depth(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if g.NumEdges() != 12 || !g.WeaklyConnected() {
+		t.Fatalf("|E|=%d connected=%v", g.NumEdges(), g.WeaklyConnected())
+	}
+	// Opposite vertices are 3 hops apart.
+	p, err := g.ShortestPath(0, 3)
+	if err != nil || p.Len() != 3 {
+		t.Fatalf("path = %v err=%v", p, err)
+	}
+	// A ring is not a tree.
+	if _, err := graph.NewTree(g, 0); err == nil {
+		t.Fatal("ring accepted as tree")
+	}
+}
+
+func TestRingRejectsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) accepted")
+		}
+	}()
+	Ring(2)
+}
+
+func TestLeafSpine(t *testing.T) {
+	g := LeafSpine(4, 8)
+	if g.NumNodes() != 12 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	// 4*8 bidirectional links.
+	if g.NumEdges() != 64 {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	// Every leaf-to-leaf path is 2 hops via any spine.
+	a := g.NodeByName("leaf0")
+	b := g.NodeByName("leaf7")
+	p, err := g.ShortestPath(a, b)
+	if err != nil || p.Len() != 2 {
+		t.Fatalf("leaf-leaf path = %v err=%v", p, err)
+	}
+	for s := 0; s < 4; s++ {
+		if g.Degree(graph.NodeID(s)) != 16 {
+			t.Fatalf("spine degree = %d", g.Degree(graph.NodeID(s)))
+		}
+	}
+}
+
+func TestJellyfishRegularConnected(t *testing.T) {
+	for _, cfg := range [][2]int{{10, 3}, {16, 4}, {20, 5}} {
+		n, d := cfg[0], cfg[1]
+		g := Jellyfish(n, d, 11)
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d d=%d: |V|=%d", n, d, g.NumNodes())
+		}
+		if !g.WeaklyConnected() {
+			t.Fatalf("n=%d d=%d: disconnected", n, d)
+		}
+		for _, v := range g.Nodes() {
+			if g.Degree(v) != 2*d {
+				t.Fatalf("n=%d d=%d: degree(%d) = %d, want %d", n, d, v, g.Degree(v), 2*d)
+			}
+		}
+		// No self-loops or duplicate links.
+		seen := map[[2]graph.NodeID]bool{}
+		for _, e := range g.Edges() {
+			if e.From == e.To {
+				t.Fatal("self-loop")
+			}
+			key := [2]graph.NodeID{e.From, e.To}
+			if seen[key] {
+				t.Fatal("duplicate link")
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestJellyfishDeterministic(t *testing.T) {
+	if Jellyfish(12, 3, 5).DOT() != Jellyfish(12, 3, 5).DOT() {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestJellyfishRejectsOddStubs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n·d accepted")
+		}
+	}()
+	Jellyfish(5, 3, 1)
+}

@@ -1,0 +1,293 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tdmd/internal/graph"
+)
+
+// ReadGML parses the subset of the GML graph format used by public
+// topology datasets (Internet Topology Zoo, SNDlib exports):
+//
+//	graph [
+//	  node [ id 0 label "Seattle" ]
+//	  node [ id 1 label "Chicago" ]
+//	  edge [ source 0 target 1 ]
+//	]
+//
+// Every edge becomes a bidirectional link pair, matching the library's
+// link model. Unknown keys are skipped; node ids may be sparse and are
+// remapped densely in id order of first appearance. This is how real
+// WAN topologies enter the library in place of the synthetic
+// generators.
+func ReadGML(r io.Reader) (*graph.Graph, error) {
+	toks, err := tokenizeGML(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &gmlParser{toks: toks}
+	if err := p.expect("graph"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	idMap := map[int]graph.NodeID{}
+	type pendingEdge struct{ src, dst int }
+	var edges []pendingEdge
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("topology: GML: unexpected end of input")
+		}
+		switch tok {
+		case "]":
+			for _, e := range edges {
+				s, okS := idMap[e.src]
+				d, okD := idMap[e.dst]
+				if !okS || !okD {
+					return nil, fmt.Errorf("topology: GML: edge references unknown node (%d -> %d)", e.src, e.dst)
+				}
+				if s == d {
+					continue // drop self-loops; the model has none
+				}
+				if !g.HasEdge(s, d) {
+					g.AddBiEdge(s, d)
+				}
+			}
+			return g, nil
+		case "node":
+			id, label, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := idMap[id]; dup {
+				return nil, fmt.Errorf("topology: GML: duplicate node id %d", id)
+			}
+			if label == "" {
+				label = fmt.Sprintf("n%d", id)
+			}
+			idMap[id] = g.AddNode(label)
+		case "edge":
+			src, dst, err := p.parseEdge()
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, pendingEdge{src, dst})
+		default:
+			// Top-level scalar attribute like `directed 0`: skip value.
+			if err := p.skipValue(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// WriteGML emits g in the same subset (one edge record per
+// bidirectional pair).
+func WriteGML(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph [")
+	for _, v := range g.Nodes() {
+		fmt.Fprintf(bw, "  node [ id %d label %q ]\n", v, g.Name(v))
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for _, e := range g.Edges() {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]graph.NodeID{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(bw, "  edge [ source %d target %d ]\n", a, b)
+	}
+	fmt.Fprintln(bw, "]")
+	return bw.Flush()
+}
+
+// tokenizeGML splits GML into tokens, keeping quoted strings intact.
+func tokenizeGML(r io.Reader) ([]string, error) {
+	var toks []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for len(line) > 0 {
+			line = strings.TrimLeft(line, " \t\r")
+			if line == "" {
+				break
+			}
+			switch {
+			case line[0] == '"':
+				end := strings.IndexByte(line[1:], '"')
+				if end < 0 {
+					return nil, fmt.Errorf("topology: GML: unterminated string in %q", line)
+				}
+				toks = append(toks, line[:end+2])
+				line = line[end+2:]
+			case line[0] == '[' || line[0] == ']':
+				toks = append(toks, string(line[0]))
+				line = line[1:]
+			default:
+				end := strings.IndexAny(line, " \t\r[]")
+				if end < 0 {
+					toks = append(toks, line)
+					line = ""
+				} else if end == 0 {
+					// '[' or ']' handled above; only separators remain.
+					line = line[1:]
+				} else {
+					toks = append(toks, line[:end])
+					line = line[end:]
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading GML: %w", err)
+	}
+	return toks, nil
+}
+
+type gmlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *gmlParser) next() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, true
+}
+
+func (p *gmlParser) expect(want string) error {
+	tok, ok := p.next()
+	if !ok || tok != want {
+		return fmt.Errorf("topology: GML: expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+// skipValue consumes one attribute value: a scalar or a bracketed
+// block (recursively).
+func (p *gmlParser) skipValue() error {
+	tok, ok := p.next()
+	if !ok {
+		return fmt.Errorf("topology: GML: missing value")
+	}
+	if tok != "[" {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, ok = p.next()
+		if !ok {
+			return fmt.Errorf("topology: GML: unterminated block")
+		}
+		switch tok {
+		case "[":
+			depth++
+		case "]":
+			depth--
+		}
+	}
+	return nil
+}
+
+// parseNode reads a `[ ... ]` node block and extracts id and label.
+func (p *gmlParser) parseNode() (id int, label string, err error) {
+	if err := p.expect("["); err != nil {
+		return 0, "", err
+	}
+	id = -1
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return 0, "", fmt.Errorf("topology: GML: unterminated node block")
+		}
+		if tok == "]" {
+			break
+		}
+		switch tok {
+		case "id":
+			v, ok := p.next()
+			if !ok {
+				return 0, "", fmt.Errorf("topology: GML: node id missing value")
+			}
+			id, err = strconv.Atoi(v)
+			if err != nil {
+				return 0, "", fmt.Errorf("topology: GML: bad node id %q", v)
+			}
+		case "label":
+			v, ok := p.next()
+			if !ok {
+				return 0, "", fmt.Errorf("topology: GML: node label missing value")
+			}
+			label = strings.Trim(v, `"`)
+		default:
+			if err := p.skipValue(); err != nil {
+				return 0, "", err
+			}
+		}
+	}
+	if id < 0 {
+		return 0, "", fmt.Errorf("topology: GML: node without id")
+	}
+	return id, label, nil
+}
+
+// parseEdge reads a `[ ... ]` edge block and extracts source/target.
+func (p *gmlParser) parseEdge() (src, dst int, err error) {
+	if err := p.expect("["); err != nil {
+		return 0, 0, err
+	}
+	src, dst = -1, -1
+	readInt := func() (int, error) {
+		v, ok := p.next()
+		if !ok {
+			return 0, fmt.Errorf("topology: GML: edge endpoint missing value")
+		}
+		return strconv.Atoi(v)
+	}
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return 0, 0, fmt.Errorf("topology: GML: unterminated edge block")
+		}
+		if tok == "]" {
+			break
+		}
+		switch tok {
+		case "source":
+			if src, err = readInt(); err != nil {
+				return 0, 0, err
+			}
+		case "target":
+			if dst, err = readInt(); err != nil {
+				return 0, 0, err
+			}
+		default:
+			if err := p.skipValue(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if src < 0 || dst < 0 {
+		return 0, 0, fmt.Errorf("topology: GML: edge without source/target")
+	}
+	return src, dst, nil
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+// abileneGML is a trimmed Internet-Topology-Zoo-style file (the real
+// Abilene backbone's shape, with ITZ's typical extra attributes).
+const abileneGML = `
+# Abilene-like sample
+graph [
+  directed 0
+  DateObtained "2010"
+  node [ id 0 label "New York" Latitude 40.71 Longitude -74.00 ]
+  node [ id 1 label "Chicago" ]
+  node [ id 2 label "Washington DC" ]
+  node [ id 3 label "Seattle" ]
+  node [ id 4 label "Sunnyvale" ]
+  node [ id 5 label "Los Angeles" ]
+  node [ id 6 label "Denver" ]
+  node [ id 7 label "Kansas City" ]
+  node [ id 8 label "Houston" ]
+  node [ id 9 label "Atlanta" ]
+  node [ id 10 label "Indianapolis" ]
+  edge [ source 0 target 1 LinkLabel "OC-192" ]
+  edge [ source 0 target 2 ]
+  edge [ source 1 target 10 ]
+  edge [ source 2 target 9 ]
+  edge [ source 3 target 4 ]
+  edge [ source 3 target 6 ]
+  edge [ source 4 target 5 ]
+  edge [ source 4 target 6 ]
+  edge [ source 5 target 8 ]
+  edge [ source 6 target 7 ]
+  edge [ source 7 target 8 ]
+  edge [ source 7 target 10 ]
+  edge [ source 8 target 9 ]
+  edge [ source 9 target 10 ]
+]
+`
+
+func TestReadGMLAbilene(t *testing.T) {
+	g, err := ReadGML(strings.NewReader(abileneGML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 11 {
+		t.Fatalf("|V| = %d, want 11", g.NumNodes())
+	}
+	if g.NumEdges() != 2*14 {
+		t.Fatalf("|E| = %d, want 28", g.NumEdges())
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("Abilene must be connected")
+	}
+	ny := g.NodeByName("New York")
+	sea := g.NodeByName("Seattle")
+	if ny == graph.Invalid || sea == graph.Invalid {
+		t.Fatal("labels lost")
+	}
+	p, err := g.ShortestPath(ny, sea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NY -> Chicago -> Indianapolis -> Kansas City -> Denver -> Seattle.
+	if p.Len() != 5 {
+		t.Fatalf("NY->Seattle hops = %d, want 5", p.Len())
+	}
+}
+
+func TestReadGMLSkipsUnknownBlocks(t *testing.T) {
+	in := `graph [
+	  meta [ nested [ deeper 1 ] other "x" ]
+	  node [ id 5 label "only" ]
+	]`
+	g, err := ReadGML(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 || g.Name(0) != "only" {
+		t.Fatalf("parse wrong: %v %q", g.NumNodes(), g.Name(0))
+	}
+}
+
+func TestReadGMLSparseIDsAndSelfLoops(t *testing.T) {
+	in := `graph [
+	  node [ id 100 ]
+	  node [ id 7 label "b" ]
+	  edge [ source 100 target 7 ]
+	  edge [ source 7 target 7 ]
+	]`
+	g, err := ReadGML(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Name(0) != "n100" {
+		t.Fatalf("default label = %q", g.Name(0))
+	}
+}
+
+func TestReadGMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"no graph":     `node [ id 0 ]`,
+		"bad edge ref": `graph [ node [ id 0 ] edge [ source 0 target 9 ] ]`,
+		"dup id":       `graph [ node [ id 0 ] node [ id 0 ] ]`,
+		"node no id":   `graph [ node [ label "x" ] ]`,
+		"unterminated": `graph [ node [ id 0`,
+		"edge no src":  `graph [ node [ id 0 ] edge [ target 0 ] ]`,
+		"bad id":       `graph [ node [ id xyz ] ]`,
+		"bad string":   `graph [ node [ id 0 label "unclosed ] ]`,
+	}
+	for name, input := range cases {
+		if _, err := ReadGML(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestGMLRoundTrip(t *testing.T) {
+	orig := ArkLike(DefaultArkConfig(3))
+	var buf bytes.Buffer
+	if err := WriteGML(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip changed shape: %v -> %v", orig, back)
+	}
+	for _, v := range orig.Nodes() {
+		if back.Name(v) != orig.Name(v) {
+			t.Fatalf("label changed at %d: %q -> %q", v, orig.Name(v), back.Name(v))
+		}
+	}
+	for _, e := range orig.Edges() {
+		if !back.HasEdge(e.From, e.To) {
+			t.Fatalf("edge %d->%d lost", e.From, e.To)
+		}
+	}
+}

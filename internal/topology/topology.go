@@ -1,0 +1,300 @@
+// Package topology generates the network graphs the evaluation runs
+// on: random trees, complete binary trees, fat-tree and BCube
+// data-center fabrics, random connected general graphs, and a
+// synthetic stand-in for CAIDA's Archipelago (Ark) measurement
+// infrastructure.
+//
+// The paper evaluates on the Ark topology and on tree/general
+// subgraphs reduced from it. The real Ark monitor graph is not
+// redistributable, so ArkLike synthesizes a structurally similar
+// network (geographic monitor clusters hanging off a sparse backbone);
+// see DESIGN.md, "Substitutions". All generators are deterministic in
+// their seed and produce bidirectional link pairs, matching the
+// paper's bidirectional-link assumption.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdmd/internal/graph"
+)
+
+// RandomTree returns a random tree with n vertices rooted at vertex 0.
+// Each new vertex attaches to a uniformly random earlier vertex whose
+// child count is below maxChildren (maxChildren <= 0 means unbounded).
+func RandomTree(n, maxChildren int, seed int64) *graph.Graph {
+	if n < 1 {
+		panic("topology: RandomTree needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.AddNodes(n)
+	childCount := make([]int, n)
+	for i := 1; i < n; i++ {
+		for {
+			p := rng.Intn(i)
+			if maxChildren > 0 && childCount[p] >= maxChildren {
+				continue
+			}
+			childCount[p]++
+			g.AddBiEdge(graph.NodeID(p), graph.NodeID(i))
+			break
+		}
+	}
+	return g
+}
+
+// BinaryTree returns a complete binary tree with the given number of
+// levels (levels >= 1; one level is a single root). Vertices are laid
+// out in heap order: children of i are 2i+1 and 2i+2.
+func BinaryTree(levels int) *graph.Graph {
+	if levels < 1 {
+		panic("topology: BinaryTree needs levels >= 1")
+	}
+	n := 1<<levels - 1
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 0; 2*i+2 < n; i++ {
+		g.AddBiEdge(graph.NodeID(i), graph.NodeID(2*i+1))
+		g.AddBiEdge(graph.NodeID(i), graph.NodeID(2*i+2))
+	}
+	return g
+}
+
+// FatTree returns the switch fabric of a k-ary fat-tree [Al-Fares et
+// al., SIGCOMM'08]: (k/2)^2 core switches, k pods of k/2 aggregation
+// and k/2 edge switches each. k must be even and >= 2. Vertex names
+// encode the role ("core0", "agg1.0", "edge1.1").
+func FatTree(k int) *graph.Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: FatTree needs even k >= 2, got %d", k))
+	}
+	half := k / 2
+	g := graph.New()
+	core := make([]graph.NodeID, half*half)
+	for i := range core {
+		core[i] = g.AddNode(fmt.Sprintf("core%d", i))
+	}
+	for pod := 0; pod < k; pod++ {
+		agg := make([]graph.NodeID, half)
+		edge := make([]graph.NodeID, half)
+		for i := 0; i < half; i++ {
+			agg[i] = g.AddNode(fmt.Sprintf("agg%d.%d", pod, i))
+		}
+		for i := 0; i < half; i++ {
+			edge[i] = g.AddNode(fmt.Sprintf("edge%d.%d", pod, i))
+		}
+		// Each aggregation switch i connects to core switches
+		// [i*half, (i+1)*half) and to every edge switch in its pod.
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				g.AddBiEdge(agg[i], core[i*half+j])
+				g.AddBiEdge(agg[i], edge[j])
+			}
+		}
+	}
+	return g
+}
+
+// BCube returns the BCube(n, l) server-centric fabric [Guo et al.,
+// SIGCOMM'09] with n^(l+1) servers and (l+1)*n^l switches; every
+// server connects to one switch per level. Vertex names are
+// "srv<idx>" and "sw<level>.<idx>". Servers come first (IDs
+// 0..n^(l+1)-1) so callers can treat them as flow endpoints.
+func BCube(n, l int) *graph.Graph {
+	if n < 2 || l < 0 {
+		panic(fmt.Sprintf("topology: BCube needs n >= 2, l >= 0, got n=%d l=%d", n, l))
+	}
+	servers := pow(n, l+1)
+	switchesPerLevel := pow(n, l)
+	g := graph.New()
+	for s := 0; s < servers; s++ {
+		g.AddNode(fmt.Sprintf("srv%d", s))
+	}
+	for level := 0; level <= l; level++ {
+		for sw := 0; sw < switchesPerLevel; sw++ {
+			swID := g.AddNode(fmt.Sprintf("sw%d.%d", level, sw))
+			// The switch connects the n servers whose digit at
+			// position `level` (base n) varies while the remaining
+			// digits spell sw.
+			low := sw % pow(n, level)
+			high := sw / pow(n, level)
+			for d := 0; d < n; d++ {
+				srv := high*pow(n, level+1) + d*pow(n, level) + low
+				g.AddBiEdge(graph.NodeID(srv), swID)
+			}
+		}
+	}
+	return g
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// GeneralRandom returns a connected general graph with n vertices:
+// a random spanning tree plus roughly extraFrac*n additional random
+// bidirectional links (deduplicated).
+func GeneralRandom(n int, extraFrac float64, seed int64) *graph.Graph {
+	if n < 1 {
+		panic("topology: GeneralRandom needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i))
+	}
+	extra := int(extraFrac * float64(n))
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || g.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+			continue
+		}
+		g.AddBiEdge(graph.NodeID(a), graph.NodeID(b))
+	}
+	return g
+}
+
+// ArkConfig parameterizes the synthetic Ark-like topology.
+type ArkConfig struct {
+	Clusters       int     // geographic clusters of monitors
+	MonitorsPerHub int     // monitors attached to each cluster hub
+	BackboneExtra  float64 // extra backbone links as a fraction of Clusters
+	Seed           int64
+}
+
+// DefaultArkConfig mirrors the scale of the paper's Fig. 8(a): a few
+// tens of monitors in hub-and-spoke clusters over a sparse backbone.
+func DefaultArkConfig(seed int64) ArkConfig {
+	return ArkConfig{Clusters: 8, MonitorsPerHub: 6, BackboneExtra: 0.5, Seed: seed}
+}
+
+// ArkLike synthesizes a CAIDA-Ark-style measurement infrastructure:
+// cluster hub vertices joined by a connected sparse backbone, each hub
+// serving MonitorsPerHub leaf monitors. Hubs come first (IDs
+// 0..Clusters-1), then monitors.
+func ArkLike(cfg ArkConfig) *graph.Graph {
+	if cfg.Clusters < 1 || cfg.MonitorsPerHub < 0 {
+		panic("topology: ArkLike needs Clusters >= 1, MonitorsPerHub >= 0")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	for c := 0; c < cfg.Clusters; c++ {
+		g.AddNode(fmt.Sprintf("hub%d", c))
+	}
+	// Connected backbone: random tree over hubs plus extra links.
+	for c := 1; c < cfg.Clusters; c++ {
+		g.AddBiEdge(graph.NodeID(rng.Intn(c)), graph.NodeID(c))
+	}
+	extra := int(cfg.BackboneExtra * float64(cfg.Clusters))
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(cfg.Clusters), rng.Intn(cfg.Clusters)
+		if a == b || g.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+			continue
+		}
+		g.AddBiEdge(graph.NodeID(a), graph.NodeID(b))
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		for m := 0; m < cfg.MonitorsPerHub; m++ {
+			id := g.AddNode(fmt.Sprintf("mon%d.%d", c, m))
+			g.AddBiEdge(graph.NodeID(c), id)
+		}
+	}
+	return g
+}
+
+// SpanningTree extracts a BFS spanning tree of g rooted at root, as a
+// new graph with the same vertex count and names. This is how the
+// paper "reduces" its tree topology from the Ark graph.
+func SpanningTree(g *graph.Graph, root graph.NodeID) *graph.Graph {
+	t := graph.New()
+	for _, v := range g.Nodes() {
+		t.AddNode(g.Name(v))
+	}
+	dist := g.BFSDistances(root)
+	visited := make([]bool, g.NumNodes())
+	visited[root] = true
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(v) {
+			if !visited[e.To] && dist[e.To] == dist[v]+1 {
+				visited[e.To] = true
+				t.AddBiEdge(v, e.To)
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return t
+}
+
+// ResizeTree grows or shrinks a tree (rooted at 0) to exactly n
+// vertices by attaching new leaves to random vertices or deleting
+// random leaves, as the paper's topology-size sweep does ("the
+// topology size changes by randomly inserting and deleting vertices").
+// The root is never removed. The input graph is mutated.
+func ResizeTree(g *graph.Graph, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for g.NumNodes() < n {
+		parent := graph.NodeID(rng.Intn(g.NumNodes()))
+		id := g.AddNode(fmt.Sprintf("x%d", g.NumNodes()))
+		g.AddBiEdge(parent, id)
+	}
+	for g.NumNodes() > n {
+		// Collect current leaves (degree 2 = one bidirectional pair),
+		// excluding the root.
+		var leaves []graph.NodeID
+		for _, v := range g.Nodes() {
+			if v != 0 && g.OutDegree(v) == 1 && g.InDegree(v) == 1 {
+				leaves = append(leaves, v)
+			}
+		}
+		if len(leaves) == 0 {
+			panic("topology: ResizeTree cannot shrink further")
+		}
+		g.RemoveNode(leaves[rng.Intn(len(leaves))])
+	}
+}
+
+// ResizeGeneral grows or shrinks a connected general graph to exactly
+// n vertices. Growth attaches each new vertex to two random existing
+// vertices; shrinking removes random vertices whose removal keeps the
+// graph connected. The input graph is mutated.
+func ResizeGeneral(g *graph.Graph, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for g.NumNodes() < n {
+		id := g.AddNode(fmt.Sprintf("x%d", g.NumNodes()))
+		a := graph.NodeID(rng.Intn(int(id)))
+		g.AddBiEdge(a, id)
+		if int(id) >= 2 {
+			b := graph.NodeID(rng.Intn(int(id)))
+			if b != a && !g.HasEdge(b, id) {
+				g.AddBiEdge(b, id)
+			}
+		}
+	}
+	for g.NumNodes() > n {
+		removed := false
+		// Try random candidates; fall back to scanning everything.
+		order := rng.Perm(g.NumNodes())
+		for _, cand := range order {
+			c := g.Clone()
+			c.RemoveNode(graph.NodeID(cand))
+			if c.WeaklyConnected() {
+				g.RemoveNode(graph.NodeID(cand))
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			panic("topology: ResizeGeneral cannot shrink further")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 22, 100} {
+		g := RandomTree(n, 0, 42)
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d: NumNodes = %d", n, g.NumNodes())
+		}
+		if g.NumEdges() != 2*(n-1) {
+			t.Fatalf("n=%d: NumEdges = %d, want %d", n, g.NumEdges(), 2*(n-1))
+		}
+		if _, err := graph.NewTree(g, 0); err != nil {
+			t.Fatalf("n=%d: not a tree: %v", n, err)
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a := RandomTree(30, 3, 7)
+	b := RandomTree(30, 3, 7)
+	if a.DOT() != b.DOT() {
+		t.Fatal("same seed must give identical trees")
+	}
+	c := RandomTree(30, 3, 8)
+	if a.DOT() == c.DOT() {
+		t.Fatal("different seeds gave identical trees (suspicious)")
+	}
+}
+
+func TestRandomTreeMaxChildren(t *testing.T) {
+	g := RandomTree(50, 2, 3)
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Nodes() {
+		if len(tr.Children(v)) > 2 {
+			t.Fatalf("vertex %d has %d children, cap 2", v, len(tr.Children(v)))
+		}
+	}
+}
+
+func TestBinaryTreeShape(t *testing.T) {
+	g := BinaryTree(4) // 15 vertices
+	if g.NumNodes() != 15 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Leaves()); got != 8 {
+		t.Fatalf("leaves = %d, want 8", got)
+	}
+	for _, v := range g.Nodes() {
+		if k := len(tr.Children(v)); k != 0 && k != 2 {
+			t.Fatalf("vertex %d has %d children", v, k)
+		}
+	}
+	if tr.Depth(14) != 3 {
+		t.Fatalf("deepest depth = %d, want 3", tr.Depth(14))
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	k := 4
+	g := FatTree(k)
+	// (k/2)^2 core + k*(k/2) agg + k*(k/2) edge = 4 + 8 + 8 = 20.
+	if g.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	// Links: core-agg k*(k/2)*(k/2) = 16, agg-edge k*(k/2)*(k/2) = 16,
+	// each bidirectional.
+	if g.NumEdges() != 2*(16+16) {
+		t.Fatalf("NumEdges = %d, want 64", g.NumEdges())
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("fat-tree must be connected")
+	}
+	// Every edge switch reaches every core switch in exactly 2 hops.
+	edge := g.NodeByName("edge0.0")
+	core := g.NodeByName("core3")
+	p, err := g.ShortestPath(edge, core)
+	if err != nil || p.Len() != 2 {
+		t.Fatalf("edge->core path = %v err=%v", p, err)
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd k")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestBCubeCounts(t *testing.T) {
+	// BCube(4,1): 16 servers, 2 levels * 4 switches = 8 switches,
+	// each server connects to 2 switches -> 32 links (64 directed).
+	g := BCube(4, 1)
+	if g.NumNodes() != 24 {
+		t.Fatalf("NumNodes = %d, want 24", g.NumNodes())
+	}
+	if g.NumEdges() != 64 {
+		t.Fatalf("NumEdges = %d, want 64", g.NumEdges())
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("BCube must be connected")
+	}
+	// Every server has degree 2*(l+1) = 4 (bidirectional pairs).
+	for s := 0; s < 16; s++ {
+		if g.Degree(graph.NodeID(s)) != 4 {
+			t.Fatalf("server %d degree = %d, want 4", s, g.Degree(graph.NodeID(s)))
+		}
+	}
+	// Switches at each level have degree 2n.
+	for v := 16; v < 24; v++ {
+		if g.Degree(graph.NodeID(v)) != 8 {
+			t.Fatalf("switch %d degree = %d, want 8", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestBCubeLevelZero(t *testing.T) {
+	// BCube(3,0) is 3 servers on one switch.
+	g := BCube(3, 0)
+	if g.NumNodes() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("BCube(3,0): |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGeneralRandomConnected(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 30, 52} {
+		g := GeneralRandom(n, 0.8, 5)
+		if g.NumNodes() != n {
+			t.Fatalf("NumNodes = %d", g.NumNodes())
+		}
+		if !g.WeaklyConnected() {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		// At least the spanning tree's edges are present.
+		if g.NumEdges() < 2*(n-1) {
+			t.Fatalf("n=%d: too few edges (%d)", n, g.NumEdges())
+		}
+	}
+}
+
+func TestGeneralRandomDeterministic(t *testing.T) {
+	if GeneralRandom(30, 0.5, 1).DOT() != GeneralRandom(30, 0.5, 1).DOT() {
+		t.Fatal("same seed must give identical graphs")
+	}
+}
+
+func TestArkLikeStructure(t *testing.T) {
+	cfg := DefaultArkConfig(9)
+	g := ArkLike(cfg)
+	want := cfg.Clusters * (1 + cfg.MonitorsPerHub)
+	if g.NumNodes() != want {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), want)
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("Ark-like graph must be connected")
+	}
+	// Monitors are leaves attached to their hub.
+	mon := g.NodeByName("mon3.2")
+	if mon == graph.Invalid {
+		t.Fatal("monitor naming broken")
+	}
+	if g.Degree(mon) != 2 {
+		t.Fatalf("monitor degree = %d, want 2", g.Degree(mon))
+	}
+	hub := g.NodeByName("hub3")
+	if !g.HasEdge(hub, mon) || !g.HasEdge(mon, hub) {
+		t.Fatal("monitor not attached to its hub")
+	}
+}
+
+func TestSpanningTreeIsTreeAndPreservesDistances(t *testing.T) {
+	g := ArkLike(DefaultArkConfig(4))
+	st := SpanningTree(g, 0)
+	tr, err := graph.NewTree(st, 0)
+	if err != nil {
+		t.Fatalf("spanning tree invalid: %v", err)
+	}
+	orig := g.BFSDistances(0)
+	for _, v := range g.Nodes() {
+		if tr.Depth(v) != orig[v] {
+			t.Fatalf("BFS tree depth %d != graph distance %d for %d", tr.Depth(v), orig[v], v)
+		}
+	}
+	if st.NumEdges() != 2*(g.NumNodes()-1) {
+		t.Fatalf("spanning tree edges = %d", st.NumEdges())
+	}
+}
+
+func TestResizeTreeGrowAndShrink(t *testing.T) {
+	g := RandomTree(22, 0, 3)
+	ResizeTree(g, 32, 17)
+	if g.NumNodes() != 32 {
+		t.Fatalf("grown to %d", g.NumNodes())
+	}
+	if _, err := graph.NewTree(g, 0); err != nil {
+		t.Fatalf("after grow: %v", err)
+	}
+	ResizeTree(g, 12, 18)
+	if g.NumNodes() != 12 {
+		t.Fatalf("shrunk to %d", g.NumNodes())
+	}
+	if _, err := graph.NewTree(g, 0); err != nil {
+		t.Fatalf("after shrink: %v", err)
+	}
+}
+
+func TestResizeGeneralGrowAndShrink(t *testing.T) {
+	g := GeneralRandom(30, 0.8, 3)
+	ResizeGeneral(g, 52, 17)
+	if g.NumNodes() != 52 || !g.WeaklyConnected() {
+		t.Fatalf("grow: n=%d connected=%v", g.NumNodes(), g.WeaklyConnected())
+	}
+	ResizeGeneral(g, 12, 18)
+	if g.NumNodes() != 12 || !g.WeaklyConnected() {
+		t.Fatalf("shrink: n=%d connected=%v", g.NumNodes(), g.WeaklyConnected())
+	}
+}
+
+func TestNamesAreInformative(t *testing.T) {
+	g := FatTree(4)
+	var core, agg, edge int
+	for _, v := range g.Nodes() {
+		name := g.Name(v)
+		switch {
+		case strings.HasPrefix(name, "core"):
+			core++
+		case strings.HasPrefix(name, "agg"):
+			agg++
+		case strings.HasPrefix(name, "edge"):
+			edge++
+		default:
+			t.Fatalf("unexpected vertex name %q", name)
+		}
+	}
+	if core != 4 || agg != 8 || edge != 8 {
+		t.Fatalf("role counts core=%d agg=%d edge=%d", core, agg, edge)
+	}
+}

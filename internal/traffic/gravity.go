@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"math/rand"
+	"sort"
+
+	"tdmd/internal/graph"
+)
+
+// GravityConfig parameterizes GravityFlows. The gravity model is the
+// standard WAN traffic-matrix assumption: demand between two sites is
+// proportional to the product of their weights (population, server
+// count, measured ingress...), normalized to a target total.
+type GravityConfig struct {
+	// Weights per vertex; zero-weight vertices neither send nor
+	// receive. Nil means uniform weights.
+	Weights []float64
+	// TotalRate is the target Σ r_f over all generated flows.
+	TotalRate int
+	// MaxPairs bounds how many (src, dst) pairs are materialized,
+	// keeping DP instances tractable; the heaviest pairs win.
+	MaxPairs int
+	// Seed drives the probabilistic rounding of fractional demands.
+	Seed int64
+}
+
+// GravityFlows builds a gravity-model workload on g: for every ordered
+// pair (u, v) with u ≠ v, demand ∝ w_u·w_v, discretized so the total
+// initial rate is close to TotalRate, each flow routed over a
+// minimum-hop path. Pairs whose integer share rounds to zero are
+// dropped.
+func GravityFlows(g *graph.Graph, cfg GravityConfig) []Flow {
+	n := g.NumNodes()
+	if n < 2 || cfg.TotalRate < 1 {
+		return nil
+	}
+	w := cfg.Weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	var wsum float64
+	for _, x := range w {
+		if x > 0 {
+			wsum += x
+		}
+	}
+	if wsum == 0 {
+		return nil
+	}
+	type pair struct {
+		u, v   graph.NodeID
+		demand float64
+	}
+	var pairs []pair
+	var denom float64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || w[u] <= 0 || w[v] <= 0 {
+				continue
+			}
+			denom += w[u] * w[v]
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || w[u] <= 0 || w[v] <= 0 {
+				continue
+			}
+			pairs = append(pairs, pair{graph.NodeID(u), graph.NodeID(v),
+				float64(cfg.TotalRate) * w[u] * w[v] / denom})
+		}
+	}
+	// Keep the heaviest pairs if capped. Sort by demand descending,
+	// then by (u, v) for determinism.
+	if cfg.MaxPairs > 0 && len(pairs) > cfg.MaxPairs {
+		sort.Slice(pairs, func(i, j int) bool {
+			a, b := pairs[i], pairs[j]
+			if a.demand != b.demand {
+				return a.demand > b.demand
+			}
+			if a.u != b.u {
+				return a.u < b.u
+			}
+			return a.v < b.v
+		})
+		pairs = pairs[:cfg.MaxPairs]
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var flows []Flow
+	for _, pr := range pairs {
+		// Probabilistic rounding keeps the expected total on target.
+		r := int(pr.demand)
+		if rng.Float64() < pr.demand-float64(r) {
+			r++
+		}
+		if r < 1 {
+			continue
+		}
+		path, err := g.ShortestPath(pr.u, pr.v)
+		if err != nil || path.Len() == 0 {
+			continue
+		}
+		flows = append(flows, Flow{ID: len(flows), Rate: r, Path: path})
+	}
+	return flows
+}

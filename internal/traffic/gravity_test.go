@@ -1,0 +1,93 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/topology"
+)
+
+func TestGravityFlowsUniform(t *testing.T) {
+	g := topology.GeneralRandom(10, 0.8, 3)
+	flows := GravityFlows(g, GravityConfig{TotalRate: 500, Seed: 1})
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	if err := Validate(g, flows); err != nil {
+		t.Fatal(err)
+	}
+	// Expected total ≈ 500 (probabilistic rounding), allow 20%.
+	total := TotalRate(flows)
+	if total < 400 || total > 600 {
+		t.Fatalf("total rate = %d, want ≈ 500", total)
+	}
+}
+
+func TestGravityFlowsWeights(t *testing.T) {
+	g := topology.GeneralRandom(6, 1.0, 2)
+	w := make([]float64, 6)
+	w[0], w[1] = 10, 10 // only vertices 0 and 1 exchange traffic
+	flows := GravityFlows(g, GravityConfig{Weights: w, TotalRate: 100, Seed: 2})
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	for _, f := range flows {
+		if !((f.Src() == 0 && f.Dst() == 1) || (f.Src() == 1 && f.Dst() == 0)) {
+			t.Fatalf("flow between unweighted vertices: %v", f)
+		}
+	}
+	total := TotalRate(flows)
+	if math.Abs(float64(total)-100) > 20 {
+		t.Fatalf("total = %d, want ≈ 100", total)
+	}
+}
+
+func TestGravityFlowsMaxPairs(t *testing.T) {
+	g := topology.GeneralRandom(12, 0.8, 5)
+	flows := GravityFlows(g, GravityConfig{TotalRate: 1000, MaxPairs: 10, Seed: 3})
+	if len(flows) > 10 {
+		t.Fatalf("flows = %d, cap 10", len(flows))
+	}
+	if len(flows) == 0 {
+		t.Fatal("cap removed everything")
+	}
+}
+
+func TestGravityFlowsHeavyWeightDominates(t *testing.T) {
+	g := topology.GeneralRandom(8, 1.0, 4)
+	w := []float64{100, 1, 1, 1, 1, 1, 1, 1}
+	flows := GravityFlows(g, GravityConfig{Weights: w, TotalRate: 400, MaxPairs: 14, Seed: 4})
+	// With MaxPairs keeping the heaviest demands, every kept pair must
+	// involve the dominant vertex 0.
+	for _, f := range flows {
+		if f.Src() != 0 && f.Dst() != 0 {
+			t.Fatalf("kept pair without the dominant vertex: %v", f)
+		}
+	}
+}
+
+func TestGravityFlowsEdgeCases(t *testing.T) {
+	g := topology.GeneralRandom(5, 0.5, 1)
+	if GravityFlows(g, GravityConfig{TotalRate: 0}) != nil {
+		t.Fatal("zero total produced flows")
+	}
+	single := graph.New()
+	single.AddNode("only")
+	if GravityFlows(single, GravityConfig{TotalRate: 10}) != nil {
+		t.Fatal("single vertex produced flows")
+	}
+	zeroW := GravityFlows(g, GravityConfig{TotalRate: 10, Weights: make([]float64, 5)})
+	if zeroW != nil {
+		t.Fatal("all-zero weights produced flows")
+	}
+}
+
+func TestGravityFlowsDeterministic(t *testing.T) {
+	g := topology.GeneralRandom(9, 0.7, 6)
+	a := GravityFlows(g, GravityConfig{TotalRate: 200, Seed: 9})
+	b := GravityFlows(g, GravityConfig{TotalRate: 200, Seed: 9})
+	if len(a) != len(b) || TotalRate(a) != TotalRate(b) {
+		t.Fatal("same seed differs")
+	}
+}

@@ -1,0 +1,361 @@
+// Package viz renders the evaluation's figures as standalone SVG
+// documents using only the standard library: error-bar line charts for
+// the 1-D sweeps (Figs. 9-16) and heatmaps for the spam-filter
+// surfaces (Fig. 17). cmd/figures writes these next to the TSV data.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one algorithm's curve: points (X[i], Y[i]) with optional
+// symmetric error bars Err[i] (nil or zero for none).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64
+}
+
+// LineChart is an error-bar line chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height default to 640×420 when zero.
+	Width, Height int
+}
+
+// palette cycles across series; chosen for contrast on white.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// SVG renders the chart.
+func (c LineChart) SVG() string {
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			e := 0.0
+			if i < len(s.Err) {
+				e = s.Err[i]
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i]-e)
+			yMax = math.Max(yMax, s.Y[i]+e)
+		}
+	}
+	if math.IsInf(xMin, 1) { // no data at all
+		xMin, xMax, yMin, yMax = 0, 1, 0, 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the y range a little and drop to zero when close.
+	pad := (yMax - yMin) * 0.08
+	yMax += pad
+	if yMin > 0 && yMin-pad < yMin*0.25 {
+		yMin = 0
+	} else {
+		yMin -= pad
+	}
+
+	sx := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="22" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", w/2, esc(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	for _, tx := range ticks(xMin, xMax, 6) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px, marginTop+plotH, px, marginTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			px, marginTop+plotH+18, fmtTick(tx))
+	}
+	for _, ty := range ticks(yMin, yMax, 6) {
+		py := sy(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginLeft-5, py, marginLeft, py)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginLeft, py, marginLeft+plotW, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-8, py+4, fmtTick(ty))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		marginLeft+plotW/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		for i := range s.X {
+			px, py := sx(s.X[i]), sy(s.Y[i])
+			if i < len(s.Err) && s.Err[i] > 0 {
+				lo, hi := sy(s.Y[i]-s.Err[i]), sy(s.Y[i]+s.Err[i])
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n", px, lo, px, hi, color)
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n", px-3, lo, px+3, lo, color)
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n", px-3, hi, px+3, hi, color)
+			}
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.6" fill="%s"/>`+"\n", px, py, color)
+		}
+	}
+
+	// Legend.
+	lx, ly := marginLeft+10.0, marginTop+8.0
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+24, ly+4, esc(s.Name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Heatmap renders a matrix of values as colored cells (used for the
+// Fig. 17 surfaces).
+type Heatmap struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	XLabels []string
+	YLabels []string
+	Values  [][]float64 // Values[yi][xi]
+	Width   int
+	Height  int
+}
+
+// SVG renders the heatmap.
+func (hm Heatmap) SVG() string {
+	w, h := float64(hm.Width), float64(hm.Height)
+	if w <= 0 {
+		w = 560
+	}
+	if h <= 0 {
+		h = 420
+	}
+	rows := len(hm.Values)
+	cols := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range hm.Values {
+		if len(row) > cols {
+			cols = len(row)
+		}
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if rows == 0 || cols == 0 {
+		rows, cols, lo, hi = 1, 1, 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	cw, ch := plotW/float64(cols), plotH/float64(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="22" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", w/2, esc(hm.Title))
+	for yi, row := range hm.Values {
+		for xi, v := range row {
+			frac := (v - lo) / (hi - lo)
+			x := marginLeft + float64(xi)*cw
+			y := marginTop + float64(yi)*ch
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%.4g</title></rect>`+"\n",
+				x, y, cw, ch, heatColor(frac), v)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="10" fill="%s">%.0f</text>`+"\n",
+				x+cw/2, y+ch/2+4, textColor(frac), v)
+		}
+	}
+	for xi, lbl := range hm.XLabels {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+(float64(xi)+0.5)*cw, marginTop+plotH+16, esc(lbl))
+	}
+	for yi, lbl := range hm.YLabels {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-8, marginTop+(float64(yi)+0.5)*ch+4, esc(lbl))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		marginLeft+plotW/2, h-12, esc(hm.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(hm.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// heatColor maps [0,1] onto a white→blue→dark ramp.
+func heatColor(frac float64) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Interpolate #f7fbff (light) -> #08306b (dark).
+	r := int(247 + frac*(8-247))
+	g := int(251 + frac*(48-251))
+	bb := int(255 + frac*(107-255))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bb)
+}
+
+func textColor(frac float64) string {
+	if frac > 0.55 {
+		return "#ffffff"
+	}
+	return "#222222"
+}
+
+// ticks returns up to n "nice" tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch norm := raw / mag; {
+	case norm < 1.5:
+		step = mag
+	case norm < 3:
+		step = 2 * mag
+	case norm < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for t := start; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(t float64) string {
+	if t == math.Trunc(t) && math.Abs(t) < 1e7 {
+		return fmt.Sprintf("%d", int64(t))
+	}
+	return fmt.Sprintf("%.3g", t)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// BarChart renders labeled bars with optional error whiskers — used
+// for the optimality-gap report, whose x-axis is categorical.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	Errs   []float64 // optional, same length as Values
+	Width  int
+	Height int
+}
+
+// SVG renders the chart.
+func (bc BarChart) SVG() string {
+	w, h := float64(bc.Width), float64(bc.Height)
+	if w <= 0 {
+		w = 520
+	}
+	if h <= 0 {
+		h = 360
+	}
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	yMax := 0.0
+	for i, v := range bc.Values {
+		e := 0.0
+		if i < len(bc.Errs) {
+			e = bc.Errs[i]
+		}
+		yMax = math.Max(yMax, v+e)
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.1
+	sy := func(y float64) float64 { return marginTop + plotH - y/yMax*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="22" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", w/2, esc(bc.Title))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	for _, ty := range ticks(0, yMax, 5) {
+		py := sy(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginLeft, py, marginLeft+plotW, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-8, py+4, fmtTick(ty))
+	}
+	n := len(bc.Values)
+	if n > 0 {
+		slot := plotW / float64(n)
+		barW := slot * 0.6
+		for i, v := range bc.Values {
+			x := marginLeft + float64(i)*slot + (slot-barW)/2
+			color := palette[i%len(palette)]
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, sy(v), barW, marginTop+plotH-sy(v), color)
+			if i < len(bc.Errs) && bc.Errs[i] > 0 {
+				cx := x + barW/2
+				lo, hi := sy(v-bc.Errs[i]), sy(v+bc.Errs[i])
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", cx, lo, cx, hi)
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", cx-4, hi, cx+4, hi)
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", cx-4, lo, cx+4, lo)
+			}
+			if i < len(bc.Labels) {
+				fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+					x+barW/2, marginTop+plotH+16, esc(bc.Labels[i]))
+			}
+		}
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(bc.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() LineChart {
+	return LineChart{
+		Title:  "Bandwidth vs k",
+		XLabel: "k",
+		YLabel: "bandwidth",
+		Series: []Series{
+			{Name: "DP", X: []float64{1, 4, 7}, Y: []float64{846, 642, 551}, Err: []float64{3, 5, 3}},
+			{Name: "Random", X: []float64{1, 4, 7}, Y: []float64{846, 722, 647}, Err: []float64{3, 16, 17}},
+		},
+	}
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 500)])
+		}
+	}
+}
+
+func TestLineChartStructure(t *testing.T) {
+	svg := sampleChart().SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{
+		"<svg", "</svg>", "Bandwidth vs k", "polyline",
+		">DP</text>", ">Random</text>", "circle",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series -> two polylines; 6 points -> 6 circles.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Fatalf("circles = %d, want 6", got)
+	}
+}
+
+func TestLineChartErrorBars(t *testing.T) {
+	c := sampleChart()
+	withBars := c.SVG()
+	for i := range c.Series {
+		c.Series[i].Err = nil
+	}
+	withoutBars := c.SVG()
+	if strings.Count(withBars, "<line") <= strings.Count(withoutBars, "<line") {
+		t.Fatal("error bars did not add line elements")
+	}
+	wellFormed(t, withoutBars)
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart{Title: "empty"}.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "empty") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	c := LineChart{
+		Series: []Series{{Name: "flat", X: []float64{2, 2}, Y: []float64{5, 5}}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate ranges produced NaN/Inf coordinates")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := LineChart{Title: `a < b & "c" > d`}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, `a < b &`) {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestHeatmapStructure(t *testing.T) {
+	hm := Heatmap{
+		Title:   "Spam filters",
+		XLabels: []string{"0.4", "0.5"},
+		YLabels: []string{"k=5", "k=7"},
+		Values:  [][]float64{{284, 323}, {202, 248}},
+	}
+	svg := hm.SVG()
+	wellFormed(t, svg)
+	// 4 value cells + background rect.
+	if got := strings.Count(svg, "<rect"); got != 5 {
+		t.Fatalf("rects = %d, want 5", got)
+	}
+	for _, want := range []string{"k=5", "0.4", "Spam filters"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	wellFormed(t, Heatmap{Title: "none"}.SVG())
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if heatColor(0) != "#f7fbff" {
+		t.Fatalf("cold = %s", heatColor(0))
+	}
+	if heatColor(1) != "#08306b" {
+		t.Fatalf("hot = %s", heatColor(1))
+	}
+	if heatColor(-5) != heatColor(0) || heatColor(7) != heatColor(1) {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestTicksNice(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 3 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 100.0001 {
+		t.Fatalf("ticks out of range: %v", ts)
+	}
+}
+
+// Property: ticks always lie within [lo, hi] and are strictly
+// increasing for sane inputs.
+func TestTicksQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if !isFinite(lo) || !isFinite(hi) || hi-lo < 1e-9 || math.Abs(lo) > 1e12 || math.Abs(hi) > 1e12 {
+			return true
+		}
+		ts := ticks(lo, hi, 6)
+		for i, v := range ts {
+			if v < lo-1e-9*(1+math.Abs(lo)) || v > hi+1e-6*(1+math.Abs(hi)) {
+				return false
+			}
+			if i > 0 && v <= ts[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(4) != "4" {
+		t.Fatalf("fmtTick(4) = %s", fmtTick(4))
+	}
+	if fmtTick(0.5) != "0.5" {
+		t.Fatalf("fmtTick(0.5) = %s", fmtTick(0.5))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bc := BarChart{
+		Title:  "Optimality gaps",
+		YLabel: "gap (%)",
+		Labels: []string{"Best-effort", "GTP", "GTP+LS"},
+		Values: []float64{1.26, 0.80, 0.33},
+		Errs:   []float64{0.2, 0.15, 0.1},
+	}
+	svg := bc.SVG()
+	wellFormed(t, svg)
+	// 3 bars + background.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Fatalf("rects = %d, want 4", got)
+	}
+	for _, want := range []string{"Best-effort", "GTP+LS", "gap (%)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Degenerate inputs stay well-formed.
+	wellFormed(t, BarChart{Title: "empty"}.SVG())
+	wellFormed(t, BarChart{Values: []float64{0, 0}}.SVG())
+}

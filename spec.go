@@ -1,0 +1,138 @@
+package tdmd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProblemSpec is the JSON interchange format consumed by cmd/tdmd and
+// produced by cmd/topogen: a self-contained description of a TDMD
+// instance.
+type ProblemSpec struct {
+	// Nodes lists vertex names; vertex i gets NodeID i.
+	Nodes []string `json:"nodes"`
+	// Edges lists directed links as [from, to] index pairs.
+	Edges [][2]int `json:"edges"`
+	// Flows lists the workload.
+	Flows []FlowSpec `json:"flows"`
+	// Lambda is the middlebox's traffic-changing ratio.
+	Lambda float64 `json:"lambda"`
+	// Root, if >= 0, declares the tree root enabling tree algorithms.
+	Root int `json:"root"`
+}
+
+// FlowSpec describes one flow by rate and vertex-index path.
+type FlowSpec struct {
+	Rate int   `json:"rate"`
+	Path []int `json:"path"`
+}
+
+// EncodeSpec writes a spec as indented JSON.
+func EncodeSpec(w io.Writer, s ProblemSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSpec reads a JSON spec.
+func DecodeSpec(r io.Reader) (ProblemSpec, error) {
+	var s ProblemSpec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return ProblemSpec{}, fmt.Errorf("tdmd: decoding spec: %w", err)
+	}
+	return s, nil
+}
+
+// Build materializes the spec into a Problem (tree attached when Root
+// is set) ready to Solve.
+func (s ProblemSpec) Build() (*Problem, error) {
+	g := NewGraph()
+	for _, name := range s.Nodes {
+		g.AddNode(name)
+	}
+	for _, e := range s.Edges {
+		if e[0] < 0 || e[0] >= len(s.Nodes) || e[1] < 0 || e[1] >= len(s.Nodes) {
+			return nil, fmt.Errorf("tdmd: spec edge %v out of range", e)
+		}
+		g.AddEdge(NodeID(e[0]), NodeID(e[1]))
+	}
+	flows := make([]Flow, len(s.Flows))
+	for i, fs := range s.Flows {
+		path := make(Path, len(fs.Path))
+		for j, v := range fs.Path {
+			if v < 0 || v >= len(s.Nodes) {
+				return nil, fmt.Errorf("tdmd: spec flow %d path vertex %d out of range", i, v)
+			}
+			path[j] = NodeID(v)
+		}
+		flows[i] = Flow{ID: i, Rate: fs.Rate, Path: path}
+	}
+	p, err := NewProblem(g, flows, s.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	if s.Root >= 0 && s.Root < len(s.Nodes) {
+		t, err := NewTree(g, NodeID(s.Root))
+		if err != nil {
+			return nil, fmt.Errorf("tdmd: spec declares root %d but graph is not a tree: %w", s.Root, err)
+		}
+		p.WithTree(t)
+	}
+	return p, nil
+}
+
+// PlanSpec is the JSON interchange form of a deployment plan, so
+// solved plans can be saved, audited, and re-evaluated later
+// (cmd/tdmd -saveplan / -evalplan).
+type PlanSpec struct {
+	// Vertices lists the middlebox-hosting vertex IDs.
+	Vertices []int `json:"vertices"`
+}
+
+// EncodePlan writes a plan as indented JSON.
+func EncodePlan(w io.Writer, p Plan) error {
+	spec := PlanSpec{}
+	for _, v := range p.Vertices() {
+		spec.Vertices = append(spec.Vertices, int(v))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// DecodePlan reads a JSON plan and validates it against g.
+func DecodePlan(r io.Reader, g *Graph) (Plan, error) {
+	var spec PlanSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return Plan{}, fmt.Errorf("tdmd: decoding plan: %w", err)
+	}
+	p := NewPlan()
+	for _, v := range spec.Vertices {
+		if v < 0 || v >= g.NumNodes() {
+			return Plan{}, fmt.Errorf("tdmd: plan vertex %d outside graph (n=%d)", v, g.NumNodes())
+		}
+		p.Add(NodeID(v))
+	}
+	return p, nil
+}
+
+// SpecFromProblem converts a built graph + flows back into a spec
+// (Root = -1; set it manually for tree instances).
+func SpecFromProblem(g *Graph, flows []Flow, lambda float64) ProblemSpec {
+	s := ProblemSpec{Lambda: lambda, Root: -1}
+	for _, v := range g.Nodes() {
+		s.Nodes = append(s.Nodes, g.Name(v))
+	}
+	for _, e := range g.Edges() {
+		s.Edges = append(s.Edges, [2]int{int(e.From), int(e.To)})
+	}
+	for _, f := range flows {
+		fs := FlowSpec{Rate: f.Rate}
+		for _, v := range f.Path {
+			fs.Path = append(fs.Path, int(v))
+		}
+		s.Flows = append(s.Flows, fs)
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+// Package tdmd is the public API of this repository: a library for
+// Traffic-Diminishing Middlebox Deployment (TDMD), reproducing
+// "Optimizing Flow Bandwidth Consumption with Traffic-diminishing
+// Middlebox Placement" (Chen, Wu, Ji — ICPP 2020).
+//
+// A TDMD problem places at most k copies of one middlebox type with
+// traffic-changing ratio λ ∈ [0, 1] on the vertices of a network so
+// that every flow is processed exactly once, minimizing the total
+// bandwidth consumed by the flows across all links.
+//
+// The package re-exports the underlying model types as aliases and
+// wires the paper's algorithms behind a single Solve call:
+//
+//	g := tdmd.NewGraph()
+//	... build topology and flows ...
+//	p, err := tdmd.NewProblem(g, flows, 0.5)
+//	res, err := p.Solve(tdmd.AlgGTP, 10)
+//	fmt.Println(res.Plan, res.Bandwidth)
+//
+// Tree-only algorithms (AlgDP, AlgHAT) additionally need the rooted
+// tree view, attached with Problem.WithTree.
+package tdmd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/placement"
+	"tdmd/internal/traffic"
+)
+
+// Re-exported model types. Aliases keep the internal packages as the
+// single source of truth while letting API users name the types.
+type (
+	// Graph is a directed network of switches and links.
+	Graph = graph.Graph
+	// NodeID identifies a vertex of a Graph.
+	NodeID = graph.NodeID
+	// Path is an ordered vertex walk (a flow's route).
+	Path = graph.Path
+	// Tree is a rooted-tree view of a Graph, required by the tree
+	// algorithms.
+	Tree = graph.Tree
+	// Flow is an unsplittable flow with a fixed path and integral rate.
+	Flow = traffic.Flow
+	// Plan is a middlebox deployment (the set of hosting vertices).
+	Plan = netsim.Plan
+	// Instance is a validated, indexed problem instance.
+	Instance = netsim.Instance
+	// Result is a solved placement: plan, total bandwidth, feasibility.
+	Result = placement.Result
+	// Allocation maps each flow to its serving vertex.
+	Allocation = netsim.Allocation
+)
+
+// NewGraph returns an empty network.
+func NewGraph() *Graph { return graph.New() }
+
+// NewTree interprets g as a tree rooted at root.
+func NewTree(g *Graph, root NodeID) (*Tree, error) { return graph.NewTree(g, root) }
+
+// NewPlan builds a deployment containing the given vertices.
+func NewPlan(vs ...NodeID) Plan { return netsim.NewPlan(vs...) }
+
+// Unserved marks a flow with no middlebox on its path.
+const Unserved = netsim.Unserved
+
+// ErrInfeasible is returned when no plan within budget serves all
+// flows (or when the conservative greedy guard cannot certify one).
+var ErrInfeasible = placement.ErrInfeasible
+
+// Algorithm names a placement strategy.
+type Algorithm string
+
+// The available algorithms.
+const (
+	// AlgGTP is the paper's Algorithm 1 under a budget of k, with the
+	// coverage guard (Sec. 4.2); (1−1/e)-approximate in decrement.
+	AlgGTP Algorithm = "gtp"
+	// AlgGTPLazy is AlgGTP accelerated via lazy submodular evaluation.
+	// It ignores k and deploys until all flows are served, exactly as
+	// the paper's unbudgeted Alg. 1 does.
+	AlgGTPLazy Algorithm = "gtp-lazy"
+	// AlgDP is the optimal tree dynamic program (Sec. 5.1). Tree only.
+	AlgDP Algorithm = "dp"
+	// AlgHAT is the tree merge heuristic (Alg. 2). Tree only.
+	AlgHAT Algorithm = "hat"
+	// AlgRandom is the evaluation's random baseline.
+	AlgRandom Algorithm = "random"
+	// AlgBestEffort is the evaluation's static-ranking greedy baseline.
+	AlgBestEffort Algorithm = "best-effort"
+	// AlgGTPLS is AlgGTP followed by a 1-swap local-search pass; never
+	// worse than AlgGTP, at polynomial extra cost.
+	AlgGTPLS Algorithm = "gtp-ls"
+	// AlgExhaustive is the brute-force optimum (tiny instances only).
+	AlgExhaustive Algorithm = "exhaustive"
+	// AlgMinBoxes minimizes the middlebox COUNT (the objective of Sang
+	// et al., which the paper compares against) via greedy set cover,
+	// ignoring k; bandwidth is then scored under the TDMD model.
+	AlgMinBoxes Algorithm = "min-boxes"
+)
+
+// Algorithms lists every algorithm name, tree-only ones included.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgGTP, AlgGTPLazy, AlgGTPLS, AlgDP, AlgHAT, AlgRandom, AlgBestEffort, AlgExhaustive, AlgMinBoxes}
+}
+
+// NeedsTree reports whether a requires Problem.WithTree.
+func (a Algorithm) NeedsTree() bool { return a == AlgDP || a == AlgHAT }
+
+// Problem bundles an instance with the optional tree view and solver
+// options.
+type Problem struct {
+	inst *Instance
+	tree *Tree
+	seed int64
+}
+
+// NewProblem validates the network, flows and ratio and returns a
+// solvable problem.
+func NewProblem(g *Graph, flows []Flow, lambda float64) (*Problem, error) {
+	inst, err := netsim.New(g, flows, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inst: inst, seed: 1}, nil
+}
+
+// Instance exposes the validated instance for direct model queries
+// (allocation, link loads, decrement, ...).
+func (p *Problem) Instance() *Instance { return p.inst }
+
+// WithTree attaches the rooted tree view required by AlgDP and AlgHAT.
+// The tree must be built over the same graph.
+func (p *Problem) WithTree(t *Tree) *Problem {
+	p.tree = t
+	return p
+}
+
+// WithSeed sets the seed used by randomized algorithms (AlgRandom).
+func (p *Problem) WithSeed(seed int64) *Problem {
+	p.seed = seed
+	return p
+}
+
+// Tree returns the attached tree view, or nil.
+func (p *Problem) Tree() *Tree { return p.tree }
+
+// Solve runs the named algorithm with a budget of k middleboxes.
+func (p *Problem) Solve(alg Algorithm, k int) (Result, error) {
+	switch alg {
+	case AlgGTP:
+		return placement.GTPBudget(p.inst, k)
+	case AlgGTPLazy:
+		r := placement.GTPLazy(p.inst)
+		if !r.Feasible {
+			return Result{}, ErrInfeasible
+		}
+		return r, nil
+	case AlgDP:
+		if p.tree == nil {
+			return Result{}, fmt.Errorf("tdmd: %s requires WithTree", alg)
+		}
+		return placement.TreeDP(p.inst, p.tree, k)
+	case AlgHAT:
+		if p.tree == nil {
+			return Result{}, fmt.Errorf("tdmd: %s requires WithTree", alg)
+		}
+		return placement.HAT(p.inst, p.tree, k)
+	case AlgRandom:
+		return placement.RandomPlacement(p.inst, k, rand.New(rand.NewSource(p.seed)))
+	case AlgBestEffort:
+		return placement.BestEffort(p.inst, k)
+	case AlgGTPLS:
+		return placement.GTPWithLocalSearch(p.inst, k)
+	case AlgExhaustive:
+		return placement.Exhaustive(p.inst, k)
+	case AlgMinBoxes:
+		return placement.MinBoxes(p.inst)
+	default:
+		return Result{}, fmt.Errorf("tdmd: unknown algorithm %q", alg)
+	}
+}
+
+// Evaluate scores an externally chosen plan under the model: optimal
+// allocation, total bandwidth, feasibility.
+func (p *Problem) Evaluate(plan Plan) Result {
+	return Result{
+		Plan:      plan,
+		Bandwidth: p.inst.TotalBandwidth(plan),
+		Feasible:  p.inst.Feasible(plan),
+	}
+}
