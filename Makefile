@@ -1,0 +1,24 @@
+# Convenience aliases for the verification gate. scripts/check.sh is
+# the source of truth; `make check` is the one command to run before
+# sending a change.
+
+.PHONY: check build test race lint fuzz
+
+check:
+	scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	go run ./cmd/tdmdlint ./...
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=30s .
+	go test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=30s .

@@ -1,0 +1,96 @@
+// Command tdmdlint runs the repository's project-specific static
+// analyzers (internal/lint) over the module and exits non-zero when
+// any finding survives. It is part of the tier-1 verification gate:
+//
+//	go run ./cmd/tdmdlint ./...
+//
+// Flags:
+//
+//	-list        print the analyzers and exit
+//	-only a,b    run only the named analyzers
+//
+// Exit codes: 0 clean, 1 findings reported, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tdmd/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdmdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tdmdlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		f.Pos.Filename = relPath(dir, f.Pos.Filename)
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "tdmdlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute file names to working-directory-relative
+// ones for readable, clickable findings.
+func relPath(dir, name string) string {
+	if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{
+		"globalrand", "pathmutation", "droppederror",
+		"floateq", "internalboundary", "todotracker",
+	} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-only nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr should mention the unknown analyzer: %s", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+// TestSelfLint runs the full suite over this command's own package
+// (cwd during tests is cmd/tdmdlint), which must be clean.
+func TestSelfLint(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(.) = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	if got := relPath("/a/b", "/a/b/c/d.go"); got != "c/d.go" {
+		t.Errorf("relPath inside dir = %q, want c/d.go", got)
+	}
+	if got := relPath("/a/b", "/elsewhere/d.go"); got != "/elsewhere/d.go" {
+		t.Errorf("relPath outside dir = %q, want absolute unchanged", got)
+	}
+}

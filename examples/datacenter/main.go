@@ -19,7 +19,6 @@ import (
 	"math"
 
 	"tdmd"
-	"tdmd/internal/netsim"
 )
 
 func main() {
@@ -72,10 +71,10 @@ func fatTree() {
 	// simulator on the k=4 optimum.
 	dp4, _ := problem.Solve(tdmd.AlgDP, 4)
 	loads := problem.Instance().LinkLoads(dp4.Plan)
-	if sum := netsim.SumLoads(loads); math.Abs(sum-dp4.Bandwidth) > 1e-9 {
+	if sum := tdmd.SumLoads(loads); math.Abs(sum-dp4.Bandwidth) > 1e-9 {
 		log.Fatalf("model mismatch: links sum to %v, objective %v", sum, dp4.Bandwidth)
 	}
-	key, max := netsim.MaxLinkLoad(loads)
+	key, max := tdmd.MaxLinkLoad(loads)
 	fmt.Printf("link-load check OK; hottest link %s -> %s carries %.1f\n\n",
 		st.Name(key.From), st.Name(key.To), max)
 }

@@ -17,7 +17,6 @@ import (
 	"math/rand"
 
 	"tdmd"
-	"tdmd/internal/placement"
 )
 
 func main() {
@@ -34,7 +33,7 @@ func main() {
 	fmt.Printf("WAN with %d vertices; flow pool of %d; budget k=%d, λ=%g\n\n",
 		g.NumNodes(), len(pool), k, lambda)
 
-	ctl, err := placement.NewOnlineGTP(g, lambda, k)
+	ctl, err := tdmd.NewOnlinePlacer(g, lambda, k)
 	if err != nil {
 		log.Fatal(err)
 	}

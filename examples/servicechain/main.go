@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"log"
 
-	"tdmd/internal/chain"
+	"tdmd"
 )
 
 func main() {
@@ -28,19 +28,19 @@ func main() {
 	)
 	// Ordered chain: firewall, compressor, IDS, tunnel encapsulator.
 	names := []string{"firewall", "compressor", "ids", "encap"}
-	c := chain.Chain{1.0, 0.4, 1.0, 1.5}
+	c := tdmd.Chain{1.0, 0.4, 1.0, 1.5}
 
 	fmt.Printf("Flow: rate %.0f over %d hops; chain %v\n\n", rate, pathLen, c)
 
-	allAtSource := make(chain.Placement, len(c))
-	allAtSink := make(chain.Placement, len(c))
+	allAtSource := make(tdmd.ChainPlacement, len(c))
+	allAtSink := make(tdmd.ChainPlacement, len(c))
 	for i := range allAtSink {
 		allAtSink[i] = pathLen
 	}
-	fmt.Printf("all at source:      %.2f\n", chain.Bandwidth(rate, pathLen, c, allAtSource))
-	fmt.Printf("all at destination: %.2f\n", chain.Bandwidth(rate, pathLen, c, allAtSink))
+	fmt.Printf("all at source:      %.2f\n", tdmd.ChainBandwidth(rate, pathLen, c, allAtSource))
+	fmt.Printf("all at destination: %.2f\n", tdmd.ChainBandwidth(rate, pathLen, c, allAtSink))
 
-	pl, best, err := chain.Optimal(rate, pathLen, c)
+	pl, best, err := tdmd.ChainOptimal(rate, pathLen, c)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func main() {
 	fmt.Printf("%-12s %-12s %-24s\n", "compressor", "bandwidth", "placement (per box)")
 	for _, comp := range []float64{0.9, 0.6, 0.4, 0.2, 0.0} {
 		c[1] = comp
-		pl, b, err := chain.Optimal(rate, pathLen, c)
+		pl, b, err := tdmd.ChainOptimal(rate, pathLen, c)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,5 +71,5 @@ func main() {
 	// would all run at the source and expanders at the sink.
 	c[1] = 0.4
 	fmt.Printf("\nunordered lower bound: %.2f\n",
-		chain.GreedyUnordered(rate, pathLen, []float64(c)))
+		tdmd.ChainGreedyUnordered(rate, pathLen, []float64(c)))
 }

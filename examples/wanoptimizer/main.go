@@ -18,7 +18,6 @@ import (
 	"log"
 
 	"tdmd"
-	"tdmd/internal/setcover"
 )
 
 func main() {
@@ -38,8 +37,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc := setcover.FromTDMD(problem.Instance())
-	greedyCover := setcover.Greedy(sc)
+	sc := tdmd.SetCoverOf(problem.Instance())
+	greedyCover := tdmd.SetCoverGreedy(sc)
 	fmt.Printf("Greedy set cover: %d boxes suffice for coverage\n\n", len(greedyCover))
 
 	// Sweep the compression ratio at a fixed budget.

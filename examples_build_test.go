@@ -1,0 +1,29 @@
+package tdmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program. The examples are
+// main packages outside the test dependency graph, so nothing else
+// would catch an example broken by an API change; this keeps them an
+// honest part of the tier-1 gate. Building multiple packages at once
+// makes `go build` discard the binaries, so the tree stays clean.
+func TestExamplesBuild(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no example directories found (err=%v)", err)
+	}
+	cmd := exec.Command(goTool, "build", "./examples/...")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

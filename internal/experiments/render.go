@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"tdmd/internal/stats"
 )
 
 // WriteTSV emits a figure's two metric tables (bandwidth, execution
@@ -103,7 +105,9 @@ func (s *Surface) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "%-8d", k)
 		for _, d := range ds {
 			for _, c := range s.Cells {
-				if c.K == k && c.Density == d {
+				// Densities come from the same sweep list, so an
+				// epsilon match selects exactly the intended cell.
+				if c.K == k && stats.ApproxEqual(c.Density, d, 1e-12) {
 					fmt.Fprintf(w, "%12.1f", c.Bandwidth)
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tdmd/internal/stats"
 	"tdmd/internal/viz"
 )
 
@@ -73,7 +74,7 @@ func (s *Surface) SVG() string {
 		hm.Values[yi] = make([]float64, len(ds))
 		for xi, d := range ds {
 			for _, c := range s.Cells {
-				if c.K == k && c.Density == d {
+				if c.K == k && stats.ApproxEqual(c.Density, d, 1e-12) {
 					hm.Values[yi][xi] = c.Bandwidth
 				}
 			}

@@ -1,0 +1,11 @@
+//go:build !tdmdinvariant
+
+package invariant
+
+import "os"
+
+// Enabled reports whether assertions run. Without the tdmdinvariant
+// build tag it is a variable initialised from the TDMD_INVARIANTS
+// environment variable, so assertion coverage can be turned on for a
+// single run without recompiling.
+var Enabled = os.Getenv("TDMD_INVARIANTS") != ""

@@ -1,0 +1,6 @@
+//go:build tdmdinvariant
+
+package invariant
+
+// Enabled is forced on at compile time by the tdmdinvariant build tag.
+const Enabled = true

@@ -1,0 +1,50 @@
+//go:build !tdmdinvariant
+
+package invariant
+
+import "testing"
+
+// Without the build tag Enabled is a plain variable, so the tests can
+// flip it to exercise both sides of every assertion.
+
+func withEnabled(t *testing.T, on bool) {
+	t.Helper()
+	prev := Enabled
+	Enabled = on
+	t.Cleanup(func() { Enabled = prev })
+}
+
+func TestAssertDisabledIsNoOp(t *testing.T) {
+	withEnabled(t, false)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("disabled Assert panicked: %v", r)
+		}
+	}()
+	Assert(false, "must not fire when disabled")
+}
+
+func TestAssertEnabledPanicsOnViolation(t *testing.T) {
+	withEnabled(t, true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("enabled Assert did not panic on a false condition")
+		}
+		want := "invariant violated: plan size 3 exceeds budget 2"
+		if r != want {
+			t.Fatalf("panic message %q, want %q", r, want)
+		}
+	}()
+	Assert(false, "plan size %d exceeds budget %d", 3, 2)
+}
+
+func TestAssertEnabledPassesOnTrue(t *testing.T) {
+	withEnabled(t, true)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Assert(true, ...) panicked: %v", r)
+		}
+	}()
+	Assert(true, "should never format")
+}

@@ -1,0 +1,20 @@
+//go:build tdmdinvariant
+
+package invariant
+
+import "testing"
+
+// Under -tags tdmdinvariant Enabled is a constant; assertions must be
+// unconditionally live.
+
+func TestAssertCompiledIn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("tdmdinvariant build must have Enabled == true")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assert did not panic in a tagged build")
+		}
+	}()
+	Assert(false, "tagged build fires")
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDroppedError forbids silently discarded error returns in
+// library packages: a call used as a bare statement (including defer
+// and go) whose results contain an error, or an error result assigned
+// to the blank identifier. Commands and examples (package main) are
+// exempt — their printing paths legitimately drop fmt errors — as are
+// calls whose errors are documented to be always nil: fmt.Print*
+// variants, strings.Builder and bytes.Buffer writers.
+var AnalyzerDroppedError = &Analyzer{
+	Name: "droppederror",
+	Doc:  "library packages must not discard error returns (`_ =` or bare call)",
+	Run:  runDroppedError,
+}
+
+func runDroppedError(p *Package) []Finding {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					out = append(out, checkDiscardedCall(p, call)...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, checkDiscardedCall(p, stmt.Call)...)
+			case *ast.GoStmt:
+				out = append(out, checkDiscardedCall(p, stmt.Call)...)
+			case *ast.AssignStmt:
+				out = append(out, checkBlankError(p, stmt)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDiscardedCall flags a statement-position call that returns an
+// error nobody looks at.
+func checkDiscardedCall(p *Package, call *ast.CallExpr) []Finding {
+	if !resultsContainError(p, call) || errAllowlisted(p, call) {
+		return nil
+	}
+	return []Finding{p.finding("droppederror", call,
+		"result of %s contains an error that is discarded", calleeName(p, call))}
+}
+
+// checkBlankError flags error values assigned to the blank identifier.
+func checkBlankError(p *Package, stmt *ast.AssignStmt) []Finding {
+	var out []Finding
+	flag := func(lhs ast.Expr, t types.Type, call ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || t == nil || !isErrorType(t) {
+			return
+		}
+		if c, ok := call.(*ast.CallExpr); ok && errAllowlisted(p, c) {
+			return
+		}
+		out = append(out, p.finding("droppederror", lhs,
+			"error assigned to the blank identifier"))
+	}
+	if len(stmt.Lhs) > 1 && len(stmt.Rhs) == 1 {
+		// v, _ := f(): align each blank with the call's tuple element.
+		if tuple, ok := p.typeOf(stmt.Rhs[0]).(*types.Tuple); ok && tuple.Len() == len(stmt.Lhs) {
+			for i, lhs := range stmt.Lhs {
+				flag(lhs, tuple.At(i).Type(), stmt.Rhs[0])
+			}
+		}
+		return out
+	}
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i, lhs := range stmt.Lhs {
+			flag(lhs, p.typeOf(stmt.Rhs[i]), stmt.Rhs[i])
+		}
+	}
+	return out
+}
+
+// resultsContainError reports whether the call's result type is or
+// contains error.
+func resultsContainError(p *Package, call *ast.CallExpr) bool {
+	t := p.typeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// errAllowlisted reports whether the callee's error is documented to
+// be meaningless: fmt printers, strings.Builder and bytes.Buffer
+// writers (all "always nil" per their docs).
+func errAllowlisted(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.objectOf(id).(*types.Func)
+	return fn
+}
+
+// calleeName renders the callee for a finding message.
+func calleeName(p *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// In-memory fixtures: each analyzer test type-checks a tiny package
+// against stub versions of the repository's model packages (and of
+// the stdlib packages the analyzers special-case), so the tests run
+// with no go toolchain invocation and no filesystem.
+
+type srcPkg struct {
+	path string
+	src  string
+}
+
+// Stub model/stdlib packages. The analyzers identify types and
+// functions by package path + name, so the stubs only need matching
+// paths and signatures.
+const (
+	fakeGraph = `package graph
+
+type NodeID int32
+
+const Invalid NodeID = -1
+
+type Path []NodeID
+`
+	fakeTraffic = `package traffic
+
+import "tdmd/internal/graph"
+
+type Flow struct {
+	ID   int
+	Rate int
+	Path graph.Path
+}
+`
+	fakeRand = `package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+func Int() int                    { return 0 }
+func Intn(n int) int              { return 0 }
+func Float64() float64            { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+`
+	fakeErrors = `package errors
+
+func New(text string) error { return nil }
+`
+	fakeFmt = `package fmt
+
+func Println(args ...any) (int, error)               { return 0, nil }
+func Printf(format string, args ...any) (int, error) { return 0, nil }
+`
+	fakeStrings = `package strings
+
+type Builder struct{}
+
+func (b *Builder) WriteString(s string) (int, error) { return 0, nil }
+func (b *Builder) String() string                    { return "" }
+`
+	fakeExperiments = `package experiments
+
+func Run() {}
+`
+)
+
+// mapImporter resolves fixture imports from already-checked packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("fixture: unknown import %q", path)
+}
+
+// typecheckFixture checks the packages in order and returns a lint
+// Package for the last one (the unit under test).
+func typecheckFixture(t *testing.T, pkgs ...srcPkg) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := make(mapImporter)
+	var last *Package
+	for _, sp := range pkgs {
+		file, err := parser.ParseFile(fset, sp.path+"/fixture.go", sp.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", sp.path, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(sp.path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", sp.path, err)
+		}
+		imp[sp.path] = tpkg
+		last = &Package{
+			Path:   sp.path,
+			Module: "tdmd",
+			Fset:   fset,
+			Files:  []*ast.File{file},
+			Pkg:    tpkg,
+			Info:   info,
+		}
+	}
+	return last
+}
+
+// runOn applies one analyzer to a fixture package.
+func runOn(t *testing.T, a *Analyzer, pkgs ...srcPkg) []Finding {
+	t.Helper()
+	return a.Run(typecheckFixture(t, pkgs...))
+}
+
+// wantFindings asserts the number of findings and that each carries
+// the analyzer's name.
+func wantFindings(t *testing.T, a *Analyzer, got []Finding, want int) {
+	t.Helper()
+	if len(got) != want {
+		t.Fatalf("%s: got %d findings, want %d:\n%v", a.Name, len(got), want, got)
+	}
+	for _, f := range got {
+		if f.Analyzer != a.Name {
+			t.Fatalf("%s: finding attributed to %q: %v", a.Name, f.Analyzer, f)
+		}
+		if f.Pos.Line == 0 {
+			t.Fatalf("%s: finding without position: %v", a.Name, f)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq forbids direct ==/!= on floating-point operands.
+// Bandwidth values are sums of r·λ·l terms whose binary representation
+// depends on summation order, so exact equality silently flips between
+// true and false across refactors. Production comparisons must use an
+// epsilon helper (stats.ApproxEqual) or ordered tie-breaks
+// (a > b / a < b with fall-through); golden tests are exempt because
+// test files are not analyzed.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no direct ==/!= on float64 values; use an epsilon helper or ordered tie-breaks",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.typeOf(bin.X)) || isFloat(p.typeOf(bin.Y)) {
+				out = append(out, p.finding("floateq", bin,
+					"floating-point %s comparison; use stats.ApproxEqual or an ordered tie-break", bin.Op))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type (complex excluded: the model never uses it).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

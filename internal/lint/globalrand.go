@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGlobalRand forbids math/rand's implicit global generator in
+// library packages. Randomized library code must take a seeded
+// *rand.Rand so every experiment and figure is reproducible from an
+// explicit seed; only the constructors that build such a generator
+// from a seed are allowed.
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "library packages must not call top-level math/rand functions; take a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the top-level functions that build an
+// explicitly seeded generator rather than touching global state
+// (math/rand and math/rand/v2 names combined).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(p *Package) []Finding {
+	if !p.IsLibrary() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.objectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on *rand.Rand: the seeded generator is fine
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			out = append(out, p.finding("globalrand", sel,
+				"call to %s.%s uses the global generator; thread a seeded *rand.Rand instead",
+				path, fn.Name()))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package lint is the project-specific static-analysis suite behind
+// cmd/tdmdlint. It implements, with the standard library only
+// (go/parser + go/types — the module has no external dependencies and
+// must stay that way), the code-level invariants this repository's
+// correctness story rests on:
+//
+//   - globalrand: library code must not use math/rand's global state,
+//     so experiments stay reproducible from explicit seeds;
+//   - pathmutation: flow paths are immutable once built — the fixed-path
+//     model of the paper (Sec. 3) assumes no algorithm rewrites them;
+//   - droppederror: library code must not discard error returns;
+//   - floateq: no direct ==/!= on floating-point values — bandwidth
+//     comparisons go through an epsilon helper or ordered tie-breaks;
+//   - internalboundary: commands and examples consume the public tdmd
+//     facade, not internal packages (small allowlist aside);
+//   - todotracker: stray panic("TODO") markers and uppercase
+//     "xxx"/"fixme" attention comments fail the build.
+//
+// Analyzers operate on non-test files only: tests are deliberately
+// free to use exact golden comparisons, fixed global randomness and
+// internal packages.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the full import path (e.g. "tdmd/internal/netsim").
+	Path string
+	// Module is the module path the package belongs to ("tdmd").
+	Module string
+	// Fset positions every file and type-checked object.
+	Fset *token.FileSet
+	// Files holds the parsed non-test compilation units.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// rel returns the package path relative to the module root ("" for
+// the facade package itself).
+func (p *Package) rel() string {
+	if p.Path == p.Module {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, p.Module+"/")
+}
+
+// IsCommand reports whether the package lives under cmd/.
+func (p *Package) IsCommand() bool { return strings.HasPrefix(p.rel(), "cmd/") }
+
+// IsExample reports whether the package lives under examples/.
+func (p *Package) IsExample() bool { return strings.HasPrefix(p.rel(), "examples/") }
+
+// IsLibrary reports whether the package is part of the library proper:
+// the public facade or an internal package, as opposed to a command or
+// example binary.
+func (p *Package) IsLibrary() bool { return !p.IsCommand() && !p.IsExample() }
+
+// Finding is one analyzer hit.
+type Finding struct {
+	// Analyzer names the rule that fired.
+	Analyzer string
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// Message explains the violation.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one independent rule over a single package.
+type Analyzer struct {
+	// Name is the rule's identifier, used in findings and -only.
+	Name string
+	// Doc is a one-line description for tdmdlint -list.
+	Doc string
+	// Run reports the rule's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Analyzers returns every analyzer in the suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerGlobalRand,
+		AnalyzerPathMutation,
+		AnalyzerDroppedError,
+		AnalyzerFloatEq,
+		AnalyzerInternalBoundary,
+		AnalyzerTodoTracker,
+	}
+}
+
+// Run applies the analyzers to every package and returns the combined
+// findings ordered by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// finding builds a Finding at a node's position.
+func (p *Package) finding(analyzer string, at ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      p.Fset.Position(at.Pos()),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// typeOf returns the recorded static type of an expression, or nil.
+func (p *Package) typeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// objectOf resolves an identifier to its object via Uses then Defs.
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}

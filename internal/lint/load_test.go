@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestLoadModulePackages exercises the real loader end to end: it
+// shells out to `go list -export`, resolves export data through the
+// gc importer, and type-checks two of the repository's own packages.
+func TestLoadModulePackages(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	pkgs, err := Load("../..", "./internal/graph", "./cmd/tdmdlint")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2: %v", len(pkgs), pkgs)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		if p.Module != "tdmd" {
+			t.Errorf("%s: module %q, want tdmd", p.Path, p.Module)
+		}
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package: %+v", p.Path, p)
+		}
+	}
+	g, ok := byPath["tdmd/internal/graph"]
+	if !ok {
+		t.Fatal("tdmd/internal/graph not loaded")
+	}
+	if !g.IsLibrary() {
+		t.Errorf("internal/graph should classify as library")
+	}
+	cli, ok := byPath["tdmd/cmd/tdmdlint"]
+	if !ok {
+		t.Fatal("tdmd/cmd/tdmdlint not loaded")
+	}
+	if !cli.IsCommand() {
+		t.Errorf("cmd/tdmdlint should classify as command")
+	}
+	// The loaded packages are part of the tree the suite keeps clean.
+	if got := Run(pkgs, Analyzers()); len(got) != 0 {
+		t.Errorf("unexpected findings on clean packages: %v", got)
+	}
+}
+
+func TestLoadRejectsBrokenPatterns(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	if _, err := Load("../..", "./no/such/package"); err == nil {
+		t.Fatal("Load should fail for a nonexistent pattern")
+	}
+}

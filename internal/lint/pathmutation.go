@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPathMutation protects the fixed-path model of the paper
+// (Sec. 3: flows follow predetermined routes that no algorithm may
+// rewrite). A graph.Path — including one inside a traffic.Flow —
+// received as a function argument is shared with the caller through
+// its backing array, so the analyzer flags, inside any function,
+//
+//   - element writes through a Path rooted at a parameter
+//     (p[i] = v, f.Path[i] = v, flows[j].Path[i] = v),
+//   - append calls whose first argument is a Path rooted at a
+//     parameter (append may write the shared backing array in place),
+//   - reassigning a Path field reached through a pointer or slice
+//     parameter (f.Path = ... with f *traffic.Flow, flows[i].Path = ...).
+//
+// Building a fresh path (append(graph.Path(nil), p...), Clone) stays
+// allowed: the first argument is not rooted at a parameter.
+var AnalyzerPathMutation = &Analyzer{
+	Name: "pathmutation",
+	Doc:  "graph.Path / traffic.Flow.Path values received as arguments must not be written through",
+	Run:  runPathMutation,
+}
+
+// isPathType reports whether t is the graph package's Path type.
+func isPathType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Path" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+}
+
+func runPathMutation(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkPathMutation(p, fd)...)
+		}
+	}
+	return out
+}
+
+// paramSet collects the *types.Var objects of a function's parameters
+// (receivers excluded: a type's own methods manage their own data).
+func paramSet(p *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	params := make(map[*types.Var]bool)
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				params[v] = true
+			}
+		}
+	}
+	return params
+}
+
+func checkPathMutation(p *Package, fd *ast.FuncDecl) []Finding {
+	params := paramSet(p, fd)
+	if len(params) == 0 {
+		return nil
+	}
+	var out []Finding
+
+	// rootParam strips selectors, indexing, slicing and dereferences
+	// and reports whether the base identifier is a parameter.
+	rootParam := func(e ast.Expr) *types.Var {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.SliceExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.Ident:
+				if obj, ok := p.objectOf(v).(*types.Var); ok && params[obj] {
+					return obj
+				}
+				return nil
+			default:
+				return nil
+			}
+		}
+	}
+
+	// sharedChain reports whether reaching expr's target traverses
+	// caller-shared memory: a pointer dereference, a pointer field
+	// base, or an index into a slice.
+	var sharedChain func(e ast.Expr) bool
+	sharedChain = func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			return sharedChain(v.X)
+		case *ast.StarExpr:
+			return true
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			if t := p.typeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return true
+				}
+			}
+			return sharedChain(v.X)
+		default:
+			return false
+		}
+	}
+
+	checkLHS := func(lhs ast.Expr) {
+		// Element write through a Path: any index step over a
+		// Path-typed expression rooted at a parameter.
+		for e := lhs; ; {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+				continue
+			case *ast.IndexExpr:
+				if t := p.typeOf(v.X); t != nil && isPathType(t) {
+					if v := rootParam(v.X); v != nil {
+						out = append(out, p.finding("pathmutation", lhs,
+							"element write through Path %q received as argument (flow paths are immutable)", v.Name()))
+						return
+					}
+				}
+				e = v.X
+				continue
+			case *ast.SelectorExpr:
+				e = v.X
+				continue
+			case *ast.StarExpr:
+				e = v.X
+				continue
+			}
+			break
+		}
+		// Reassigning a Path reached through shared memory
+		// (f.Path = ... with f a pointer param, flows[i].Path = ...).
+		if t := p.typeOf(lhs); t != nil && isPathType(t) {
+			if _, isIdent := lhs.(*ast.Ident); !isIdent && sharedChain(lhs) {
+				if v := rootParam(lhs); v != nil {
+					out = append(out, p.finding("pathmutation", lhs,
+						"reassigns the Path of %q received as argument (flow paths are immutable)", v.Name()))
+				}
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				checkLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(stmt.X)
+		case *ast.CallExpr:
+			// append(path, ...) with a parameter-rooted Path may write
+			// the caller's backing array when capacity allows.
+			id, ok := stmt.Fun.(*ast.Ident)
+			if !ok || len(stmt.Args) == 0 {
+				return true
+			}
+			if _, isBuiltin := p.objectOf(id).(*types.Builtin); !isBuiltin || id.Name != "append" {
+				return true
+			}
+			arg := stmt.Args[0]
+			if t := p.typeOf(arg); t != nil && isPathType(t) {
+				if v := rootParam(arg); v != nil {
+					out = append(out, p.finding("pathmutation", stmt,
+						"append to Path %q received as argument may write the shared backing array; copy first", v.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

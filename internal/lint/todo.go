@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerTodoTracker fails the build on stray work markers: comments
+// carrying the uppercase "xxx" or "fixme" attention markers, and
+// panic calls whose message marks unfinished code (TODO,
+// unimplemented). Plain TODO comments are allowed — they document
+// known future work — but a panic("TODO") is a landmine on a
+// reachable code path and the uppercase markers conventionally mean
+// "must not ship".
+var AnalyzerTodoTracker = &Analyzer{
+	Name: "todotracker",
+	Doc:  "no stray uppercase xxx/fixme comments or panic(\"TODO\")-style markers",
+	Run:  runTodoTracker,
+}
+
+func runTodoTracker(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "XXX") || strings.Contains(c.Text, "FIXME") {
+					out = append(out, p.finding("todotracker", c,
+						"comment contains an XXX/FIXME marker; resolve it or file it in the ROADMAP"))
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.objectOf(id).(*types.Builtin); !isBuiltin {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			lower := strings.ToLower(s)
+			if strings.Contains(lower, "todo") || strings.Contains(lower, "unimplemented") ||
+				strings.Contains(lower, "not implemented") {
+				out = append(out, p.finding("todotracker", call,
+					"panic(%q) marks unfinished code on a reachable path", s))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -50,9 +50,14 @@ func MaxLinkLoad(loads map[LinkKey]float64) (LinkKey, float64) {
 	var best float64
 	first := true
 	for k, l := range loads {
-		if first || l > best || (l == best && (k.From < bestKey.From || (k.From == bestKey.From && k.To < bestKey.To))) {
+		switch {
+		case first || l > best:
 			bestKey, best = k, l
 			first = false
+		case l < best:
+			// keep incumbent
+		case k.From < bestKey.From || (k.From == bestKey.From && k.To < bestKey.To):
+			bestKey, best = k, l
 		}
 	}
 	return bestKey, best

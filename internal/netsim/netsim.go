@@ -14,6 +14,7 @@ import (
 
 	"tdmd/internal/bitset"
 	"tdmd/internal/graph"
+	"tdmd/internal/invariant"
 	"tdmd/internal/traffic"
 )
 
@@ -21,6 +22,12 @@ import (
 // the middlebox's traffic-changing ratio λ. Build it with New, which
 // validates inputs and precomputes the per-vertex flow index used by
 // all algorithms.
+//
+// An Instance is read-only after construction — the only internal
+// mutation is the lazily built cover bitsets, guarded by a sync.Once —
+// so one Instance may be shared by any number of concurrent solver
+// calls (see placement's concurrency tests). Callers must not mutate
+// G, Flows, or the flows' paths after New.
 type Instance struct {
 	G      *graph.Graph
 	Flows  []traffic.Flow
@@ -182,7 +189,32 @@ func (in *Instance) Allocate(p Plan) Allocation {
 			}
 		}
 	}
+	if invariant.Enabled {
+		in.assertAllocation(p, alloc)
+	}
 	return alloc
+}
+
+// assertAllocation checks the serve-exactly-once contract behind
+// every bandwidth computation: a served flow's vertex is deployed and
+// on the flow's path, and a flow is unserved only when no deployed
+// vertex lies on its path. Runs only with invariants enabled.
+func (in *Instance) assertAllocation(p Plan, alloc Allocation) {
+	invariant.Assert(len(alloc) == len(in.Flows),
+		"netsim: allocation has %d entries for %d flows", len(alloc), len(in.Flows))
+	for i, f := range in.Flows {
+		v := alloc[i]
+		if v == Unserved {
+			for _, u := range f.Path {
+				invariant.Assert(!p.Has(u),
+					"netsim: flow %d unserved although deployed vertex %d is on its path", f.ID, u)
+			}
+			continue
+		}
+		invariant.Assert(p.Has(v), "netsim: flow %d allocated to undeployed vertex %d", f.ID, v)
+		invariant.Assert(f.Path.Downstream(v) >= 0,
+			"netsim: flow %d allocated to off-path vertex %d", f.ID, v)
+	}
 }
 
 // Feasible reports whether every flow has a middlebox on its path.

@@ -1,0 +1,85 @@
+package paperfix
+
+import (
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/placement"
+	"tdmd/internal/traffic"
+)
+
+func TestFig1WellFormed(t *testing.T) {
+	g, flows, lambda := Fig1()
+	if lambda < 0 || lambda > 1 {
+		t.Fatalf("lambda = %v, want within [0, 1]", lambda)
+	}
+	if g.NumNodes() != 6 {
+		t.Fatalf("Fig1 has %d vertices, want 6", g.NumNodes())
+	}
+	if len(flows) != 4 {
+		t.Fatalf("Fig1 has %d flows, want 4", len(flows))
+	}
+	if err := traffic.Validate(g, flows); err != nil {
+		t.Fatalf("Fig1 flows invalid: %v", err)
+	}
+	// Σ r_f·|p_f| = 4·2 + 2·2 + 2·1 + 2·1 = 16 (the paper's raw demand).
+	if got := traffic.RawDemand(flows); got != 16 {
+		t.Fatalf("Fig1 raw demand = %v, want 16", got)
+	}
+}
+
+func TestFig5WellFormed(t *testing.T) {
+	g, tree, flows, lambda := Fig5()
+	if lambda < 0 || lambda > 1 {
+		t.Fatalf("lambda = %v, want within [0, 1]", lambda)
+	}
+	if g.NumNodes() != 8 {
+		t.Fatalf("Fig5 has %d vertices, want 8", g.NumNodes())
+	}
+	if tree.Root != V(1) {
+		t.Fatalf("Fig5 root = %v, want v1", tree.Root)
+	}
+	if err := traffic.Validate(g, flows); err != nil {
+		t.Fatalf("Fig5 flows invalid: %v", err)
+	}
+	for _, f := range flows {
+		if f.Dst() != tree.Root {
+			t.Errorf("flow %d ends at %v, want the root", f.ID, f.Dst())
+		}
+	}
+}
+
+func TestVMapsPaperNamesToNodeIDs(t *testing.T) {
+	if V(1) != graph.NodeID(0) || V(6) != graph.NodeID(5) {
+		t.Fatalf("V mapping broken: V(1)=%v V(6)=%v", V(1), V(6))
+	}
+}
+
+// Table 2's first row maximizes at d_∅(v5) = 4, so the best single
+// deployment serves from v5 and Eq. (1) drops from the raw 16 to 12.
+// No single vertex lies on all four paths, so under the
+// every-flow-served constraint k=1 is infeasible and the best plan is
+// found by scanning single-vertex plans directly (unserved flows pay
+// their full rate on every hop, exactly Eq. (1)).
+func TestFig1OptimalK1MatchesTable2(t *testing.T) {
+	g, flows, lambda := Fig1()
+	in := netsim.MustNew(g, flows, lambda)
+
+	if _, err := placement.Exhaustive(in, 1); err == nil {
+		t.Fatal("Exhaustive(k=1) should report infeasibility on Fig. 1")
+	}
+
+	best, bestAt := in.RawDemand(), graph.Invalid
+	for _, v := range g.Nodes() {
+		if b := in.TotalBandwidth(netsim.NewPlan(v)); b < best {
+			best, bestAt = b, v
+		}
+	}
+	if bestAt != V(5) {
+		t.Fatalf("best single deployment at %v, want v5", bestAt)
+	}
+	if best != 12 {
+		t.Fatalf("k=1 optimal bandwidth = %v, want 12 (16 - d(v5)=4)", best)
+	}
+}

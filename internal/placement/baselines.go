@@ -83,8 +83,11 @@ func BestEffort(in *netsim.Instance, k int) (Result, error) {
 		ranked = append(ranked, scored{v, in.MarginalDecrement(empty, emptyAlloc, v)})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].gain != ranked[j].gain {
-			return ranked[i].gain > ranked[j].gain
+		if ranked[i].gain > ranked[j].gain {
+			return true
+		}
+		if ranked[i].gain < ranked[j].gain {
+			return false
 		}
 		return ranked[i].v < ranked[j].v
 	})

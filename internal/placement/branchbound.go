@@ -77,8 +77,11 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 		order = append(order, vcand{v, in.MarginalDecrement(empty, emptyAlloc, v)})
 	}
 	sort.Slice(order, func(i, j int) bool {
-		if order[i].gain != order[j].gain {
-			return order[i].gain > order[j].gain
+		if order[i].gain > order[j].gain {
+			return true
+		}
+		if order[i].gain < order[j].gain {
+			return false
 		}
 		return order[i].v < order[j].v
 	})

@@ -93,7 +93,7 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 		p.Add(v)
 		alloc = in.Allocate(p)
 	}
-	return finish(in, p), nil
+	return finishBudget(in, p, k), nil
 }
 
 // GTPLazy is GTP accelerated by lazy evaluation: because d(P) is
@@ -184,8 +184,15 @@ func bestCandidate(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, 
 		}
 		gain := in.MarginalDecrement(p, alloc, v)
 		covered := unservedCovered(in, alloc, v)
-		if gain > bestGain || (gain == bestGain && (covered > bestCovered ||
-			(covered == bestCovered && v < best))) {
+		// Ordered comparison instead of float ==: strictly larger gain
+		// wins, strictly smaller loses, exact ties fall through to the
+		// coverage and vertex-ID keys.
+		switch {
+		case gain > bestGain:
+			best, bestGain, bestCovered = v, gain, covered
+		case gain < bestGain:
+			// keep incumbent
+		case covered > bestCovered || (covered == bestCovered && v < best):
 			best, bestGain, bestCovered = v, gain, covered
 		}
 	}

@@ -128,7 +128,7 @@ func hat(in *netsim.Instance, t *graph.Tree, k int, wantTrace bool) (Result, []M
 			}
 		}
 	}
-	return finish(in, plan), trace, nil
+	return finishBudget(in, plan, k), trace, nil
 }
 
 // popMinPair pops the minimum-cost pair, breaking exact ties toward

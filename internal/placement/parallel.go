@@ -65,8 +65,13 @@ func (a candScore) better(b candScore) bool {
 	if !b.valid {
 		return true
 	}
-	if a.gain != b.gain {
-		return a.gain > b.gain
+	// Ordered comparisons instead of float ==: exact ties fall through
+	// to the next key (floateq analyzer discipline).
+	if a.gain > b.gain {
+		return true
+	}
+	if a.gain < b.gain {
+		return false
 	}
 	if a.covered != b.covered {
 		return a.covered > b.covered
@@ -145,7 +150,7 @@ func TreeDPParallel(in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts
 	}
 	plan := netsim.NewPlan()
 	d.trace(root, bestK, bRoot, &plan)
-	return finish(in, plan), nil
+	return finishBudget(in, plan, k), nil
 }
 
 // solveTreeParallel computes every vertex's DP table bottom-up with a
@@ -251,8 +256,15 @@ func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, 
 	wg.Wait()
 	out := best{val: math.Inf(1)}
 	for _, b := range results {
-		if b.found && (!out.found || b.val < out.val ||
-			(b.val == out.val && b.plan.String() < out.plan.String())) {
+		if !b.found {
+			continue
+		}
+		switch {
+		case !out.found || b.val < out.val:
+			out = b
+		case b.val > out.val:
+			// keep incumbent
+		case b.plan.String() < out.plan.String():
 			out = b
 		}
 	}

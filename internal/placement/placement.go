@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 
+	"tdmd/internal/invariant"
 	"tdmd/internal/netsim"
+	"tdmd/internal/stats"
 )
 
 // Result is the outcome of a placement algorithm.
@@ -29,13 +31,32 @@ type Result struct {
 // serving all flows within the middlebox budget.
 var ErrInfeasible = errors.New("placement: no feasible deployment within budget")
 
-// finish scores a plan and packages it as a Result.
+// finish scores a plan and packages it as a Result. With invariants
+// enabled it cross-checks the closed-form objective (Eq. 1) against
+// the hop-by-hop link-load recomputation, so every algorithm's score
+// is validated by an independent model on every solve.
 func finish(in *netsim.Instance, p netsim.Plan) Result {
-	return Result{
+	r := Result{
 		Plan:      p,
 		Bandwidth: in.TotalBandwidth(p),
 		Feasible:  in.Feasible(p),
 	}
+	if invariant.Enabled {
+		sum := netsim.SumLoads(in.LinkLoads(p))
+		invariant.Assert(stats.ApproxEqual(sum, r.Bandwidth, 1e-9),
+			"placement: closed-form bandwidth %v disagrees with link-load recomputation %v for plan %v",
+			r.Bandwidth, sum, p)
+	}
+	return r
+}
+
+// finishBudget is finish plus the budget invariant |P| ≤ k that every
+// budgeted solver promises.
+func finishBudget(in *netsim.Instance, p netsim.Plan, k int) Result {
+	if invariant.Enabled {
+		invariant.Assert(p.Size() <= k, "placement: plan %v exceeds budget %d", p, k)
+	}
+	return finish(in, p)
 }
 
 // validateBudget rejects non-positive budgets, which can never serve a

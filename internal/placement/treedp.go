@@ -52,7 +52,7 @@ func TreeDP(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
 	}
 	plan := netsim.NewPlan()
 	d.trace(root, bestK, bRoot, &plan)
-	return finish(in, plan), nil
+	return finishBudget(in, plan, k), nil
 }
 
 // TreeDPTables exposes the raw F(v, k) and P(v, k, b) tables for a

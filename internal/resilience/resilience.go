@@ -66,8 +66,11 @@ func Ranking(in *netsim.Instance, p netsim.Plan) []Impact {
 		if a.UnservedFlows != b.UnservedFlows {
 			return a.UnservedFlows > b.UnservedFlows
 		}
-		if a.BandwidthDelta != b.BandwidthDelta {
-			return a.BandwidthDelta > b.BandwidthDelta
+		if a.BandwidthDelta > b.BandwidthDelta {
+			return true
+		}
+		if a.BandwidthDelta < b.BandwidthDelta {
+			return false
 		}
 		return a.Failed < b.Failed
 	})

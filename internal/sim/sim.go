@@ -83,8 +83,11 @@ type calendar []event
 
 func (c calendar) Len() int { return len(c) }
 func (c calendar) Less(i, j int) bool {
-	if c[i].time != c[j].time {
-		return c[i].time < c[j].time
+	if c[i].time < c[j].time {
+		return true
+	}
+	if c[i].time > c[j].time {
+		return false
 	}
 	return c[i].seq < c[j].seq
 }
@@ -206,7 +209,7 @@ func Run(g *graph.Graph, p netsim.Plan, lambda float64, cfg Config) (Metrics, er
 			return
 		}
 		for key, l := range loads {
-			if l != 0 {
+			if l > 0 {
 				integrals[key] += l * dt
 			}
 		}

@@ -10,6 +10,18 @@ import (
 	"sort"
 )
 
+// ApproxEqual reports whether a and b agree within a relative-absolute
+// tolerance: |a−b| ≤ tol·(1 + max(|a|, |b|)). Production code must use
+// it (or an ordered tie-break) instead of == / != on float64 values —
+// the floateq analyzer in internal/lint enforces that.
+func ApproxEqual(a, b, tol float64) bool {
+	scale := math.Abs(a)
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*(1+scale)
+}
+
 // Sample accumulates observations with Welford's online algorithm,
 // which is numerically stable for long runs. The zero value is an
 // empty sample ready for use.

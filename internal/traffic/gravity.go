@@ -47,7 +47,7 @@ func GravityFlows(g *graph.Graph, cfg GravityConfig) []Flow {
 			wsum += x
 		}
 	}
-	if wsum == 0 {
+	if wsum <= 0 { // only positive weights accumulate, so <= 0 means none
 		return nil
 	}
 	type pair struct {
@@ -78,8 +78,11 @@ func GravityFlows(g *graph.Graph, cfg GravityConfig) []Flow {
 	if cfg.MaxPairs > 0 && len(pairs) > cfg.MaxPairs {
 		sort.Slice(pairs, func(i, j int) bool {
 			a, b := pairs[i], pairs[j]
-			if a.demand != b.demand {
-				return a.demand > b.demand
+			if a.demand > b.demand {
+				return true
+			}
+			if a.demand < b.demand {
+				return false
 			}
 			if a.u != b.u {
 				return a.u < b.u

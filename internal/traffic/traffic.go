@@ -150,7 +150,7 @@ func (c CAIDALike) Sample(rng *rand.Rand) int {
 	if rng.Float64() < c.ElephantFrac {
 		// Pareto via inverse CDF.
 		u := rng.Float64()
-		if u == 0 {
+		if u < 1e-300 { // Float64 is in [0, 1); guard the u=0 pole exactly
 			u = 1e-12
 		}
 		x = c.ParetoScale / math.Pow(u, 1/c.ParetoAlpha)

@@ -68,10 +68,10 @@ func (c LineChart) SVG() string {
 	if math.IsInf(xMin, 1) { // no data at all
 		xMin, xMax, yMin, yMax = 0, 1, 0, 1
 	}
-	if xMax == xMin {
+	if xMax <= xMin { // degenerate range (max never drops below min)
 		xMax = xMin + 1
 	}
-	if yMax == yMin {
+	if yMax <= yMin {
 		yMax = yMin + 1
 	}
 	// Pad the y range a little and drop to zero when close.
@@ -183,7 +183,7 @@ func (hm Heatmap) SVG() string {
 	if rows == 0 || cols == 0 {
 		rows, cols, lo, hi = 1, 1, 0, 1
 	}
-	if hi == lo {
+	if hi <= lo { // degenerate range (hi never drops below lo)
 		hi = lo + 1
 	}
 	plotW := w - marginLeft - marginRight
@@ -270,8 +270,8 @@ func ticks(lo, hi float64, n int) []float64 {
 }
 
 func fmtTick(t float64) string {
-	if t == math.Trunc(t) && math.Abs(t) < 1e7 {
-		return fmt.Sprintf("%d", int64(t))
+	if r := math.Round(t); math.Abs(t-r) <= 1e-9 && math.Abs(t) < 1e7 {
+		return fmt.Sprintf("%d", int64(r))
 	}
 	return fmt.Sprintf("%.3g", t)
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# check.sh — the repository's single verification entry point.
+#
+# Runs the full tier-1 gate: formatting, go vet, build, tests with the
+# race detector, the invariant-tagged test builds, a short fuzz smoke
+# on both fuzz targets, and the project-specific static analyzers
+# (cmd/tdmdlint). Exits non-zero on the first failure.
+#
+# The script is offline and idempotent: it needs only the go toolchain
+# and the module's own source (the module has no external
+# dependencies), and it writes nothing outside the go build cache.
+#
+# Usage: scripts/check.sh          (from anywhere inside the repo)
+#        make check               (alias)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> invariant-tagged tests"
+go test -tags tdmdinvariant ./internal/invariant/ ./internal/netsim/ ./internal/placement/
+
+echo "==> fuzz smoke (5s per target)"
+go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=5s .
+go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s .
+
+echo "==> tdmdlint"
+go run ./cmd/tdmdlint ./...
+
+echo "OK: all checks passed"
