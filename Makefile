@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint fuzz
+.PHONY: check build test race lint fuzz bench
 
 check:
 	scripts/check.sh
@@ -22,3 +22,9 @@ lint:
 fuzz:
 	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=30s .
 	go test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=30s .
+	go test -run='^$$' -fuzz=FuzzStateOps -fuzztime=30s ./internal/netsim/
+
+# Paired full-recompute vs incremental (netsim.State) benchmarks; see
+# EXPERIMENTS.md "Incremental evaluation".
+bench:
+	go test -run='^$$' -bench=FullVsIncremental -benchmem .

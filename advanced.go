@@ -128,6 +128,21 @@ type apiError struct{ msg string }
 
 func (e *apiError) Error() string { return e.msg }
 
+// State is the incremental allocation engine the solvers run on: it
+// maintains each flow's serving vertex, the total bandwidth, and
+// per-vertex marginal decrements under AddBox/RemoveBox plan
+// mutations, touching only the flows through the mutated vertex. Use
+// it to build custom search procedures (the built-in greedy, local
+// search, and branch-and-bound all do). The Problem's instance stays
+// read-only and shareable; a State is single-goroutine for mutations.
+type State = netsim.State
+
+// NewState builds an incremental evaluation state for this problem,
+// starting from the given plan (the plan is cloned). With invariants
+// enabled every mutation cross-checks against the full model
+// recomputation.
+func (p *Problem) NewState(plan Plan) *State { return netsim.NewState(p.inst, plan) }
+
 // BnBOpts configures SolveExact's branch-and-bound.
 type BnBOpts = placement.BnBOpts
 

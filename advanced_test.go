@@ -152,3 +152,32 @@ func TestSolveExactFacade(t *testing.T) {
 		t.Fatalf("exact solve = %+v, want certified 8", r)
 	}
 }
+
+func TestNewStateFacade(t *testing.T) {
+	p := fig1Problem(t)
+	st := p.NewState(NewPlan())
+	if st.Feasible() {
+		t.Fatal("empty plan cannot be feasible on Fig. 1")
+	}
+	// Walk to the paper's k=2 plan {v2, v5} and cross-check against
+	// Evaluate at every step.
+	for _, v := range []NodeID{paperfix.V(2), paperfix.V(5)} {
+		st.AddBox(v)
+		want := p.Evaluate(st.Plan())
+		if got := st.ExactBandwidth(); got != want.Bandwidth {
+			t.Fatalf("state bandwidth %v != Evaluate %v after adding %v", got, want.Bandwidth, v)
+		}
+		if st.Feasible() != want.Feasible {
+			t.Fatalf("feasibility mismatch after adding %v", v)
+		}
+	}
+	if bw := st.ExactBandwidth(); bw != 12 {
+		t.Fatalf("final bandwidth %v, want 12", bw)
+	}
+	// Mutations revert exactly.
+	st.RemoveBox(paperfix.V(5))
+	st.AddBox(paperfix.V(5))
+	if bw := st.ExactBandwidth(); bw != 12 {
+		t.Fatalf("revert drifted to %v", bw)
+	}
+}

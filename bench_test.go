@@ -11,13 +11,18 @@ package tdmd_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"tdmd/internal/experiments"
+	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
 	"tdmd/internal/placement"
 	"tdmd/internal/stats"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
 )
 
 // benchAlgs runs every algorithm of the series on the trial as
@@ -183,6 +188,176 @@ func BenchmarkFig17_SpamGeneral(b *testing.B) {
 			benchAlgs(b, trial, []experiments.AlgName{experiments.GTP})
 		})
 	}
+}
+
+// --- Paired full-vs-incremental benchmarks -------------------------
+//
+// The placement algorithms run on netsim.State, the incremental
+// allocation engine. These pairs measure what that buys at a scale
+// where the difference matters (|V|=200, |F|≥1000): the "full"
+// variants replicate, with the model primitives, the re-allocate-
+// every-round pattern the solvers used before the refactor, and the
+// "incremental" variants are the shipping implementations. Both sides
+// report allocations/op measured over the whole solve via
+// runtime.MemStats. Results are recorded in EXPERIMENTS.md
+// ("Incremental evaluation"); `make bench` runs exactly this pairing.
+
+// incrBenchInstance builds a large workload: 200 vertices, ≥1000
+// flows, λ=0.5. More sources spread the flows, forcing more greedy
+// rounds (the GTP pair uses 40 sources → ~145 deployments; the local
+// search pair uses 3 → a plan small enough that the full-recompute
+// swap pass stays affordable).
+func incrBenchInstance(b *testing.B, sources int) *netsim.Instance {
+	b.Helper()
+	g := topology.GeneralRandom(200, 0.8, 7)
+	srcs := make([]graph.NodeID, sources)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i)
+	}
+	fl := traffic.GeneralFlows(g, srcs, traffic.GenConfig{
+		Density: 2.0, Seed: 9, MaxFlows: 1500})
+	if len(fl) < 1000 {
+		b.Fatalf("workload generation produced only %d flows, need >= 1000", len(fl))
+	}
+	return netsim.MustNew(g, fl, 0.5)
+}
+
+// reportAllocsPerOp wraps the timed loop with MemStats reads and
+// reports the allocation count per iteration.
+func reportAllocsPerOp(b *testing.B, loop func()) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	loop()
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N), "allocs/op")
+}
+
+// allocFeasible mirrors the pre-refactor feasibility check on an
+// existing allocation.
+func allocFeasible(alloc netsim.Allocation) bool {
+	for _, v := range alloc {
+		if v == netsim.Unserved {
+			return false
+		}
+	}
+	return true
+}
+
+// gtpFullRecompute is GTP's pre-refactor inner loop, replicated
+// faithfully: every round pays a full Allocate, then scores each
+// candidate with MarginalDecrement against that fresh allocation.
+// Tie-breaking matches the shipping implementation (coverage, then
+// vertex ID), so both variants pick the same plan.
+func gtpFullRecompute(in *netsim.Instance) netsim.Plan {
+	p := netsim.NewPlan()
+	alloc := in.Allocate(p)
+	for !allocFeasible(alloc) {
+		best := graph.Invalid
+		bestGain := math.Inf(-1)
+		bestCovered := -1
+		for _, v := range in.G.Nodes() {
+			if p.Has(v) {
+				continue
+			}
+			gain := in.MarginalDecrement(p, alloc, v)
+			covered := 0
+			for _, fa := range in.Through(v) {
+				if alloc[fa.Flow] == netsim.Unserved {
+					covered++
+				}
+			}
+			switch {
+			case gain > bestGain:
+				best, bestGain, bestCovered = v, gain, covered
+			case gain < bestGain:
+			case covered > bestCovered || (covered == bestCovered && v < best):
+				best, bestGain, bestCovered = v, gain, covered
+			}
+		}
+		if best == graph.Invalid || (bestGain <= 0 && bestCovered == 0) {
+			break
+		}
+		p.Add(best)
+		alloc = in.Allocate(p)
+	}
+	return p
+}
+
+// localSearchFullRound is one 1-swap pass in the pre-refactor style:
+// every probe mutates a plan copy and re-runs the full Feasible +
+// TotalBandwidth evaluation.
+func localSearchFullRound(in *netsim.Instance, seed netsim.Plan) netsim.Plan {
+	p := seed.Clone()
+	n := in.G.NumNodes()
+	for _, out := range p.Vertices() {
+		bestBW := in.TotalBandwidth(p)
+		bestIn := graph.Invalid
+		p.Remove(out)
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if v == out || p.Has(v) {
+				continue
+			}
+			p.Add(v)
+			if in.Feasible(p) {
+				if bw := in.TotalBandwidth(p); bw < bestBW-1e-12 {
+					bestBW, bestIn = bw, v
+				}
+			}
+			p.Remove(v)
+		}
+		if bestIn != graph.Invalid {
+			p.Add(bestIn)
+		} else {
+			p.Add(out)
+		}
+	}
+	return p
+}
+
+func BenchmarkFullVsIncrementalGTP(b *testing.B) {
+	in := incrBenchInstance(b, 40)
+	b.Run("full", func(b *testing.B) {
+		reportAllocsPerOp(b, func() {
+			for i := 0; i < b.N; i++ {
+				if p := gtpFullRecompute(in); p.Size() == 0 {
+					b.Fatal("full-recompute GTP produced an empty plan")
+				}
+			}
+		})
+	})
+	b.Run("incremental", func(b *testing.B) {
+		reportAllocsPerOp(b, func() {
+			for i := 0; i < b.N; i++ {
+				if r := placement.GTP(in); !r.Feasible {
+					b.Fatal("GTP produced an infeasible plan")
+				}
+			}
+		})
+	})
+}
+
+func BenchmarkFullVsIncrementalLocalSearch(b *testing.B) {
+	in := incrBenchInstance(b, 3)
+	seed := placement.GTP(in)
+	if !seed.Feasible {
+		b.Fatal("greedy seed infeasible")
+	}
+	b.Run("full", func(b *testing.B) {
+		reportAllocsPerOp(b, func() {
+			for i := 0; i < b.N; i++ {
+				localSearchFullRound(in, seed.Plan)
+			}
+		})
+	})
+	b.Run("incremental", func(b *testing.B) {
+		reportAllocsPerOp(b, func() {
+			for i := 0; i < b.N; i++ {
+				placement.LocalSearch(in, seed.Plan, 1)
+			}
+		})
+	})
 }
 
 // BenchmarkTable2_MarginalDecrement measures the oracle the GTP

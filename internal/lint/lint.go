@@ -11,6 +11,9 @@
 //   - droppederror: library code must not discard error returns;
 //   - floateq: no direct ==/!= on floating-point values — bandwidth
 //     comparisons go through an epsilon helper or ordered tie-breaks;
+//   - allocloop: placement solvers must not call the netsim Instance's
+//     full Allocate inside loops — iteration runs on netsim.State
+//     deltas (invariant cross-checks excepted);
 //   - internalboundary: commands and examples consume the public tdmd
 //     facade, not internal packages (small allowlist aside);
 //   - todotracker: stray panic("TODO") markers and uppercase
@@ -97,6 +100,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerPathMutation,
 		AnalyzerDroppedError,
 		AnalyzerFloatEq,
+		AnalyzerAllocLoop,
 		AnalyzerInternalBoundary,
 		AnalyzerTodoTracker,
 	}

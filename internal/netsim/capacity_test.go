@@ -92,13 +92,10 @@ func TestCoverSetMatchesCoveredBy(t *testing.T) {
 	}
 }
 
-func TestEvaluatorHas(t *testing.T) {
+func TestStateHas(t *testing.T) {
 	in := fig1(t)
-	e, err := NewEvaluator(in, NewPlan(paperfix.V(5)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !e.Has(paperfix.V(5)) || e.Has(paperfix.V(2)) {
+	s := NewState(in, NewPlan(paperfix.V(5)))
+	if !s.Has(paperfix.V(5)) || s.Has(paperfix.V(2)) {
 		t.Fatal("Has broken")
 	}
 }

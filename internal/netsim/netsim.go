@@ -217,6 +217,22 @@ func (in *Instance) assertAllocation(p Plan, alloc Allocation) {
 	}
 }
 
+// Covers reports whether every flow has a deployed vertex on its
+// path, using the lazily built per-vertex cover bitsets. Coverage
+// equals feasibility in both middlebox regimes, but the word-parallel
+// union is far cheaper than a full Allocate — the random-placement
+// sampler rejection-tests candidate plans with it.
+func (in *Instance) Covers(p Plan) bool {
+	if len(in.Flows) == 0 {
+		return true
+	}
+	acc := bitset.New(len(in.Flows))
+	for v := range p.set {
+		acc.Or(in.CoverSet(v))
+	}
+	return acc.Count() == len(in.Flows)
+}
+
 // Feasible reports whether every flow has a middlebox on its path.
 func (in *Instance) Feasible(p Plan) bool {
 	for _, v := range in.Allocate(p) {

@@ -64,12 +64,9 @@ func BenchmarkLinkLoads1000(b *testing.B) {
 	}
 }
 
-func BenchmarkEvaluatorSwap1000(b *testing.B) {
+func BenchmarkStateSwap1000(b *testing.B) {
 	in, p := benchInstance(b, 1000, 5000)
-	e, err := NewEvaluator(in, p)
-	if err != nil {
-		b.Fatal(err)
-	}
+	s := NewState(in, p)
 	vs := p.Vertices()
 	if len(vs) == 0 {
 		b.Skip("empty plan")
@@ -77,9 +74,9 @@ func BenchmarkEvaluatorSwap1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := vs[i%len(vs)]
-		e.Remove(out)
-		e.Add(graph.NodeID(i % 1000))
-		e.Remove(graph.NodeID(i % 1000))
-		e.Add(out)
+		s.RemoveBox(out)
+		s.AddBox(graph.NodeID(i % 1000))
+		s.RemoveBox(graph.NodeID(i % 1000))
+		s.AddBox(out)
 	}
 }

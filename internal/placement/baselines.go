@@ -14,7 +14,9 @@ import (
 // ... we choose to regenerate"), infeasible draws are rejected and
 // resampled up to maxAttempts; if none is feasible the sampler falls
 // back to a greedy cover completed with random vertices, so the
-// harness always scores a feasible plan.
+// harness always scores a feasible plan. Draws are rejection-tested
+// with the word-parallel coverage bitsets rather than a full
+// allocation.
 func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
@@ -29,32 +31,30 @@ func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error)
 		for _, idx := range rng.Perm(n)[:k] {
 			p.Add(graph.NodeID(idx))
 		}
-		if in.Feasible(p) {
+		if in.Covers(p) {
 			return finish(in, p), nil
 		}
 	}
 	// Fallback: greedy cover for feasibility, random filler for the
 	// remaining budget.
-	p := netsim.NewPlan()
-	alloc := in.Allocate(p)
-	for !feasibleAlloc(alloc) && p.Size() < k {
-		v := mostCovering(in, p, alloc)
+	st := netsim.NewState(in, netsim.NewPlan())
+	for !st.Feasible() && st.Size() < k {
+		v := mostCovering(st)
 		if v == graph.Invalid {
 			return Result{}, ErrInfeasible
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	if !feasibleAlloc(alloc) {
+	if !st.Feasible() {
 		return Result{}, ErrInfeasible
 	}
 	for _, idx := range rng.Perm(n) {
-		if p.Size() >= k {
+		if st.Size() >= k {
 			break
 		}
-		p.Add(graph.NodeID(idx))
+		st.AddBox(graph.NodeID(idx))
 	}
-	return finish(in, p), nil
+	return finish(in, st.Plan()), nil
 }
 
 // BestEffort is the evaluation's Best-effort benchmark: it scores
@@ -67,7 +67,9 @@ func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error)
 //
 // Like the other budgeted heuristics it refuses to strand coverage:
 // if the top-k set leaves flows unserved, the lowest-ranked picks are
-// replaced by greedy-cover vertices.
+// replaced by greedy-cover vertices. The repair loop runs on the
+// incremental state — one Remove and one Add per iteration instead of
+// the three full re-allocations the original formulation paid.
 func BestEffort(in *netsim.Instance, k int) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
@@ -76,11 +78,10 @@ func BestEffort(in *netsim.Instance, k int) (Result, error) {
 		v    graph.NodeID
 		gain float64
 	}
-	empty := netsim.NewPlan()
-	emptyAlloc := in.Allocate(empty)
+	st := netsim.NewState(in, netsim.NewPlan())
 	ranked := make([]scored, 0, in.G.NumNodes())
 	for _, v := range in.G.Nodes() {
-		ranked = append(ranked, scored{v, in.MarginalDecrement(empty, emptyAlloc, v)})
+		ranked = append(ranked, scored{v, st.MarginalGain(v)})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].gain > ranked[j].gain {
@@ -94,39 +95,36 @@ func BestEffort(in *netsim.Instance, k int) (Result, error) {
 	if k > len(ranked) {
 		k = len(ranked)
 	}
-	p := netsim.NewPlan()
 	for _, s := range ranked[:k] {
-		p.Add(s.v)
+		st.AddBox(s.v)
 	}
 	// Coverage repair: drop the lowest-ranked picks in favour of
 	// greedy-cover vertices until every flow is served.
-	alloc := in.Allocate(p)
-	for drop := k - 1; !feasibleAlloc(alloc) && drop >= 0; drop-- {
-		p.Remove(ranked[drop].v)
-		alloc = in.Allocate(p)
-		v := mostCovering(in, p, alloc)
+	for drop := k - 1; !st.Feasible() && drop >= 0; drop-- {
+		st.RemoveBox(ranked[drop].v)
+		v := mostCovering(st)
 		if v == graph.Invalid {
 			return Result{}, ErrInfeasible
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	if !feasibleAlloc(alloc) {
+	if !st.Feasible() {
 		return Result{}, ErrInfeasible
 	}
-	return finish(in, p), nil
+	return finish(in, st.Plan()), nil
 }
 
 // mostCovering returns the undeployed vertex covering the most
-// unserved flows under the reallocating model.
-func mostCovering(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation) graph.NodeID {
+// unserved flows under the current incremental state.
+func mostCovering(st *netsim.State) graph.NodeID {
 	best := graph.Invalid
 	bestCnt := 0
-	for _, v := range in.G.Nodes() {
-		if p.Has(v) {
+	n := st.Instance().G.NumNodes()
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if st.Has(v) {
 			continue
 		}
-		if cnt := unservedCovered(in, alloc, v); cnt > bestCnt {
+		if cnt := st.UnservedCovered(v); cnt > bestCnt {
 			best, bestCnt = v, cnt
 		}
 	}

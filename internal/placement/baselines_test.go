@@ -95,6 +95,11 @@ func TestBestEffortFig1(t *testing.T) {
 	}
 }
 
+// Regression for the repair path, now one RemoveBox+AddBox per
+// iteration on the incremental state instead of three full
+// re-allocations: the k=2 top-ranked set {v5, v3} strands f3/f4, and
+// the repair must land exactly on {v2, v5} at bandwidth 12 — the same
+// plan the pre-incremental implementation produced.
 func TestBestEffortCoverageGuardFig1K2(t *testing.T) {
 	in := fig1Instance(t)
 	r, err := BestEffort(in, 2)
@@ -106,6 +111,9 @@ func TestBestEffortCoverageGuardFig1K2(t *testing.T) {
 	}
 	if !planEquals(r.Plan, paperfix.V(2), paperfix.V(5)) {
 		t.Fatalf("plan = %v, want {v2, v5}", r.Plan)
+	}
+	if r.Bandwidth != 12 {
+		t.Fatalf("bandwidth = %v, want 12", r.Bandwidth)
 	}
 }
 

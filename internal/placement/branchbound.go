@@ -60,11 +60,14 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 	if k > n {
 		k = n
 	}
+	// The whole search runs on one incremental state: include/exclude
+	// decisions are AddBox/RemoveBox deltas, the bound's marginals come
+	// from the per-vertex score cache (only vertices the last decision
+	// affected are recomputed), and backtracking reverts exactly.
+	st := netsim.NewState(in, netsim.NewPlan())
 	// Branch order: vertices by empty-plan marginal, descending —
 	// high-impact decisions first tighten the bound fastest. Vertices
 	// covering no flow are useless and dropped outright.
-	empty := netsim.NewPlan()
-	emptyAlloc := in.Allocate(empty)
 	type vcand struct {
 		v    graph.NodeID
 		gain float64
@@ -74,7 +77,7 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 		if len(in.Through(v)) == 0 {
 			continue
 		}
-		order = append(order, vcand{v, in.MarginalDecrement(empty, emptyAlloc, v)})
+		order = append(order, vcand{v, st.MarginalGain(v)})
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].gain > order[j].gain {
@@ -97,8 +100,11 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 
 	nodes := 0
 	timedOut := false
-	// DFS with pruning. State: index into order, current plan.
-	var cur netsim.Plan = netsim.NewPlan()
+	// DFS with pruning. Search state: index into order, plus the
+	// incremental allocation state standing in for the current plan.
+	// The gains scratch is reused across nodes: each node finishes with
+	// it before recursing.
+	gains := make([]float64, 0, len(order))
 	var rec func(idx, used int)
 	rec = func(idx, used int) {
 		if timedOut {
@@ -109,12 +115,12 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 			timedOut = true
 			return
 		}
-		alloc := in.Allocate(cur)
-		feasible := feasibleAlloc(alloc)
-		if feasible {
-			if bw := in.TotalBandwidth(cur); bw < incumbent.Bandwidth-1e-12 {
-				incumbent.Result = Result{Plan: cur.Clone(), Bandwidth: bw, Feasible: true}
-			}
+		// Exact (flow-order) recomputation from the maintained
+		// allocation: bit-identical to TotalBandwidth, so incumbent and
+		// bound decisions match the full-recompute search exactly.
+		bw := st.ExactBandwidth()
+		if st.Feasible() && bw < incumbent.Bandwidth-1e-12 {
+			incumbent.Result = Result{Plan: st.Plan(), Bandwidth: bw, Feasible: true}
 		}
 		if idx == len(order) || used == k {
 			return
@@ -122,14 +128,14 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 		// Submodular bound: best possible decrement from here is d(cur)
 		// plus the (k-used) largest marginals of the remaining vertices.
 		remaining := k - used
-		gains := make([]float64, 0, len(order)-idx)
+		gains = gains[:0]
 		for _, c := range order[idx:] {
-			if g := in.MarginalDecrement(cur, alloc, c.v); g > 0 {
+			if g := st.MarginalGain(c.v); g > 0 {
 				gains = append(gains, g)
 			}
 		}
 		sort.Sort(sort.Reverse(sort.Float64Slice(gains)))
-		bound := in.TotalBandwidth(cur)
+		bound := bw
 		for i := 0; i < remaining && i < len(gains); i++ {
 			bound -= gains[i]
 		}
@@ -141,10 +147,11 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 			return
 		}
 		v := order[idx].v
-		// Include v first (tends to reach good incumbents sooner).
-		cur.Add(v)
+		// Include v first (tends to reach good incumbents sooner);
+		// RemoveBox reverts the decision exactly on backtrack.
+		st.AddBox(v)
 		rec(idx+1, used+1)
-		cur.Remove(v)
+		st.RemoveBox(v)
 		// Exclude v.
 		rec(idx+1, used)
 	}

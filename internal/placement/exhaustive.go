@@ -31,28 +31,29 @@ func Exhaustive(in *netsim.Instance, k int) (Result, error) {
 	bestVal := math.Inf(1)
 	var bestPlan netsim.Plan
 	found := false
-	chosen := make([]graph.NodeID, 0, k)
+	// The enumeration walks the subset tree on one incremental state:
+	// AddBox on descent, RemoveBox on backtrack, so each subset costs
+	// only the flows its last vertex touches instead of a full
+	// re-allocation.
+	st := netsim.NewState(in, netsim.NewPlan())
 	var rec func(start graph.NodeID)
 	rec = func(start graph.NodeID) {
-		if len(chosen) > 0 {
-			p := netsim.NewPlan(chosen...)
-			if in.Feasible(p) {
-				if b := in.TotalBandwidth(p); b < bestVal {
-					bestVal = b
-					bestPlan = p
-					found = true
-				}
-				// Supersets cannot beat this subset by feasibility, but
-				// they can still lower bandwidth, so keep recursing.
+		if st.Size() > 0 && st.Feasible() {
+			if b := st.ExactBandwidth(); b < bestVal {
+				bestVal = b
+				bestPlan = st.Plan()
+				found = true
 			}
+			// Supersets cannot beat this subset by feasibility, but
+			// they can still lower bandwidth, so keep recursing.
 		}
-		if len(chosen) == k {
+		if st.Size() == k {
 			return
 		}
 		for v := start; int(v) < n; v++ {
-			chosen = append(chosen, v)
+			st.AddBox(v)
 			rec(v + 1)
-			chosen = chosen[:len(chosen)-1]
+			st.RemoveBox(v)
 		}
 	}
 	rec(0)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"tdmd/internal/bitset"
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
 	"tdmd/internal/pq"
@@ -16,25 +15,28 @@ import (
 // middleboxes k is an output, not an input; Theorem 3 gives the
 // (1 − 1/e) decrement guarantee for that k.
 //
+// The greedy runs on netsim.State, the incremental allocation engine:
+// each deployment updates only the flows through the chosen vertex and
+// invalidates only the scores their paths touch, instead of re-running
+// the full O(|F|·|P|) allocation every round.
+//
 // Ties on the marginal decrement are broken toward the vertex covering
 // more still-unserved flows (which is what lets the greedy terminate
 // once positive gains are exhausted), then toward the smaller vertex
 // ID for determinism.
 func GTP(in *netsim.Instance) Result {
-	p := netsim.NewPlan()
-	alloc := in.Allocate(p)
-	for !feasibleAlloc(alloc) {
-		v, ok := bestCandidate(in, p, alloc, nil)
+	st := netsim.NewState(in, netsim.NewPlan())
+	for !st.Feasible() {
+		v, ok := bestCandidate(st, nil)
 		if !ok {
 			// No vertex covers any unserved flow: cannot happen for
 			// valid instances (each flow's own source qualifies), but
 			// guard against pathological inputs.
 			break
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	return finish(in, p)
+	return finish(in, st.Plan())
 }
 
 // GTPBudget is the budgeted variant used in the evaluation: it runs
@@ -64,36 +66,33 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 	if base.Size() > k {
 		return Result{}, fmt.Errorf("placement: base plan already exceeds budget %d: %w", k, ErrInfeasible)
 	}
-	p := base.Clone()
-	alloc := in.Allocate(p)
-	for p.Size() < k && !feasibleAlloc(alloc) {
-		remaining := k - p.Size() - 1 // budget left after the next pick
+	st := netsim.NewState(in, base)
+	for st.Size() < k && !st.Feasible() {
+		remaining := k - st.Size() - 1 // budget left after the next pick
 		guard := func(v graph.NodeID) bool {
 			if banned[v] {
 				return false
 			}
-			return greedyCoverSize(in, p, alloc, v, banned) <= remaining
+			return greedyCoverSize(st, v, banned) <= remaining
 		}
-		v, ok := bestCandidate(in, p, alloc, guard)
+		v, ok := bestCandidate(st, guard)
 		if !ok {
 			return Result{}, ErrInfeasible
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	if !feasibleAlloc(alloc) {
+	if !st.Feasible() {
 		return Result{}, ErrInfeasible
 	}
 	// Spend any leftover budget on further decrement (pure gain).
-	for p.Size() < k {
-		v, ok := bestCandidate(in, p, alloc, func(v graph.NodeID) bool { return !banned[v] })
-		if !ok || in.MarginalDecrement(p, alloc, v) <= 0 {
+	for st.Size() < k {
+		v, ok := bestCandidate(st, func(v graph.NodeID) bool { return !banned[v] })
+		if !ok || st.MarginalGain(v) <= 0 {
 			break
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	return finishBudget(in, p, k), nil
+	return finishBudget(in, st.Plan(), k), nil
 }
 
 // GTPLazy is GTP accelerated by lazy evaluation: because d(P) is
@@ -101,28 +100,26 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 // upper-bounds its current marginal, so stale heap entries only ever
 // overestimate. The plan produced is identical to GTP's.
 func GTPLazy(in *netsim.Instance) Result {
-	p := netsim.NewPlan()
-	alloc := in.Allocate(p)
+	st := netsim.NewState(in, netsim.NewPlan())
 	heap := pq.NewMax[graph.NodeID]()
 	for _, v := range in.G.Nodes() {
-		heap.Push(v, in.MarginalDecrement(p, alloc, v))
+		heap.Push(v, st.MarginalGain(v))
 	}
-	for !feasibleAlloc(alloc) && heap.Len() > 0 {
-		v, ok := popBestLazy(in, p, alloc, heap)
+	for !st.Feasible() && heap.Len() > 0 {
+		v, ok := popBestLazy(st, heap)
 		if !ok {
 			break
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	return finish(in, p)
+	return finish(in, st.Plan())
 }
 
 // popBestLazy extracts the true-best vertex from a heap of possibly
 // stale marginals, reproducing GTP's exact tie-breaking: among all
 // vertices whose refreshed marginal equals the maximum, prefer more
 // unserved flows covered, then the smaller ID.
-func popBestLazy(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, heap *pq.Heap[graph.NodeID]) (graph.NodeID, bool) {
+func popBestLazy(st *netsim.State, heap *pq.Heap[graph.NodeID]) (graph.NodeID, bool) {
 	type cand struct {
 		v       graph.NodeID
 		gain    float64
@@ -138,8 +135,8 @@ func popBestLazy(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, he
 			break
 		}
 		v, _, _ := heap.Pop()
-		g := in.MarginalDecrement(p, alloc, v)
-		fresh = append(fresh, cand{v, g, unservedCovered(in, alloc, v)})
+		g := st.MarginalGain(v)
+		fresh = append(fresh, cand{v, g, st.UnservedCovered(v)})
 		if g > best {
 			best = g
 		}
@@ -170,20 +167,25 @@ func popBestLazy(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, he
 // marginal decrement among those passing the guard (nil means no
 // guard), breaking ties toward more unserved flows covered, then the
 // smaller ID. ok is false when no vertex improves the plan: positive
-// marginal, or coverage of at least one unserved flow.
-func bestCandidate(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, guard func(graph.NodeID) bool) (graph.NodeID, bool) {
+// marginal, or coverage of at least one unserved flow. Scores come
+// from the state's per-vertex cache, so a round after a deployment
+// recomputes only the vertices the deployment actually affected.
+func bestCandidate(st *netsim.State, guard func(graph.NodeID) bool) (graph.NodeID, bool) {
 	best := graph.Invalid
 	bestGain := math.Inf(-1)
 	bestCovered := -1
-	for _, v := range in.G.Nodes() {
-		if p.Has(v) {
+	// Index scan instead of G.Nodes(): IDs are dense, the order is the
+	// same, and the candidate loop stays allocation-free.
+	n := st.Instance().G.NumNodes()
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if st.Has(v) {
 			continue
 		}
 		if guard != nil && !guard(v) {
 			continue
 		}
-		gain := in.MarginalDecrement(p, alloc, v)
-		covered := unservedCovered(in, alloc, v)
+		gain := st.MarginalGain(v)
+		covered := st.UnservedCovered(v)
 		// Ordered comparison instead of float ==: strictly larger gain
 		// wins, strictly smaller loses, exact ties fall through to the
 		// coverage and vertex-ID keys.
@@ -202,41 +204,17 @@ func bestCandidate(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, 
 	return best, true
 }
 
-// unservedCovered counts the unserved flows whose paths visit v.
-func unservedCovered(in *netsim.Instance, alloc netsim.Allocation, v graph.NodeID) int {
-	n := 0
-	for _, fa := range in.Through(v) {
-		if alloc[fa.Flow] == netsim.Unserved {
-			n++
-		}
-	}
-	return n
-}
-
-// feasibleAlloc reports whether every flow is served.
-func feasibleAlloc(alloc netsim.Allocation) bool {
-	for _, v := range alloc {
-		if v == netsim.Unserved {
-			return false
-		}
-	}
-	return true
-}
-
-// greedyCoverSize estimates how many extra middleboxes (beyond p and
-// the tentative vertex v) are needed to serve the remaining flows,
-// using greedy set cover over per-vertex coverage bitsets. The
-// estimate upper-bounds the true optimum, so admitting a candidate
-// when the estimate fits the budget is always safe. The bitset
-// representation is what keeps the guard affordable (see the
-// BenchmarkAblationBudgetGuard history in DESIGN.md).
-func greedyCoverSize(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, v graph.NodeID, banned map[graph.NodeID]bool) int {
-	unserved := bitset.New(len(in.Flows))
-	for i, a := range alloc {
-		if a == netsim.Unserved {
-			unserved.Set(i)
-		}
-	}
+// greedyCoverSize estimates how many extra middleboxes (beyond the
+// current plan and the tentative vertex v) are needed to serve the
+// remaining flows, using greedy set cover over per-vertex coverage
+// bitsets. The estimate upper-bounds the true optimum, so admitting a
+// candidate when the estimate fits the budget is always safe. The
+// state already maintains the unserved set as a bitset, so the guard
+// starts from a clone instead of re-deriving it from an allocation
+// (see the BenchmarkAblationBudgetGuard history in DESIGN.md).
+func greedyCoverSize(st *netsim.State, v graph.NodeID, banned map[graph.NodeID]bool) int {
+	in := st.Instance()
+	unserved := st.UnservedSet().Clone()
 	unserved.AndNot(in.CoverSet(v))
 	boxes := 0
 	n := in.G.NumNodes()
@@ -244,7 +222,7 @@ func greedyCoverSize(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation
 		best := graph.Invalid
 		bestCnt := 0
 		for w := graph.NodeID(0); int(w) < n; w++ {
-			if p.Has(w) || w == v || banned[w] {
+			if st.Has(w) || w == v || banned[w] {
 				continue
 			}
 			if cnt := unserved.IntersectCount(in.CoverSet(w)); cnt > bestCnt {

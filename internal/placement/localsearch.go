@@ -29,37 +29,39 @@ func LocalSearch(in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
 	if maxRounds <= 0 {
 		maxRounds = 64
 	}
-	// λ > 1 has no incremental evaluator; swaps are pointless there
-	// anyway (destination placement is already optimal per flow), so
-	// return the seed unchanged.
-	eval, err := netsim.NewEvaluator(in, seed)
-	if err != nil {
+	// λ > 1: destination placement is already per-flow optimal, so a
+	// swap can never improve a feasible plan; return the seed scored.
+	if in.Lambda > 1 {
 		return finish(in, seed)
 	}
+	// Every swap probe is a Remove+Add delta on the incremental state,
+	// exactly revertible, touching only the flows through the two
+	// mutated vertices.
+	st := netsim.NewState(in, seed)
 	n := in.G.NumNodes()
 	for round := 0; round < maxRounds; round++ {
 		improved := false
-		for _, out := range eval.Plan().Vertices() {
-			curBW := eval.Bandwidth()
+		for _, out := range st.Plan().Vertices() {
+			curBW := st.Bandwidth()
 			bestIn := graph.Invalid
 			bestBW := curBW
-			eval.Remove(out)
+			st.RemoveBox(out)
 			for v := graph.NodeID(0); int(v) < n; v++ {
-				if v == out || eval.Has(v) {
+				if v == out || st.Has(v) {
 					continue
 				}
-				eval.Add(v)
-				if eval.Feasible() && eval.Bandwidth() < bestBW-1e-12 {
-					bestBW = eval.Bandwidth()
+				st.AddBox(v)
+				if st.Feasible() && st.Bandwidth() < bestBW-1e-12 {
+					bestBW = st.Bandwidth()
 					bestIn = v
 				}
-				eval.Remove(v)
+				st.RemoveBox(v)
 			}
 			if bestIn != graph.Invalid {
-				eval.Add(bestIn)
+				st.AddBox(bestIn)
 				improved = true
 			} else {
-				eval.Add(out) // revert
+				st.AddBox(out) // revert
 			}
 		}
 		if !improved {
@@ -69,7 +71,7 @@ func LocalSearch(in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
 	// Score the final plan from scratch: incremental float deltas are
 	// exact enough to rank swaps but the reported value must be the
 	// model's own.
-	return finish(in, eval.Plan())
+	return finish(in, st.Plan())
 }
 
 // Prune removes middleboxes that serve no flow (idle boxes) from a

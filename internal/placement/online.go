@@ -91,9 +91,9 @@ func (o *OnlineGTP) AddFlow(f traffic.Flow) (int, error) {
 	case covered:
 		// Nothing to do.
 	case o.plan.Size() < o.k:
-		// One greedy pick against the updated workload.
-		alloc := in.Allocate(o.plan)
-		v, ok := bestCandidate(in, o.plan, alloc, nil)
+		// One greedy pick against the updated workload, scored on a
+		// fresh incremental state for the candidate instance.
+		v, ok := bestCandidate(netsim.NewState(in, o.plan), nil)
 		if !ok {
 			return 0, ErrInfeasible
 		}

@@ -32,21 +32,22 @@ func (o ParallelOpts) workers() int {
 }
 
 // GTPParallel is GTP (Alg. 1, unbudgeted) with each round's candidate
-// scan fanned out across workers. The reduction keeps GTP's exact
-// tie-breaking (gain, then unserved flows covered, then vertex ID), so
-// the plan equals GTP's.
+// scan fanned out across workers. Workers score candidates through the
+// state's read-only VertexScore (safe to share while no mutation is in
+// flight); the single AddBox between rounds stays on the owning
+// goroutine, per the State concurrency contract. The reduction keeps
+// GTP's exact tie-breaking (gain, then unserved flows covered, then
+// vertex ID), so the plan equals GTP's.
 func GTPParallel(in *netsim.Instance, opts ParallelOpts) Result {
-	p := netsim.NewPlan()
-	alloc := in.Allocate(p)
-	for !feasibleAlloc(alloc) {
-		v, ok := bestCandidateParallel(in, p, alloc, opts.workers())
+	st := netsim.NewState(in, netsim.NewPlan())
+	for !st.Feasible() {
+		v, ok := bestCandidateParallel(st, opts.workers())
 		if !ok {
 			break
 		}
-		p.Add(v)
-		alloc = in.Allocate(p)
+		st.AddBox(v)
 	}
-	return finish(in, p)
+	return finish(in, st.Plan())
 }
 
 // candScore is one vertex's greedy key.
@@ -79,8 +80,8 @@ func (a candScore) better(b candScore) bool {
 	return a.v < b.v
 }
 
-func bestCandidateParallel(in *netsim.Instance, p netsim.Plan, alloc netsim.Allocation, workers int) (graph.NodeID, bool) {
-	n := in.G.NumNodes()
+func bestCandidateParallel(st *netsim.State, workers int) (graph.NodeID, bool) {
+	n := st.Instance().G.NumNodes()
 	if workers > n {
 		workers = n
 	}
@@ -93,15 +94,11 @@ func bestCandidateParallel(in *netsim.Instance, p netsim.Plan, alloc netsim.Allo
 			var best candScore
 			for idx := w; idx < n; idx += workers {
 				v := graph.NodeID(idx)
-				if p.Has(v) {
+				if st.Has(v) {
 					continue
 				}
-				c := candScore{
-					v:       v,
-					gain:    in.MarginalDecrement(p, alloc, v),
-					covered: unservedCovered(in, alloc, v),
-					valid:   true,
-				}
+				gain, covered := st.VertexScore(v)
+				c := candScore{v: v, gain: gain, covered: covered, valid: true}
 				if c.better(best) {
 					best = c
 				}
@@ -230,24 +227,27 @@ func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, 
 			defer func() { <-sem }()
 			b := &results[first]
 			b.val = math.Inf(1)
-			chosen := []graph.NodeID{graph.NodeID(first)}
+			// One incremental state per worker (State concurrency
+			// contract); the subset walk adds on descent and removes on
+			// backtrack instead of rebuilding a plan per subset.
+			st := netsim.NewState(in, netsim.NewPlan())
+			st.AddBox(graph.NodeID(first))
 			var rec func(start graph.NodeID)
 			rec = func(start graph.NodeID) {
-				p := netsim.NewPlan(chosen...)
-				if in.Feasible(p) {
-					if v := in.TotalBandwidth(p); v < b.val {
+				if st.Feasible() {
+					if v := st.ExactBandwidth(); v < b.val {
 						b.val = v
-						b.plan = p
+						b.plan = st.Plan()
 						b.found = true
 					}
 				}
-				if len(chosen) == k {
+				if st.Size() == k {
 					return
 				}
 				for v := start; int(v) < n; v++ {
-					chosen = append(chosen, v)
+					st.AddBox(v)
 					rec(v + 1)
-					chosen = chosen[:len(chosen)-1]
+					st.RemoveBox(v)
 				}
 			}
 			rec(graph.NodeID(first + 1))

@@ -59,6 +59,19 @@ func finishBudget(in *netsim.Instance, p netsim.Plan, k int) Result {
 	return finish(in, p)
 }
 
+// feasibleAlloc reports whether every flow is served. The State-driven
+// solvers track feasibility incrementally; this remains for the
+// capacitated variant, whose first-fit allocation has no incremental
+// form.
+func feasibleAlloc(alloc netsim.Allocation) bool {
+	for _, v := range alloc {
+		if v == netsim.Unserved {
+			return false
+		}
+	}
+	return true
+}
+
 // validateBudget rejects non-positive budgets, which can never serve a
 // non-empty workload.
 func validateBudget(k int) error {

@@ -3,7 +3,7 @@
 #
 # Runs the full tier-1 gate: formatting, go vet, build, tests with the
 # race detector, the invariant-tagged test builds, a short fuzz smoke
-# on both fuzz targets, and the project-specific static analyzers
+# on every fuzz target, and the project-specific static analyzers
 # (cmd/tdmdlint). Exits non-zero on the first failure.
 #
 # The script is offline and idempotent: it needs only the go toolchain
@@ -40,6 +40,7 @@ go test -tags tdmdinvariant ./internal/invariant/ ./internal/netsim/ ./internal/
 echo "==> fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=5s .
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s .
+go test -run='^$' -fuzz=FuzzStateOps -fuzztime=5s ./internal/netsim/
 
 echo "==> tdmdlint"
 go run ./cmd/tdmdlint ./...
