@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint fuzz bench
+.PHONY: check build test race lint fuzz bench cancelhammer
 
 check:
 	scripts/check.sh
@@ -18,6 +18,11 @@ race:
 
 lint:
 	go run ./cmd/tdmdlint ./...
+
+# Repeated race-enabled run of the solver-cancellation tests (the
+# DESIGN.md "Cancellation & anytime contract" suite).
+cancelhammer:
+	go test -tags tdmdinvariant -run Cancel -race -count=5 ./internal/placement/
 
 fuzz:
 	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=30s .

@@ -1,6 +1,7 @@
 package tdmd
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -18,27 +19,25 @@ import (
 // zero value uses GOMAXPROCS workers.
 type ParallelOpts = placement.ParallelOpts
 
-// SolveParallel runs the parallel twin of an algorithm. Supported:
-// AlgGTPLazy (parallel unbudgeted GTP), AlgDP, AlgExhaustive. The
-// plans are identical to the serial solvers'.
-func (p *Problem) SolveParallel(alg Algorithm, k int, opts ParallelOpts) (Result, error) {
-	switch alg {
-	case AlgGTPLazy:
-		r := placement.GTPParallel(p.inst, opts)
-		if !r.Feasible {
-			return Result{}, ErrInfeasible
-		}
-		return r, nil
-	case AlgDP:
-		if p.tree == nil {
-			return Result{}, errNeedsTree(alg)
-		}
-		return placement.TreeDPParallel(p.inst, p.tree, k, opts)
-	case AlgExhaustive:
-		return placement.ExhaustiveParallel(p.inst, k, opts)
-	default:
+// parallelTwin maps an algorithm to its registered parallel solver.
+var parallelTwin = map[Algorithm]string{
+	AlgGTPLazy:    "gtp-parallel",
+	AlgDP:         "dp-parallel",
+	AlgExhaustive: "exhaustive-parallel",
+}
+
+// SolveParallel runs the parallel twin of an algorithm through the
+// solver registry. Supported: AlgGTPLazy (parallel unbudgeted GTP),
+// AlgDP, AlgExhaustive. The plans are identical to the serial
+// solvers'. As with Solve, k = 0 means "no budget" (required for
+// AlgGTPLazy, which does not consume one).
+func (p *Problem) SolveParallel(ctx context.Context, alg Algorithm, k int, opts ParallelOpts) (Result, error) {
+	name, ok := parallelTwin[alg]
+	if !ok {
 		return Result{}, errNoParallel(alg)
 	}
+	extra := []SolveOption{placement.WithWorkers(opts.Workers)}
+	return placement.Solve(ctx, name, p.inst, p.options(k, extra))
 }
 
 // ScaledDPOpts configures SolveScaledDP; see the placement package for
@@ -50,11 +49,11 @@ type ScaledDPOpts = placement.ScaledDPOpts
 // and the plan is scored on the true rates. Returns the scale used.
 // This is the practical answer to the pseudo-polynomial blow-up the
 // paper discusses after Theorem 5.
-func (p *Problem) SolveScaledDP(k int, opts ScaledDPOpts) (Result, int, error) {
+func (p *Problem) SolveScaledDP(ctx context.Context, k int, opts ScaledDPOpts) (Result, int, error) {
 	if p.tree == nil {
 		return Result{}, 0, errNeedsTree(AlgDP)
 	}
-	return placement.ScaledTreeDP(p.inst, p.tree, k, opts)
+	return placement.ScaledTreeDP(ctx, p.inst, p.tree, k, opts)
 }
 
 // SimConfig configures a dynamic simulation run.
@@ -76,15 +75,15 @@ func (p *Problem) Simulate(plan Plan, cfg SimConfig) (SimMetrics, error) {
 // capacity; this is the capacitated extension, scored under the
 // first-fit-decreasing assignment of netsim's capacitated model).
 // capacity <= 0 means unlimited.
-func (p *Problem) SolveCapacitated(k, capacity int) (Result, error) {
-	return placement.GTPCapacitated(p.inst, k, capacity)
+func (p *Problem) SolveCapacitated(ctx context.Context, k, capacity int) (Result, error) {
+	return placement.GTPCapacitated(ctx, p.inst, k, capacity)
 }
 
 // MultiStartLocalSearch runs the greedy + 1-swap pipeline from several
 // seeds (greedy plus starts−1 random restarts) and returns the best
 // local optimum; the quality/time knob beyond AlgGTPLS.
-func (p *Problem) MultiStartLocalSearch(k, starts int) (Result, error) {
-	return placement.MultiStartLocalSearch(p.inst, k, starts, rand.New(rand.NewSource(p.seed)))
+func (p *Problem) MultiStartLocalSearch(ctx context.Context, k, starts int) (Result, error) {
+	return placement.MultiStartLocalSearch(ctx, p.inst, k, starts, rand.New(rand.NewSource(p.seed)))
 }
 
 // FailureImpact quantifies the loss of one deployed middlebox.
@@ -98,8 +97,8 @@ func (p *Problem) FailureRanking(plan Plan) []FailureImpact {
 
 // Repair replaces a failed middlebox within the budget k, keeping
 // surviving boxes in place and never reusing the failed vertex.
-func (p *Problem) Repair(plan Plan, failed NodeID, k int) (Result, error) {
-	return resilience.Repair(p.inst, plan, failed, k)
+func (p *Problem) Repair(ctx context.Context, plan Plan, failed NodeID, k int) (Result, error) {
+	return resilience.Repair(ctx, p.inst, plan, failed, k)
 }
 
 // DeploymentReport summarizes a plan's behaviour (per-box loads,
@@ -154,6 +153,6 @@ type ExactResult = placement.BnBResult
 // SolveExact runs branch-and-bound with the submodular pruning bound:
 // exact optima well beyond AlgExhaustive's reach (the paper's
 // evaluation sizes solve in milliseconds). Requires λ ≤ 1.
-func (p *Problem) SolveExact(k int, opts BnBOpts) (ExactResult, error) {
-	return placement.BranchAndBound(p.inst, k, opts)
+func (p *Problem) SolveExact(ctx context.Context, k int, opts BnBOpts) (ExactResult, error) {
+	return placement.BranchAndBound(ctx, p.inst, k, opts)
 }

@@ -2,6 +2,7 @@ package tdmd
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -10,29 +11,29 @@ import (
 
 func TestSolveParallelMatchesSerial(t *testing.T) {
 	p := fig5Problem(t)
-	serialDP, err := p.Solve(AlgDP, 3)
+	serialDP, err := p.Solve(context.Background(), AlgDP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parDP, err := p.SolveParallel(AlgDP, 3, ParallelOpts{Workers: 4})
+	parDP, err := p.SolveParallel(context.Background(), AlgDP, 3, ParallelOpts{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if parDP.Bandwidth != serialDP.Bandwidth {
 		t.Fatalf("parallel DP %v != serial %v", parDP.Bandwidth, serialDP.Bandwidth)
 	}
-	serialG, err := p.Solve(AlgGTPLazy, 0)
+	serialG, err := p.Solve(context.Background(), AlgGTPLazy, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parG, err := p.SolveParallel(AlgGTPLazy, 0, ParallelOpts{})
+	parG, err := p.SolveParallel(context.Background(), AlgGTPLazy, 0, ParallelOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if parG.Plan.String() != serialG.Plan.String() {
 		t.Fatalf("parallel GTP plan %v != serial %v", parG.Plan, serialG.Plan)
 	}
-	parEx, err := p.SolveParallel(AlgExhaustive, 3, ParallelOpts{})
+	parEx, err := p.SolveParallel(context.Background(), AlgExhaustive, 3, ParallelOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,24 +44,24 @@ func TestSolveParallelMatchesSerial(t *testing.T) {
 
 func TestSolveParallelErrors(t *testing.T) {
 	p := fig1Problem(t)
-	if _, err := p.SolveParallel(AlgDP, 3, ParallelOpts{}); err == nil {
+	if _, err := p.SolveParallel(context.Background(), AlgDP, 3, ParallelOpts{}); err == nil {
 		t.Fatal("parallel DP without tree accepted")
 	}
-	if _, err := p.SolveParallel(AlgHAT, 3, ParallelOpts{}); err == nil {
+	if _, err := p.SolveParallel(context.Background(), AlgHAT, 3, ParallelOpts{}); err == nil {
 		t.Fatal("unsupported parallel algorithm accepted")
 	}
 }
 
 func TestSolveScaledDP(t *testing.T) {
 	p := fig5Problem(t)
-	res, scale, err := p.SolveScaledDP(3, ScaledDPOpts{Scale: 1})
+	res, scale, err := p.SolveScaledDP(context.Background(), 3, ScaledDPOpts{Scale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if scale != 1 || res.Bandwidth != 13.5 {
 		t.Fatalf("scaled DP = %v at scale %d, want 13.5 at 1", res.Bandwidth, scale)
 	}
-	if _, _, err := fig1Problem(t).SolveScaledDP(3, ScaledDPOpts{}); err == nil {
+	if _, _, err := fig1Problem(t).SolveScaledDP(context.Background(), 3, ScaledDPOpts{}); err == nil {
 		t.Fatal("scaled DP without tree accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestExpandingLambdaThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.Solve(AlgGTP, 3)
+	r, err := p.Solve(context.Background(), AlgGTP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestExpandingLambdaThroughFacade(t *testing.T) {
 
 func TestResilienceFacade(t *testing.T) {
 	p := fig1Problem(t)
-	res, err := p.Solve(AlgGTP, 3)
+	res, err := p.Solve(context.Background(), AlgGTP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestResilienceFacade(t *testing.T) {
 		t.Fatalf("ranking = %d entries", len(ranking))
 	}
 	worst := ranking[0]
-	repaired, err := p.Repair(res.Plan, worst.Failed, 3)
+	repaired, err := p.Repair(context.Background(), res.Plan, worst.Failed, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestResilienceFacade(t *testing.T) {
 
 func TestMultiStartFacade(t *testing.T) {
 	p := fig1Problem(t)
-	r, err := p.WithSeed(3).MultiStartLocalSearch(3, 6)
+	r, err := p.WithSeed(3).MultiStartLocalSearch(context.Background(), 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestMultiStartFacade(t *testing.T) {
 
 func TestSolveExactFacade(t *testing.T) {
 	p := fig1Problem(t)
-	r, err := p.SolveExact(3, BnBOpts{})
+	r, err := p.SolveExact(context.Background(), 3, BnBOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package tdmd_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,15 +36,15 @@ func benchAlgs(b *testing.B, trial experiments.Trial, algs []experiments.AlgName
 				var err error
 				switch alg {
 				case experiments.Random:
-					_, err = placement.RandomPlacement(trial.Inst, trial.K, rng)
+					_, err = placement.RandomPlacement(context.Background(), trial.Inst, trial.K, rng)
 				case experiments.BestEffort:
-					_, err = placement.BestEffort(trial.Inst, trial.K)
+					_, err = placement.BestEffort(context.Background(), trial.Inst, trial.K)
 				case experiments.GTP:
-					_, err = placement.GTPBudget(trial.Inst, trial.K)
+					_, err = placement.GTPBudget(context.Background(), trial.Inst, trial.K)
 				case experiments.HAT:
-					_, err = placement.HAT(trial.Inst, trial.Tree, trial.K)
+					_, err = placement.HAT(context.Background(), trial.Inst, trial.Tree, trial.K)
 				case experiments.DP:
-					_, err = placement.TreeDP(trial.Inst, trial.Tree, trial.K)
+					_, err = placement.TreeDP(context.Background(), trial.Inst, trial.Tree, trial.K)
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -56,7 +57,7 @@ func benchAlgs(b *testing.B, trial experiments.Trial, algs []experiments.AlgName
 func treeTrialForBench(b *testing.B, size int, density, lambda float64, k int, point uint64) experiments.Trial {
 	seed := stats.DeriveSeed(2026, point)
 	trial := experiments.TreeTrial(size, density, lambda, k, seed)
-	if _, err := placement.GTPBudget(trial.Inst, trial.K); err != nil {
+	if _, err := placement.GTPBudget(context.Background(), trial.Inst, trial.K); err != nil {
 		b.Skipf("generated workload infeasible at k=%d", k)
 	}
 	return trial
@@ -112,7 +113,7 @@ func BenchmarkFig12_TreeSize(b *testing.B) {
 func generalTrialForBench(b *testing.B, size int, density, lambda float64, k int, point uint64) experiments.Trial {
 	seed := stats.DeriveSeed(2027, point)
 	trial := experiments.GeneralTrial(size, density, lambda, k, seed)
-	if _, err := placement.GTPBudget(trial.Inst, trial.K); err != nil {
+	if _, err := placement.GTPBudget(context.Background(), trial.Inst, trial.K); err != nil {
 		b.Skipf("generated workload infeasible at k=%d", k)
 	}
 	return trial
@@ -330,7 +331,7 @@ func BenchmarkFullVsIncrementalGTP(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		reportAllocsPerOp(b, func() {
 			for i := 0; i < b.N; i++ {
-				if r := placement.GTP(in); !r.Feasible {
+				if r := placement.GTP(context.Background(), in); !r.Feasible {
 					b.Fatal("GTP produced an infeasible plan")
 				}
 			}
@@ -340,7 +341,7 @@ func BenchmarkFullVsIncrementalGTP(b *testing.B) {
 
 func BenchmarkFullVsIncrementalLocalSearch(b *testing.B) {
 	in := incrBenchInstance(b, 3)
-	seed := placement.GTP(in)
+	seed := placement.GTP(context.Background(), in)
 	if !seed.Feasible {
 		b.Fatal("greedy seed infeasible")
 	}
@@ -354,7 +355,7 @@ func BenchmarkFullVsIncrementalLocalSearch(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		reportAllocsPerOp(b, func() {
 			for i := 0; i < b.N; i++ {
-				placement.LocalSearch(in, seed.Plan, 1)
+				placement.LocalSearch(context.Background(), in, seed.Plan, 1)
 			}
 		})
 	})

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"tdmd/internal/experiments"
@@ -31,20 +34,23 @@ func main() {
 		jsn  = flag.Bool("json", false, "also emit each figure as JSON")
 	)
 	flag.Parse()
-	if err := run(*fig, *reps, *seed, *out, *svg, *jsn); err != nil {
+	// Ctrl-C / SIGTERM stops the sweeps at the next job boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *fig, *reps, *seed, *out, *svg, *jsn); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, reps int, seed int64, outDir string, svg, jsn bool) error {
+func run(ctx context.Context, fig, reps int, seed int64, outDir string, svg, jsn bool) error {
 	cfg := experiments.Config{Seed: seed, Reps: reps}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	type lineFig struct {
 		n   int
-		run func(experiments.Config) (*experiments.Figure, error)
+		run func(context.Context, experiments.Config) (*experiments.Figure, error)
 	}
 	lines := []lineFig{
 		{9, experiments.Fig9}, {10, experiments.Fig10}, {11, experiments.Fig11},
@@ -61,7 +67,7 @@ func run(fig, reps int, seed int64, outDir string, svg, jsn bool) error {
 			continue
 		}
 		start := time.Now()
-		f, err := lf.run(cfg)
+		f, err := lf.run(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -86,7 +92,7 @@ func run(fig, reps int, seed int64, outDir string, svg, jsn bool) error {
 	}
 	if fig == 0 || fig == 21 {
 		start := time.Now()
-		gap, err := experiments.OptimalityGap(cfg)
+		gap, err := experiments.OptimalityGap(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -102,11 +108,11 @@ func run(fig, reps int, seed int64, outDir string, svg, jsn bool) error {
 		}
 	}
 	if fig == 0 || fig == 17 {
-		for _, runSurf := range []func(experiments.Config) (*experiments.Surface, error){
+		for _, runSurf := range []func(context.Context, experiments.Config) (*experiments.Surface, error){
 			experiments.Fig17Tree, experiments.Fig17General,
 		} {
 			start := time.Now()
-			s, err := runSurf(cfg)
+			s, err := runSurf(ctx, cfg)
 			if err != nil {
 				return err
 			}

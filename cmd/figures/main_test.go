@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ func TestRunSingleFigureWritesTSVAndSVG(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = run(11, 1, 7, dir, true, true)
+	err = run(context.Background(), 11, 1, 7, dir, true, true)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -52,7 +53,7 @@ func TestRunFig17WritesSurfaces(t *testing.T) {
 	old := os.Stdout
 	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	os.Stdout = devnull
-	err := run(17, 1, 7, dir, false, false)
+	err := run(context.Background(), 17, 1, 7, dir, false, false)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -66,7 +67,7 @@ func TestRunFig17WritesSurfaces(t *testing.T) {
 }
 
 func TestRunBadOutputDir(t *testing.T) {
-	if err := run(9, 1, 7, "/proc/definitely/not/writable", false, false); err == nil {
+	if err := run(context.Background(), 9, 1, 7, "/proc/definitely/not/writable", false, false); err == nil {
 		t.Fatal("unwritable output dir accepted")
 	}
 }

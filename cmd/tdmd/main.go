@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tdmd"
@@ -34,16 +37,34 @@ func main() {
 		evalPlan = flag.String("evalplan", "", "evaluate a JSON plan file instead of solving")
 	)
 	flag.Parse()
+	// Ctrl-C / SIGTERM cancels the solve; anytime algorithms still
+	// print their best plan found so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The default -k only applies to algorithms that consume a budget;
+	// an explicit -k is always forwarded so mismatches surface as
+	// ErrBadOptions instead of being silently dropped.
+	kExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "k" {
+			kExplicit = true
+		}
+	})
 	var err error
 	switch {
 	case *compare:
-		err = runCompare(*specPath, *k, *seed, os.Stdout)
+		err = runCompare(ctx, *specPath, *k, *seed, os.Stdout)
 	case *capacity > 0:
-		err = runCapacitated(*specPath, *k, *capacity, os.Stdout)
+		err = runCapacitated(ctx, *specPath, *k, *capacity, os.Stdout)
 	case *evalPlan != "":
 		err = runEvalPlan(*specPath, *evalPlan, os.Stdout)
 	default:
-		err = run(*specPath, tdmd.Algorithm(*algName), *k, *seed, *quiet, *savePlan, os.Stdout)
+		alg := tdmd.Algorithm(*algName)
+		solveK := *k
+		if !kExplicit && !alg.Budgeted() {
+			solveK = 0
+		}
+		err = run(ctx, *specPath, alg, solveK, *seed, *quiet, *savePlan, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdmd:", err)
@@ -54,7 +75,7 @@ func main() {
 // runCompare solves the instance with every algorithm that applies
 // (tree-only ones when the spec declares a root, exhaustive when the
 // instance is small) and prints one row per algorithm.
-func runCompare(specPath string, k int, seed int64, out io.Writer) error {
+func runCompare(ctx context.Context, specPath string, k int, seed int64, out io.Writer) error {
 	problem, err := loadProblem(specPath)
 	if err != nil {
 		return err
@@ -71,8 +92,12 @@ func runCompare(specPath string, k int, seed int64, out io.Writer) error {
 		if alg == tdmd.AlgExhaustive && inst.G.NumNodes() > 20 {
 			continue
 		}
+		solveK := k
+		if !alg.Budgeted() {
+			solveK = 0 // unbudgeted algorithms reject an explicit k
+		}
 		start := time.Now()
-		res, err := problem.Solve(alg, k)
+		res, err := problem.Solve(ctx, alg, solveK)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(out, "%-14s %14s %10s %12s\n", alg, "-", "-", err)
@@ -86,12 +111,12 @@ func runCompare(specPath string, k int, seed int64, out io.Writer) error {
 
 // runCapacitated solves with the capacitated greedy and prints the
 // per-box load report, which is the point of capacities.
-func runCapacitated(specPath string, k, capacity int, out io.Writer) error {
+func runCapacitated(ctx context.Context, specPath string, k, capacity int, out io.Writer) error {
 	problem, err := loadProblem(specPath)
 	if err != nil {
 		return err
 	}
-	res, err := problem.SolveCapacitated(k, capacity)
+	res, err := problem.SolveCapacitated(ctx, k, capacity)
 	if err != nil {
 		return err
 	}
@@ -152,7 +177,7 @@ func runEvalPlan(specPath, planPath string, out io.Writer) error {
 	return nil
 }
 
-func run(specPath string, alg tdmd.Algorithm, k int, seed int64, quiet bool, savePlan string, out io.Writer) error {
+func run(ctx context.Context, specPath string, alg tdmd.Algorithm, k int, seed int64, quiet bool, savePlan string, out io.Writer) error {
 	problem, err := loadProblem(specPath)
 	if err != nil {
 		return err
@@ -161,9 +186,12 @@ func run(specPath string, alg tdmd.Algorithm, k int, seed int64, quiet bool, sav
 	if alg.NeedsTree() && problem.Tree() == nil {
 		return fmt.Errorf("algorithm %s needs a tree: set \"root\" in the spec", alg)
 	}
-	res, err := problem.Solve(alg, k)
+	res, err := problem.Solve(ctx, alg, k)
 	if err != nil {
 		return err
+	}
+	if res.Interrupted != nil {
+		fmt.Fprintf(out, "interrupted (%v): best plan found so far\n", res.Interrupted)
 	}
 	if quiet {
 		fmt.Fprintf(out, "%g\n", res.Bandwidth)

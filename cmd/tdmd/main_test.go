@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +31,7 @@ func writeFig1Spec(t *testing.T) string {
 func TestRunGTPOnFig1Spec(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(path, tdmd.AlgGTP, 3, 1, false, "", &out); err != nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, false, "", &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -44,7 +45,7 @@ func TestRunGTPOnFig1Spec(t *testing.T) {
 func TestRunQuietPrintsOnlyBandwidth(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(path, tdmd.AlgGTP, 3, 1, true, "", &out); err != nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, true, "", &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "8" {
@@ -55,7 +56,7 @@ func TestRunQuietPrintsOnlyBandwidth(t *testing.T) {
 func TestRunTreeAlgWithoutRootFails(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	err := run(path, tdmd.AlgDP, 3, 1, false, "", &out)
+	err := run(context.Background(), path, tdmd.AlgDP, 3, 1, false, "", &out)
 	if err == nil || !strings.Contains(err.Error(), "root") {
 		t.Fatalf("err = %v, want root hint", err)
 	}
@@ -63,7 +64,7 @@ func TestRunTreeAlgWithoutRootFails(t *testing.T) {
 
 func TestRunMissingSpecFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("/nonexistent/spec.json", tdmd.AlgGTP, 3, 1, false, "", &out); err == nil {
+	if err := run(context.Background(), "/nonexistent/spec.json", tdmd.AlgGTP, 3, 1, false, "", &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -71,7 +72,7 @@ func TestRunMissingSpecFile(t *testing.T) {
 func TestRunCompareMode(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := runCompare(path, 3, 1, &out); err != nil {
+	if err := runCompare(context.Background(), path, 3, 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -89,7 +90,7 @@ func TestRunCompareMode(t *testing.T) {
 func TestRunInfeasibleBudget(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(path, tdmd.AlgGTP, 1, 1, false, "", &out); err == nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 1, 1, false, "", &out); err == nil {
 		t.Fatal("k=1 on Fig. 1 should be infeasible")
 	}
 }
@@ -97,14 +98,14 @@ func TestRunInfeasibleBudget(t *testing.T) {
 func TestRunCapacitated(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := runCapacitated(path, 3, 4, &out); err != nil {
+	if err := runCapacitated(context.Background(), path, 3, 4, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
 	if !strings.Contains(text, "capacity 4 per box") || !strings.Contains(text, "load") {
 		t.Fatalf("capacitated output wrong:\n%s", text)
 	}
-	if err := runCapacitated(path, 2, 4, &out); err == nil {
+	if err := runCapacitated(context.Background(), path, 2, 4, &out); err == nil {
 		t.Fatal("infeasible capacitated budget accepted")
 	}
 }
@@ -113,7 +114,7 @@ func TestRunSaveAndEvalPlan(t *testing.T) {
 	path := writeFig1Spec(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
 	var out bytes.Buffer
-	if err := run(path, tdmd.AlgGTP, 3, 1, false, planPath, &out); err != nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, false, planPath, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "plan saved to") {

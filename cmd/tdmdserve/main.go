@@ -10,40 +10,87 @@
 //	                   -> deployment report
 //	GET  /healthz      -> 200 ok
 //
+// Every solve runs under the request's context plus the -solve-timeout
+// budget: a client that disconnects cancels its solve, and a solve that
+// outlives the budget is cut off (503, or a plan tagged "interrupted"
+// when the algorithm had a feasible best-so-far). SIGINT/SIGTERM stop
+// accepting connections and drain in-flight requests before exiting.
+//
+// Errors come back as a JSON envelope:
+//
+//	{"error": "...", "elapsed_ms": 1.2, "deadline_ms": 1000}
+//
+// with deadline_ms present only when a solve budget applied. Bad
+// options (unknown algorithm, a budget the algorithm does not consume,
+// a missing seed) are 400; infeasible instances 422; solves cut off
+// before any feasible plan 503.
+//
 // Usage:
 //
-//	tdmdserve -addr :8080
+//	tdmdserve -addr :8080 -solve-timeout 30s
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"mime"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tdmd"
 )
 
+// maxRequestBytes bounds every POST body; problem specs at the
+// evaluation's scale are a few hundred KB at most.
+const maxRequestBytes = 4 << 20
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve budget (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight requests")
 	flag.Parse()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(),
+		Handler:           newMux(*solveTimeout),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("tdmdserve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("tdmdserve: shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("tdmdserve: drain incomplete: %v", err)
+		}
+	}
+}
+
+// server carries the per-request solve budget into the handlers.
+type server struct {
+	solveTimeout time.Duration
 }
 
 // newMux wires the handlers; split out so tests drive it with
 // httptest.
-func newMux() *http.ServeMux {
+func newMux(solveTimeout time.Duration) *http.ServeMux {
+	s := &server{solveTimeout: solveTimeout}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/solve", handleSolve)
-	mux.HandleFunc("POST /api/evaluate", handleEvaluate)
+	mux.HandleFunc("POST /api/solve", s.handleSolve)
+	mux.HandleFunc("POST /api/evaluate", s.handleEvaluate)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -51,12 +98,95 @@ func newMux() *http.ServeMux {
 	return mux
 }
 
-// solveRequest is the /api/solve payload.
+// reqScope tracks one request's timing and solve budget so every
+// response — errors included — can report them.
+type reqScope struct {
+	start    time.Time
+	deadline time.Duration // 0 = unbounded
+}
+
+func (s *server) scope() *reqScope {
+	return &reqScope{start: time.Now(), deadline: s.solveTimeout}
+}
+
+// solveCtx derives the context a solve runs under: the request's own
+// context (client disconnect cancels it) bounded by the configured
+// per-request budget.
+func (sc *reqScope) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if sc.deadline > 0 {
+		return context.WithTimeout(r.Context(), sc.deadline)
+	}
+	return r.Context(), func() {}
+}
+
+func (sc *reqScope) elapsedMS() float64 {
+	return float64(time.Since(sc.start).Microseconds()) / 1000
+}
+
+// errorEnvelope is the uniform error body of every non-2xx response.
+type errorEnvelope struct {
+	Error     string  `json:"error"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// DeadlineMS is the solve budget that applied to the request, in
+	// milliseconds; omitted when unbounded.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+func (sc *reqScope) httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	env := errorEnvelope{
+		Error:     fmt.Sprintf(format, args...),
+		ElapsedMS: sc.elapsedMS(),
+	}
+	if sc.deadline > 0 {
+		env.DeadlineMS = float64(sc.deadline.Microseconds()) / 1000
+	}
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// decodeJSON enforces the shared POST hygiene — bounded body,
+// application/json content type, well-formed payload — and reports
+// the response code to fail with when it returns an error.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) (int, error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		return http.StatusUnsupportedMediaType, fmt.Errorf("Content-Type must be application/json, got %q", ct)
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decoding request: %v", err)
+	}
+	return 0, nil
+}
+
+// solveStatus maps a Solve error to its HTTP status: option mismatches
+// are the client's fault (400), deadline/cancellation is the service
+// giving up (503), infeasibility and everything else is a valid
+// request without an answer (422).
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, tdmd.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// solveRequest is the /api/solve payload. Seed is a pointer so "no
+// seed" is distinguishable from seed 0: randomized algorithms require
+// one, deterministic algorithms reject one, and silence is never an
+// answer.
 type solveRequest struct {
 	Spec      tdmd.ProblemSpec `json:"spec"`
 	Algorithm string           `json:"algorithm"`
 	K         int              `json:"k"`
-	Seed      int64            `json:"seed"`
+	Seed      *int64           `json:"seed"`
 }
 
 // solveResponse is the /api/solve result.
@@ -66,17 +196,24 @@ type solveResponse struct {
 	Feasible  bool    `json:"feasible"`
 	RawDemand float64 `json:"raw_demand"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Optimal is set when an exact algorithm certified the plan.
+	Optimal bool `json:"optimal,omitempty"`
+	// Interrupted is set when the solve hit the deadline (or the client
+	// went away) and the plan is the best found so far, not necessarily
+	// the full run's answer.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	sc := s.scope()
 	var req solveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if code, err := decodeJSON(w, r, &req); err != nil {
+		sc.httpError(w, code, "%v", err)
 		return
 	}
 	problem, err := req.Spec.Build()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "building problem: %v", err)
+		sc.httpError(w, http.StatusBadRequest, "building problem: %v", err)
 		return
 	}
 	alg := tdmd.Algorithm(req.Algorithm)
@@ -84,21 +221,26 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		alg = tdmd.AlgGTP
 	}
 	if alg.NeedsTree() && problem.Tree() == nil {
-		httpError(w, http.StatusBadRequest, "algorithm %s needs a spec with a root", alg)
+		sc.httpError(w, http.StatusBadRequest, "algorithm %s needs a spec with a root", alg)
 		return
 	}
-	problem.WithSeed(req.Seed)
-	start := time.Now()
-	res, err := problem.Solve(alg, req.K)
+	if req.Seed != nil {
+		problem.WithSeed(*req.Seed)
+	}
+	ctx, cancel := sc.solveCtx(r)
+	defer cancel()
+	res, err := problem.Solve(ctx, alg, req.K)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+		sc.httpError(w, solveStatus(err), "solve: %v", err)
 		return
 	}
 	resp := solveResponse{
-		Bandwidth: res.Bandwidth,
-		Feasible:  res.Feasible,
-		RawDemand: problem.Instance().RawDemand(),
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Bandwidth:   res.Bandwidth,
+		Feasible:    res.Feasible,
+		RawDemand:   problem.Instance().RawDemand(),
+		ElapsedMS:   sc.elapsedMS(),
+		Optimal:     res.Optimal,
+		Interrupted: res.Interrupted != nil,
 	}
 	for _, v := range res.Plan.Vertices() {
 		resp.Plan = append(resp.Plan, int(v))
@@ -126,22 +268,23 @@ type evaluateResponse struct {
 	UnservedFlows []int `json:"unserved_flows"`
 }
 
-func handleEvaluate(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	sc := s.scope()
 	var req evaluateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if code, err := decodeJSON(w, r, &req); err != nil {
+		sc.httpError(w, code, "%v", err)
 		return
 	}
 	problem, err := req.Spec.Build()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "building problem: %v", err)
+		sc.httpError(w, http.StatusBadRequest, "building problem: %v", err)
 		return
 	}
 	plan := tdmd.NewPlan()
 	n := problem.Instance().G.NumNodes()
 	for _, v := range req.Plan {
 		if v < 0 || v >= n {
-			httpError(w, http.StatusBadRequest, "plan vertex %d outside graph", v)
+			sc.httpError(w, http.StatusBadRequest, "plan vertex %d outside graph", v)
 			return
 		}
 		plan.Add(tdmd.NodeID(v))
@@ -169,10 +312,4 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("tdmdserve: encoding response: %v", err)
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"tdmd"
 	"tdmd/internal/paperfix"
@@ -31,7 +33,7 @@ func post(t *testing.T, srv *httptest.Server, path string, body interface{}) *ht
 }
 
 func TestSolveEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	srv := httptest.NewServer(newMux(0))
 	defer srv.Close()
 	resp := post(t, srv, "/api/solve", solveRequest{
 		Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3,
@@ -53,7 +55,7 @@ func TestSolveEndpoint(t *testing.T) {
 }
 
 func TestSolveEndpointDefaultsAndErrors(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	srv := httptest.NewServer(newMux(0))
 	defer srv.Close()
 	// Default algorithm (gtp) with an infeasible budget -> 422.
 	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), K: 1})
@@ -88,7 +90,7 @@ func TestSolveEndpointDefaultsAndErrors(t *testing.T) {
 }
 
 func TestEvaluateEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	srv := httptest.NewServer(newMux(0))
 	defer srv.Close()
 	resp := post(t, srv, "/api/evaluate", evaluateRequest{
 		Spec: fig1SpecJSON(t),
@@ -114,7 +116,7 @@ func TestEvaluateEndpoint(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	srv := httptest.NewServer(newMux(0))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -123,5 +125,121 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestContentTypeRequired: POSTs without application/json are 415 on
+// every POST endpoint.
+func TestContentTypeRequired(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+	for _, path := range []string{"/api/solve", "/api/evaluate"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewBufferString("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("%s with text/plain: status = %d, want 415", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestBodyTooLarge: a body over the 4 MB cap is rejected with 413.
+func TestBodyTooLarge(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+	huge := bytes.Repeat([]byte(" "), maxRequestBytes+2)
+	resp, err := http.Post(srv.URL+"/api/solve", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestSolveDeadline503: with a 1 ns solve budget the request context
+// is already expired when the solver starts, so even the exhaustive
+// search is cut off before any feasible incumbent -> 503.
+func TestSolveDeadline503(t *testing.T) {
+	srv := httptest.NewServer(newMux(time.Nanosecond))
+	defer srv.Close()
+	resp := post(t, srv, "/api/solve", solveRequest{
+		Spec: fig1SpecJSON(t), Algorithm: "exhaustive", K: 3,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline solve: status = %d, want 503", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", env.Error)
+	}
+}
+
+// TestBadOptions400: option mismatches the facade used to swallow are
+// 400 with the JSON envelope carrying the request scope.
+func TestBadOptions400(t *testing.T) {
+	srv := httptest.NewServer(newMux(2 * time.Second))
+	defer srv.Close()
+	cases := []struct {
+		name string
+		req  solveRequest
+	}{
+		{"random without seed", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "random", K: 3}},
+		{"gtp-lazy with budget", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp-lazy", K: 3}},
+	}
+	for _, tc := range cases {
+		resp := post(t, srv, "/api/solve", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+		var env errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if env.Error == "" || env.ElapsedMS < 0 {
+			t.Fatalf("%s: envelope %+v", tc.name, env)
+		}
+		if env.DeadlineMS != 2000 {
+			t.Fatalf("%s: deadline_ms = %v, want 2000", tc.name, env.DeadlineMS)
+		}
+	}
+}
+
+// TestSolveWithSeedAndOptimal: a seeded random solve works, and an
+// exact algorithm reports optimal=true on an uninterrupted run.
+func TestSolveWithSeedAndOptimal(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+	seed := int64(7)
+	resp := post(t, srv, "/api/solve", solveRequest{
+		Spec: fig1SpecJSON(t), Algorithm: "random", K: 3, Seed: &seed,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeded random: status = %d", resp.StatusCode)
+	}
+	opt := post(t, srv, "/api/solve", solveRequest{
+		Spec: fig1SpecJSON(t), Algorithm: "exhaustive", K: 3,
+	})
+	defer opt.Body.Close()
+	var out solveResponse
+	if err := json.NewDecoder(opt.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Optimal || out.Interrupted {
+		t.Fatalf("exhaustive response: %+v", out)
 	}
 }

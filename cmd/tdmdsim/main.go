@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tdmd"
 )
@@ -29,13 +32,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
-	if err := run(*specPath, tdmd.Algorithm(*algName), *k, *horizon, *rate, *dur, *seed, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *specPath, tdmd.Algorithm(*algName), *k, *horizon, *rate, *dur, *seed, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tdmdsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string, alg tdmd.Algorithm, k int, horizon, rate, dur float64, seed int64, out io.Writer) error {
+func run(ctx context.Context, specPath string, alg tdmd.Algorithm, k int, horizon, rate, dur float64, seed int64, out io.Writer) error {
 	var r io.Reader = os.Stdin
 	if specPath != "" {
 		f, err := os.Open(specPath)
@@ -53,7 +58,7 @@ func run(specPath string, alg tdmd.Algorithm, k int, horizon, rate, dur float64,
 	if err != nil {
 		return err
 	}
-	res, err := problem.Solve(alg, k)
+	res, err := problem.Solve(ctx, alg, k)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +31,7 @@ func specFile(t *testing.T) string {
 func TestRunSimulation(t *testing.T) {
 	path := specFile(t)
 	var out bytes.Buffer
-	if err := run(path, tdmd.AlgGTP, 3, 200, 1.0, 3.0, 7, &out); err != nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 200, 1.0, 3.0, 7, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -43,14 +44,14 @@ func TestRunSimulation(t *testing.T) {
 
 func TestRunBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("/does/not/exist", tdmd.AlgGTP, 3, 100, 1, 3, 1, &out); err == nil {
+	if err := run(context.Background(), "/does/not/exist", tdmd.AlgGTP, 3, 100, 1, 3, 1, &out); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	path := specFile(t)
-	if err := run(path, tdmd.AlgGTP, 1, 100, 1, 3, 1, &out); err == nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 1, 100, 1, 3, 1, &out); err == nil {
 		t.Fatal("infeasible budget accepted")
 	}
-	if err := run(path, tdmd.AlgGTP, 3, -5, 1, 3, 1, &out); err == nil {
+	if err := run(context.Background(), path, tdmd.AlgGTP, 3, -5, 1, 3, 1, &out); err == nil {
 		t.Fatal("negative horizon accepted")
 	}
 }

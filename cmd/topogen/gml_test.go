@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,7 @@ func TestRunGMLProducesSolvableSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Solve(tdmd.AlgGTP, 2); err != nil {
+	if _, err := p.Solve(context.Background(), tdmd.AlgGTP, 2); err != nil {
 		t.Fatalf("GML spec unsolvable: %v", err)
 	}
 }

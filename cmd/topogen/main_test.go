@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestRunTreeSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Solve(tdmd.AlgDP, 8); err != nil {
+	if _, err := p.Solve(context.Background(), tdmd.AlgDP, 8); err != nil {
 		t.Fatalf("generated tree spec unsolvable: %v", err)
 	}
 }
@@ -51,7 +52,7 @@ func TestRunGeneralSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Solve(tdmd.AlgGTP, 10); err != nil {
+	if _, err := p.Solve(context.Background(), tdmd.AlgGTP, 10); err != nil {
 		t.Fatalf("generated general spec unsolvable: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package tdmd_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,7 +29,7 @@ func ExampleProblem_Solve() {
 		panic(err)
 	}
 	for _, k := range []int{2, 3} {
-		res, err := p.Solve(tdmd.AlgGTP, k)
+		res, err := p.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			panic(err)
 		}
@@ -65,7 +66,7 @@ func ExampleProblem_Solve_treeDP() {
 	}
 	p.WithTree(tree)
 	for k := 1; k <= 4; k++ {
-		res, err := p.Solve(tdmd.AlgDP, k)
+		res, err := p.Solve(context.Background(), tdmd.AlgDP, k)
 		if err != nil {
 			panic(err)
 		}
@@ -102,7 +103,7 @@ func ExampleProblem_Simulate() {
 	flows := tdmd.TreeFlows(tree, tdmd.GenConfig{Density: 0.4, Seed: 2})
 	p, _ := tdmd.NewProblem(g, flows, 0.5)
 	p.WithTree(tree)
-	res, _ := p.Solve(tdmd.AlgHAT, 3)
+	res, _ := p.Solve(context.Background(), tdmd.AlgHAT, 3)
 	m, _ := p.Simulate(res.Plan, tdmd.SimConfig{Horizon: 10, InitialFlows: flows})
 	fmt.Println(m.TimeAvgBandwidth == res.Bandwidth)
 	// Output:
@@ -138,10 +139,10 @@ func ExampleProblem_Repair() {
 		{ID: 1, Rate: 2, Path: tdmd.Path{b, c}},
 	}
 	p, _ := tdmd.NewProblem(g, flows, 0.5)
-	res, _ := p.Solve(tdmd.AlgGTP, 1) // single box on b
+	res, _ := p.Solve(context.Background(), tdmd.AlgGTP, 1) // single box on b
 	worst := p.FailureRanking(res.Plan)[0]
 	fmt.Println("failing vertex", worst.Failed, "strands", worst.UnservedFlows, "flows")
-	repaired, _ := p.Repair(res.Plan, worst.Failed, 2)
+	repaired, _ := p.Repair(context.Background(), res.Plan, worst.Failed, 2)
 	fmt.Println("repaired:", repaired.Feasible, "plan size", repaired.Plan.Size())
 	// Output:
 	// failing vertex 1 strands 2 flows
@@ -160,8 +161,8 @@ func ExampleProblem_SolveCapacitated() {
 		{ID: 1, Rate: 3, Path: tdmd.Path{b, c, d}},
 	}
 	p, _ := tdmd.NewProblem(g, flows, 0.5)
-	shared, _ := p.SolveCapacitated(2, 6) // both flows fit one box at c
-	spread, _ := p.SolveCapacitated(2, 3) // capacity 3: c fits one flow, the other spreads out
+	shared, _ := p.SolveCapacitated(context.Background(), 2, 6) // both flows fit one box at c
+	spread, _ := p.SolveCapacitated(context.Background(), 2, 3) // capacity 3: c fits one flow, the other spreads out
 	fmt.Println(shared.Bandwidth, spread.Bandwidth)
 	// Output:
 	// 7.5 6

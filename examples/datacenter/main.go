@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -54,12 +55,12 @@ func fatTree() {
 	fmt.Println("Fat-tree k=4 fabric: IDS placement toward gateway core0")
 	fmt.Printf("%-4s %10s %10s %10s   %s\n", "k", "DP", "HAT", "GTP", "DP plan")
 	for _, k := range []int{1, 2, 4, 8} {
-		dp, err := problem.Solve(tdmd.AlgDP, k)
+		dp, err := problem.Solve(context.Background(), tdmd.AlgDP, k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		hat, _ := problem.Solve(tdmd.AlgHAT, k)
-		gtp, _ := problem.Solve(tdmd.AlgGTP, k)
+		hat, _ := problem.Solve(context.Background(), tdmd.AlgHAT, k)
+		gtp, _ := problem.Solve(context.Background(), tdmd.AlgGTP, k)
 		names := make([]string, 0, dp.Plan.Size())
 		for _, v := range dp.Plan.Vertices() {
 			names = append(names, st.Name(v))
@@ -69,7 +70,7 @@ func fatTree() {
 
 	// Cross-check the analytic objective against the link-load
 	// simulator on the k=4 optimum.
-	dp4, _ := problem.Solve(tdmd.AlgDP, 4)
+	dp4, _ := problem.Solve(context.Background(), tdmd.AlgDP, 4)
 	loads := problem.Instance().LinkLoads(dp4.Plan)
 	if sum := tdmd.SumLoads(loads); math.Abs(sum-dp4.Bandwidth) > 1e-9 {
 		log.Fatalf("model mismatch: links sum to %v, objective %v", sum, dp4.Bandwidth)
@@ -100,7 +101,7 @@ func bcube() {
 	fmt.Println("BCube(4,1) fabric: DPI placement for a 16-server shuffle (λ=0.3)")
 	fmt.Printf("%-4s %12s %10s\n", "k", "GTP", "plan size")
 	for _, k := range []int{2, 4, 6, 8} {
-		res, err := problem.Solve(tdmd.AlgGTP, k)
+		res, err := problem.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			fmt.Printf("%-4d %12s\n", k, "infeasible")
 			continue

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,7 +45,7 @@ func main() {
 	for step := 0; step < 120; step++ {
 		if len(live) == 0 || (rng.Intn(3) != 0 && len(live) < 40) {
 			f := pool[rng.Intn(len(pool))]
-			id, err := ctl.AddFlow(f)
+			id, err := ctl.AddFlow(context.Background(), f)
 			if err != nil {
 				rejected++
 				continue
@@ -77,14 +78,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	offline, err := problem.Solve(tdmd.AlgGTP, k)
+	offline, err := problem.Solve(context.Background(), tdmd.AlgGTP, k)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("online bandwidth:  %.1f\noffline (hindsight): %.1f (+%.1f%% online penalty)\n",
 		onlineBW, offline.Bandwidth, 100*(onlineBW/offline.Bandwidth-1))
 
-	moved, err := ctl.Compact()
+	moved, err := ctl.Compact(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

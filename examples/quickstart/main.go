@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 
 	fmt.Println("Raw demand (no middleboxes):", problem.Instance().RawDemand())
 	for _, k := range []int{2, 3} {
-		res, err := problem.Solve(tdmd.AlgGTP, k)
+		res, err := problem.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			log.Fatalf("k=%d: %v", k, err)
 		}
@@ -55,7 +56,7 @@ func main() {
 
 	// The exhaustive optimum certifies the greedy result on this
 	// six-vertex instance.
-	opt, err := problem.Solve(tdmd.AlgExhaustive, 3)
+	opt, err := problem.Solve(context.Background(), tdmd.AlgExhaustive, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

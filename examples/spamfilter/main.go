@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,15 +54,15 @@ func main() {
 		st.NumNodes(), len(flows), raw)
 	fmt.Printf("%-4s %12s %12s %12s %14s\n", "k", "DP", "HAT", "GTP", "DP spam cut")
 	for k := 1; k <= 10; k++ {
-		dp, err := problem.Solve(tdmd.AlgDP, k)
+		dp, err := problem.Solve(context.Background(), tdmd.AlgDP, k)
 		if err != nil {
 			log.Fatalf("DP k=%d: %v", k, err)
 		}
-		hat, err := problem.Solve(tdmd.AlgHAT, k)
+		hat, err := problem.Solve(context.Background(), tdmd.AlgHAT, k)
 		if err != nil {
 			log.Fatalf("HAT k=%d: %v", k, err)
 		}
-		gtp, err := problem.Solve(tdmd.AlgGTP, k)
+		gtp, err := problem.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			log.Fatalf("GTP k=%d: %v", k, err)
 		}
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	// Where does the optimum put the filters once the budget is tight?
-	dp3, _ := problem.Solve(tdmd.AlgDP, 3)
+	dp3, _ := problem.Solve(context.Background(), tdmd.AlgDP, 3)
 	fmt.Println("\nOptimal 3-filter deployment:")
 	for _, v := range dp3.Plan.Vertices() {
 		fmt.Printf("  filter on %s (depth %d)\n", st.Name(v), tree.Depth(v))

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := p.Solve(tdmd.AlgGTP, k)
+		res, err := p.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			log.Fatalf("λ=%g: %v", lambda, err)
 		}
@@ -62,7 +63,7 @@ func main() {
 	fmt.Printf("\n%-4s %14s %12s\n", "k", "GTP bandwidth", "plan size")
 	p05, _ := tdmd.NewProblem(g, flows, 0.5)
 	for _, k := range []int{4, 6, 8, 10, 14, 18} {
-		res, err := p05.Solve(tdmd.AlgGTP, k)
+		res, err := p05.Solve(context.Background(), tdmd.AlgGTP, k)
 		if err != nil {
 			fmt.Printf("%-4d %14s\n", k, "infeasible")
 			continue

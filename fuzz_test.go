@@ -2,6 +2,7 @@ package tdmd
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -34,7 +35,7 @@ func FuzzDecodeSpec(f *testing.F) {
 		if err := EncodeSpec(&buf, SpecFromProblem(p.Instance().G, p.Instance().Flows, p.Instance().Lambda)); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		if _, err := p.Solve(AlgGTP, 4); err != nil && err != ErrInfeasible && !strings.Contains(err.Error(), "infeasible") {
+		if _, err := p.Solve(context.Background(), AlgGTP, 4); err != nil && err != ErrInfeasible && !strings.Contains(err.Error(), "infeasible") {
 			t.Fatalf("Solve returned unexpected error class: %v", err)
 		}
 	})

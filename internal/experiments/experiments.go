@@ -10,8 +10,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -119,8 +119,10 @@ type Trial struct {
 }
 
 // sweep runs gen for every (x, rep) pair in parallel and aggregates.
-// gen must be deterministic in the seed it is handed.
-func sweep(cfg Config, figIdx uint64, id, title, xlabel string, algs []AlgName, xs []float64,
+// gen must be deterministic in the seed it is handed. Cancelling ctx
+// stops the sweep at the next job boundary and returns the context
+// error; partial aggregates are discarded by the callers.
+func sweep(ctx context.Context, cfg Config, figIdx uint64, id, title, xlabel string, algs []AlgName, xs []float64,
 	gen func(x float64, seed int64) (Trial, error)) (*Figure, error) {
 	cfg = cfg.WithDefaults()
 	fig := &Figure{ID: id, Title: title, XLabel: xlabel, Algs: algs}
@@ -138,7 +140,7 @@ func sweep(cfg Config, figIdx uint64, id, title, xlabel string, algs []AlgName, 
 			defer wg.Done()
 			for j := range jobs {
 				x := xs[j.pi]
-				res, err := runOne(cfg, figIdx, uint64(j.pi), uint64(j.rep), x, algs, gen)
+				res, err := runOne(ctx, cfg, figIdx, uint64(j.pi), uint64(j.rep), x, algs, gen)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("%s x=%v rep=%d: %w", id, x, j.rep, err)
@@ -163,15 +165,57 @@ func sweep(cfg Config, figIdx uint64, id, title, xlabel string, algs []AlgName, 
 	return fig, firstErr
 }
 
+// seriesSolver maps a figure series to its registry solver name and
+// the options the series runs with. seed feeds randomized series only.
+func seriesSolver(a AlgName, trial Trial, seed int64) (string, placement.Options, error) {
+	opts := []placement.Option{placement.WithK(trial.K)}
+	var name string
+	switch a {
+	case Random:
+		name = "random"
+		opts = append(opts, placement.WithSeed(seed))
+	case BestEffort:
+		name = "best-effort"
+	case GTP:
+		name = "gtp"
+	case HAT:
+		name = "hat"
+		opts = append(opts, placement.WithTree(trial.Tree))
+	case DP:
+		name = "dp"
+		opts = append(opts, placement.WithTree(trial.Tree))
+	case GTPLS:
+		name = "gtp-ls"
+	case Capacitated:
+		name = "capacitated"
+		capacity := 0
+		if trial.CapacityMultiple > 0 {
+			avg := float64(traffic.TotalRate(trial.Inst.Flows)) / float64(trial.K)
+			capacity = int(trial.CapacityMultiple*avg + 0.999)
+			if m := traffic.MaxRate(trial.Inst.Flows); capacity < m {
+				capacity = m // a box must at least fit the largest flow
+			}
+		}
+		opts = append(opts, placement.WithCapacity(capacity))
+	default:
+		return "", placement.Options{}, fmt.Errorf("unknown algorithm %q", a)
+	}
+	return name, placement.NewOptions(opts...), nil
+}
+
 // runOne generates one instance (regenerating on infeasibility, as the
-// paper does) and times every algorithm on it.
-func runOne(cfg Config, figIdx, pi, rep uint64, x float64, algs []AlgName,
+// paper does) and times every algorithm on it through the solver
+// registry — the same dispatch path the facade and binaries use.
+func runOne(ctx context.Context, cfg Config, figIdx, pi, rep uint64, x float64, algs []AlgName,
 	gen func(x float64, seed int64) (Trial, error)) (map[AlgName]Obs, error) {
 	const regenAttempts = 8
 	var trial Trial
 	var err error
 	var attempt uint64
 	for attempt = 0; attempt < regenAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := stats.DeriveSeed(cfg.Seed, figIdx, pi, rep, attempt)
 		trial, err = gen(x, seed)
 		if err != nil {
@@ -179,7 +223,7 @@ func runOne(cfg Config, figIdx, pi, rep uint64, x float64, algs []AlgName,
 		}
 		// The instance must admit at least the GTP solution within k;
 		// otherwise regenerate traffic (paper protocol).
-		if _, gerr := placement.GTPBudget(trial.Inst, trial.K); gerr == nil {
+		if _, gerr := placement.GTPBudget(ctx, trial.Inst, trial.K); gerr == nil {
 			break
 		}
 	}
@@ -187,38 +231,18 @@ func runOne(cfg Config, figIdx, pi, rep uint64, x float64, algs []AlgName,
 		return nil, fmt.Errorf("no feasible workload after %d regenerations", regenAttempts)
 	}
 	out := make(map[AlgName]Obs, len(algs))
-	rng := rand.New(rand.NewSource(stats.DeriveSeed(cfg.Seed, figIdx, pi, rep, 1000)))
+	algSeed := stats.DeriveSeed(cfg.Seed, figIdx, pi, rep, 1000)
 	for _, a := range algs {
-		start := time.Now()
-		var r placement.Result
-		var aerr error
-		switch a {
-		case Random:
-			r, aerr = placement.RandomPlacement(trial.Inst, trial.K, rng)
-		case BestEffort:
-			r, aerr = placement.BestEffort(trial.Inst, trial.K)
-		case GTP:
-			r, aerr = placement.GTPBudget(trial.Inst, trial.K)
-		case HAT:
-			r, aerr = placement.HAT(trial.Inst, trial.Tree, trial.K)
-		case DP:
-			r, aerr = placement.TreeDP(trial.Inst, trial.Tree, trial.K)
-		case GTPLS:
-			r, aerr = placement.GTPWithLocalSearch(trial.Inst, trial.K)
-		case Capacitated:
-			capacity := 0
-			if trial.CapacityMultiple > 0 {
-				avg := float64(traffic.TotalRate(trial.Inst.Flows)) / float64(trial.K)
-				capacity = int(trial.CapacityMultiple*avg + 0.999)
-				if m := traffic.MaxRate(trial.Inst.Flows); capacity < m {
-					capacity = m // a box must at least fit the largest flow
-				}
-			}
-			r, aerr = placement.GTPCapacitated(trial.Inst, trial.K, capacity)
-		default:
-			return nil, fmt.Errorf("unknown algorithm %q", a)
+		name, opts, serr := seriesSolver(a, trial, algSeed)
+		if serr != nil {
+			return nil, serr
 		}
-		out[a] = Obs{Bandwidth: r.Bandwidth, Exec: time.Since(start), OK: aerr == nil && r.Feasible}
+		start := time.Now()
+		r, aerr := placement.Solve(ctx, name, trial.Inst, opts)
+		// Interrupted solves never count as observations: a sweep point
+		// must aggregate full runs only.
+		ok := aerr == nil && r.Feasible && r.Interrupted == nil
+		out[a] = Obs{Bandwidth: r.Bandwidth, Exec: time.Since(start), OK: ok}
 	}
 	return out, nil
 }

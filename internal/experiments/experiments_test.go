@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -56,7 +57,7 @@ func TestFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig9(Config{Seed: 1, Reps: 2, Workers: 4})
+	fig, err := Fig9(context.Background(), Config{Seed: 1, Reps: 2, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestFig10LambdaMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig10(fastCfg())
+	fig, err := Fig10(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestFig13GeneralRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig13(fastCfg())
+	fig, err := Fig13(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig17TreeSurface(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	surf, err := Fig17Tree(Config{Seed: 3, Reps: 2, Workers: 4})
+	surf, err := Fig17Tree(context.Background(), Config{Seed: 3, Reps: 2, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestRenderTSVAndTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig11(Config{Seed: 5, Reps: 1, Workers: 4})
+	fig, err := Fig11(context.Background(), Config{Seed: 5, Reps: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,7 +33,7 @@ type GapReport struct {
 
 // OptimalityGap measures GTP, GTP+LS, and Best-effort against
 // certified optima on the default general topology.
-func OptimalityGap(cfg Config) (*GapReport, error) {
+func OptimalityGap(ctx context.Context, cfg Config) (*GapReport, error) {
 	cfg = cfg.WithDefaults()
 	algs := []AlgName{BestEffort, GTP, GTPLS}
 	rep := &GapReport{
@@ -45,9 +46,12 @@ func OptimalityGap(cfg Config) (*GapReport, error) {
 		rep.Gap[a] = &stats.Sample{}
 	}
 	for repIdx := 0; repIdx < cfg.Reps; repIdx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := stats.DeriveSeed(cfg.Seed, 21, uint64(repIdx))
 		trial := GeneralTrial(DefaultGeneralSize, DefaultDensity, DefaultLambda, DefaultGeneralK, seed)
-		opt, err := placement.BranchAndBound(trial.Inst, trial.K, placement.BnBOpts{
+		opt, err := placement.BranchAndBound(ctx, trial.Inst, trial.K, placement.BnBOpts{
 			Timeout: 20 * time.Second,
 		})
 		if err != nil || !opt.Exact {
@@ -56,17 +60,12 @@ func OptimalityGap(cfg Config) (*GapReport, error) {
 		}
 		rep.Instances++
 		for _, a := range algs {
-			var r placement.Result
-			var aerr error
-			switch a {
-			case BestEffort:
-				r, aerr = placement.BestEffort(trial.Inst, trial.K)
-			case GTP:
-				r, aerr = placement.GTPBudget(trial.Inst, trial.K)
-			case GTPLS:
-				r, aerr = placement.GTPWithLocalSearch(trial.Inst, trial.K)
+			name, opts, serr := seriesSolver(a, trial, 0)
+			if serr != nil {
+				return nil, serr
 			}
-			if aerr != nil {
+			r, aerr := placement.Solve(ctx, name, trial.Inst, opts)
+			if aerr != nil || r.Interrupted != nil {
 				continue
 			}
 			gap := (r.Bandwidth - opt.Bandwidth) / opt.Bandwidth

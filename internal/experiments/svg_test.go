@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ func TestFigureSVG(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig9(Config{Seed: 2, Reps: 1, Workers: 4})
+	fig, err := Fig9(context.Background(), Config{Seed: 2, Reps: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestFigureJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Fig13(Config{Seed: 3, Reps: 1, Workers: 4})
+	fig, err := Fig13(context.Background(), Config{Seed: 3, Reps: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

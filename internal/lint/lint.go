@@ -14,6 +14,10 @@
 //   - allocloop: placement solvers must not call the netsim Instance's
 //     full Allocate inside loops — iteration runs on netsim.State
 //     deltas (invariant cross-checks excepted);
+//   - ctxflow: the solve path threads the caller's context — no
+//     context.Background()/TODO() inside internal/placement or in
+//     cmd/*serve request handlers, and exported placement entry
+//     points returning a Result take a context.Context first;
 //   - internalboundary: commands and examples consume the public tdmd
 //     facade, not internal packages (small allowlist aside);
 //   - todotracker: stray panic("TODO") markers and uppercase
@@ -101,6 +105,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerDroppedError,
 		AnalyzerFloatEq,
 		AnalyzerAllocLoop,
+		AnalyzerCtxFlow,
 		AnalyzerInternalBoundary,
 		AnalyzerTodoTracker,
 	}

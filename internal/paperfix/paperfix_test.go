@@ -1,6 +1,7 @@
 package paperfix
 
 import (
+	"context"
 	"testing"
 
 	"tdmd/internal/graph"
@@ -66,7 +67,7 @@ func TestFig1OptimalK1MatchesTable2(t *testing.T) {
 	g, flows, lambda := Fig1()
 	in := netsim.MustNew(g, flows, lambda)
 
-	if _, err := placement.Exhaustive(in, 1); err == nil {
+	if _, err := placement.Exhaustive(context.Background(), in, 1); err == nil {
 		t.Fatal("Exhaustive(k=1) should report infeasibility on Fig. 1")
 	}
 

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -34,17 +35,17 @@ func BenchmarkAblationGTPLazyVsPlain(b *testing.B) {
 		in := benchGeneralInstance(b, n, 4*n)
 		b.Run(fmt.Sprintf("plain/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				GTP(in)
+				GTP(context.Background(), in)
 			}
 		})
 		b.Run(fmt.Sprintf("lazy/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				GTPLazy(in)
+				GTPLazy(context.Background(), in)
 			}
 		})
 		b.Run(fmt.Sprintf("parallel/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				GTPParallel(in, ParallelOpts{})
+				GTPParallel(context.Background(), in, ParallelOpts{})
 			}
 		})
 	}
@@ -75,14 +76,14 @@ func BenchmarkAblationHATHeapVsBrute(b *testing.B) {
 		in, tree, _ := benchTreeInstance(b, n)
 		b.Run(fmt.Sprintf("heap/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := HAT(in, tree, 4); err != nil {
+				if _, err := HAT(context.Background(), in, tree, 4); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := HATWithTrace(in, tree, 4); err != nil {
+				if _, _, err := HATWithTrace(context.Background(), in, tree, 4); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -99,14 +100,14 @@ func BenchmarkAblationDPMerge(b *testing.B) {
 	inMerged := netsim.MustNew(inRaw.G, merged, 0.5)
 	b.Run("unmerged", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := TreeDP(inRaw, tree, 6); err != nil {
+			if _, err := TreeDP(context.Background(), inRaw, tree, 6); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("merged", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := TreeDP(inMerged, tree, 6); err != nil {
+			if _, err := TreeDP(context.Background(), inMerged, tree, 6); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -130,7 +131,7 @@ func BenchmarkAblationScaledDP(b *testing.B) {
 	in := netsim.MustNew(g, flows, 0.5)
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := TreeDP(in, tree, 6); err != nil {
+			if _, err := TreeDP(context.Background(), in, tree, 6); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -138,7 +139,7 @@ func BenchmarkAblationScaledDP(b *testing.B) {
 	for _, limit := range []int{256, 64} {
 		b.Run(fmt.Sprintf("scaled-limit=%d", limit), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ScaledTreeDP(in, tree, 6, ScaledDPOpts{MaxTotalRate: limit}); err != nil {
+				if _, _, err := ScaledTreeDP(context.Background(), in, tree, 6, ScaledDPOpts{MaxTotalRate: limit}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -152,14 +153,14 @@ func BenchmarkAblationBudgetGuard(b *testing.B) {
 	in := benchGeneralInstance(b, 80, 200)
 	b.Run("guarded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := GTPBudget(in, 20); err != nil {
+			if _, err := GTPBudget(context.Background(), in, 20); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("unguarded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			GTP(in)
+			GTP(context.Background(), in)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -17,7 +18,10 @@ import (
 // harness always scores a feasible plan. Draws are rejection-tested
 // with the word-parallel coverage bitsets rather than a full
 // allocation.
-func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error) {
+// RandomPlacement is fail-fast under cancellation: draws are cheap, so
+// an interrupted sampler returns the context error rather than a
+// partial plan.
+func RandomPlacement(ctx context.Context, in *netsim.Instance, k int, rng *rand.Rand) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -27,6 +31,9 @@ func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error)
 	}
 	const maxAttempts = 200
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if canceled(ctx) {
+			return Result{}, interruptedErr(ctx)
+		}
 		p := netsim.NewPlan()
 		for _, idx := range rng.Perm(n)[:k] {
 			p.Add(graph.NodeID(idx))
@@ -39,6 +46,9 @@ func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error)
 	// remaining budget.
 	st := netsim.NewState(in, netsim.NewPlan())
 	for !st.Feasible() && st.Size() < k {
+		if canceled(ctx) {
+			return Result{}, interruptedErr(ctx)
+		}
 		v := mostCovering(st)
 		if v == graph.Invalid {
 			return Result{}, ErrInfeasible
@@ -70,9 +80,12 @@ func RandomPlacement(in *netsim.Instance, k int, rng *rand.Rand) (Result, error)
 // replaced by greedy-cover vertices. The repair loop runs on the
 // incremental state — one Remove and one Add per iteration instead of
 // the three full re-allocations the original formulation paid.
-func BestEffort(in *netsim.Instance, k int) (Result, error) {
+func BestEffort(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
+	}
+	if canceled(ctx) {
+		return Result{}, interruptedErr(ctx)
 	}
 	type scored struct {
 		v    graph.NodeID
@@ -101,6 +114,9 @@ func BestEffort(in *netsim.Instance, k int) (Result, error) {
 	// Coverage repair: drop the lowest-ranked picks in favour of
 	// greedy-cover vertices until every flow is served.
 	for drop := k - 1; !st.Feasible() && drop >= 0; drop-- {
+		if canceled(ctx) {
+			return Result{}, interruptedErr(ctx)
+		}
 		st.RemoveBox(ranked[drop].v)
 		v := mostCovering(st)
 		if v == graph.Invalid {

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func TestRandomPlacementFeasibleFig1(t *testing.T) {
 	in := fig1Instance(t)
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
-		r, err := RandomPlacement(in, 3, rng)
+		r, err := RandomPlacement(context.Background(), in, 3, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -29,7 +30,7 @@ func TestRandomPlacementFeasibleFig1(t *testing.T) {
 func TestRandomPlacementRespectsBudgetAboveN(t *testing.T) {
 	in := fig1Instance(t)
 	rng := rand.New(rand.NewSource(2))
-	r, err := RandomPlacement(in, 100, rng)
+	r, err := RandomPlacement(context.Background(), in, 100, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestRandomPlacementRespectsBudgetAboveN(t *testing.T) {
 
 func TestRandomPlacementDeterministicPerSeed(t *testing.T) {
 	in := fig1Instance(t)
-	a, err := RandomPlacement(in, 3, rand.New(rand.NewSource(7)))
+	a, err := RandomPlacement(context.Background(), in, 3, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RandomPlacement(in, 3, rand.New(rand.NewSource(7)))
+	b, err := RandomPlacement(context.Background(), in, 3, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,18 +61,18 @@ func TestRandomPlacementDeterministicPerSeed(t *testing.T) {
 func TestRandomPlacementInfeasibleBudget(t *testing.T) {
 	in := fig1Instance(t)
 	rng := rand.New(rand.NewSource(3))
-	if _, err := RandomPlacement(in, 0, rng); err == nil {
+	if _, err := RandomPlacement(context.Background(), in, 0, rng); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	// k=1 cannot cover Fig. 1's flows from any single vertex.
-	if _, err := RandomPlacement(in, 1, rng); err == nil {
+	if _, err := RandomPlacement(context.Background(), in, 1, rng); err == nil {
 		t.Fatal("k=1 should be infeasible on Fig. 1")
 	}
 }
 
 func TestBestEffortFig1(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := BestEffort(in, 3)
+	r, err := BestEffort(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestBestEffortFig1(t *testing.T) {
 	if r.Bandwidth != 11 {
 		t.Fatalf("bandwidth = %v, want 11", r.Bandwidth)
 	}
-	gtp := GTP(in)
+	gtp := GTP(context.Background(), in)
 	if gtp.Bandwidth >= r.Bandwidth {
 		t.Fatalf("GTP (%v) should beat BestEffort (%v) on Fig. 1", gtp.Bandwidth, r.Bandwidth)
 	}
@@ -102,7 +103,7 @@ func TestBestEffortFig1(t *testing.T) {
 // plan the pre-incremental implementation produced.
 func TestBestEffortCoverageGuardFig1K2(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := BestEffort(in, 2)
+	r, err := BestEffort(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,8 +135,8 @@ func TestBestEffortWorseThanGTPOnAverage(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, 0.5)
 		for k := 2; k <= 5; k++ {
-			be, errBE := BestEffort(in, k)
-			gt, errGT := GTPBudget(in, k)
+			be, errBE := BestEffort(context.Background(), in, k)
+			gt, errGT := GTPBudget(context.Background(), in, k)
 			if errBE != nil || errGT != nil {
 				continue
 			}
@@ -172,11 +173,11 @@ func TestBestEffortStaticRankingGap(t *testing.T) {
 		{ID: 2, Rate: 1, Path: graph.Path{e, d}},
 	}
 	in := netsim.MustNew(g, flows, 0.0)
-	be, err := BestEffort(in, 2)
+	be, err := BestEffort(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gt, err := GTPBudget(in, 2)
+	gt, err := GTPBudget(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,14 +195,14 @@ func TestBestEffortStaticRankingGap(t *testing.T) {
 
 func TestExhaustiveFig1MatchesPaperOptimum(t *testing.T) {
 	in := fig1Instance(t)
-	r2, err := Exhaustive(in, 2)
+	r2, err := Exhaustive(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r2.Bandwidth != 12 {
 		t.Fatalf("opt k=2 = %v, want 12", r2.Bandwidth)
 	}
-	r3, err := Exhaustive(in, 3)
+	r3, err := Exhaustive(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,14 +215,14 @@ func TestExhaustiveRejectsLargeInstance(t *testing.T) {
 	g := topology.GeneralRandom(30, 0.5, 1)
 	flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{Density: 0.2, Seed: 2, MaxFlows: 5})
 	in := netsim.MustNew(g, flows, 0.5)
-	if _, err := Exhaustive(in, 3); err == nil {
+	if _, err := Exhaustive(context.Background(), in, 3); err == nil {
 		t.Fatal("oversized instance accepted")
 	}
 }
 
 func TestExhaustiveInfeasible(t *testing.T) {
 	in := fig1Instance(t)
-	if _, err := Exhaustive(in, 1); err == nil {
+	if _, err := Exhaustive(context.Background(), in, 1); err == nil {
 		t.Fatal("k=1 should be infeasible on Fig. 1")
 	}
 }
@@ -236,7 +237,7 @@ func TestAlgorithmOrderingOnTrees(t *testing.T) {
 			continue
 		}
 		k := 2 + rng.Intn(3)
-		dp, err := TreeDP(in, tree, k)
+		dp, err := TreeDP(context.Background(), in, tree, k)
 		if err != nil {
 			t.Fatalf("trial %d: DP: %v", trial, err)
 		}
@@ -245,16 +246,16 @@ func TestAlgorithmOrderingOnTrees(t *testing.T) {
 				t.Fatalf("trial %d k=%d: %s (%v) beat the DP optimum (%v)", trial, k, name, b, dp.Bandwidth)
 			}
 		}
-		if h, err := HAT(in, tree, k); err == nil {
+		if h, err := HAT(context.Background(), in, tree, k); err == nil {
 			check("HAT", h.Bandwidth)
 		}
-		if g2, err := GTPBudget(in, k); err == nil {
+		if g2, err := GTPBudget(context.Background(), in, k); err == nil {
 			check("GTPBudget", g2.Bandwidth)
 		}
-		if r, err := RandomPlacement(in, k, rng); err == nil {
+		if r, err := RandomPlacement(context.Background(), in, k, rng); err == nil {
 			check("Random", r.Bandwidth)
 		}
-		if b, err := BestEffort(in, k); err == nil {
+		if b, err := BestEffort(context.Background(), in, k); err == nil {
 			check("BestEffort", b.Bandwidth)
 		}
 	}
@@ -272,13 +273,13 @@ func TestBandwidthWithinLemma1Bounds(t *testing.T) {
 		hi := in.RawDemand()
 		k := 1 + rng.Intn(4)
 		results := map[string]float64{}
-		if r, err := TreeDP(in, tree, k); err == nil {
+		if r, err := TreeDP(context.Background(), in, tree, k); err == nil {
 			results["DP"] = r.Bandwidth
 		}
-		if r, err := HAT(in, tree, k); err == nil {
+		if r, err := HAT(context.Background(), in, tree, k); err == nil {
 			results["HAT"] = r.Bandwidth
 		}
-		if r, err := GTPBudget(in, k); err == nil {
+		if r, err := GTPBudget(context.Background(), in, k); err == nil {
 			results["GTP"] = r.Bandwidth
 		}
 		for name, b := range results {
@@ -296,7 +297,7 @@ func TestBandwidthWithinLemma1Bounds(t *testing.T) {
 func TestSpamFilterZeroLambda(t *testing.T) {
 	g, tree, flows, _ := paperfix.Fig5()
 	in := netsim.MustNew(g, flows, 0)
-	r, err := TreeDP(in, tree, 4)
+	r, err := TreeDP(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,7 +25,8 @@ import (
 // flips for expanding middleboxes.
 type BnBOpts struct {
 	// Timeout aborts the search; the incumbent found so far is
-	// returned with Exact=false. Zero means 30s.
+	// returned with Exact=false. Zero means 30s. It composes with the
+	// caller's context: whichever deadline fires first wins.
 	Timeout time.Duration
 	// NodeLimit caps explored search nodes (0 = 10M).
 	NodeLimit int
@@ -41,7 +43,12 @@ type BnBResult struct {
 }
 
 // BranchAndBound minimizes b(P) subject to |P| <= k.
-func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error) {
+//
+// It is an anytime exact solver: on cancellation, deadline, timeout or
+// node limit the best incumbent found so far is returned with
+// Exact=false (and Result.Optimal=false); an exhausted search space
+// certifies the optimum.
+func BranchAndBound(ctx context.Context, in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error) {
 	if err := validateBudget(k); err != nil {
 		return BnBResult{}, err
 	}
@@ -54,7 +61,10 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 	if opts.NodeLimit <= 0 {
 		opts.NodeLimit = 10_000_000
 	}
-	deadline := time.Now().Add(opts.Timeout)
+	// The safety timeout rides on the caller's context so one Done
+	// channel carries both.
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
 
 	n := in.G.NumNodes()
 	if k > n {
@@ -93,9 +103,9 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 	// immediately.
 	incumbent := BnBResult{}
 	incumbent.Bandwidth = math.Inf(1)
-	if seed, err := GTPBudget(in, k); err == nil {
-		r := LocalSearch(in, seed.Plan, 0)
-		incumbent.Result = r
+	if seed, err := GTPBudget(ctx, in, k); err == nil && seed.Interrupted == nil {
+		incumbent.Result = LocalSearch(ctx, in, seed.Plan, 0)
+		incumbent.Interrupted = nil
 	}
 
 	nodes := 0
@@ -111,7 +121,7 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 			return
 		}
 		nodes++
-		if nodes > opts.NodeLimit || nodes%4096 == 0 && time.Now().After(deadline) {
+		if nodes > opts.NodeLimit || nodes%ctxCheckStride == 0 && canceled(ctx) {
 			timedOut = true
 			return
 		}
@@ -155,13 +165,24 @@ func BranchAndBound(in *netsim.Instance, k int, opts BnBOpts) (BnBResult, error)
 		// Exclude v.
 		rec(idx+1, used)
 	}
-	rec(0, 0)
+	if canceled(ctx) {
+		timedOut = true
+	} else {
+		rec(0, 0)
+	}
 
 	incumbent.Nodes = nodes
 	incumbent.Exact = !timedOut
+	incumbent.Optimal = incumbent.Exact
+	if timedOut {
+		incumbent.Interrupted = ctx.Err()
+	}
 	if !incumbent.Feasible {
 		if incumbent.Exact {
 			return incumbent, ErrInfeasible
+		}
+		if err := ctx.Err(); err != nil {
+			return incumbent, fmt.Errorf("placement: branch-and-bound interrupted before finding a feasible plan: %w", err)
 		}
 		return incumbent, fmt.Errorf("placement: branch-and-bound hit its limit before finding a feasible plan: %w", ErrInfeasible)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ import (
 func TestBranchAndBoundFig1(t *testing.T) {
 	in := fig1Instance(t)
 	for k, want := range map[int]float64{2: 12, 3: 8} {
-		r, err := BranchAndBound(in, k, BnBOpts{})
+		r, err := BranchAndBound(context.Background(), in, k, BnBOpts{})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -27,10 +28,10 @@ func TestBranchAndBoundFig1(t *testing.T) {
 			t.Fatalf("k=%d: bandwidth %v, want %v", k, r.Bandwidth, want)
 		}
 	}
-	if _, err := BranchAndBound(in, 1, BnBOpts{}); err == nil {
+	if _, err := BranchAndBound(context.Background(), in, 1, BnBOpts{}); err == nil {
 		t.Fatal("k=1 should be infeasible on Fig. 1")
 	}
-	if _, err := BranchAndBound(in, 0, BnBOpts{}); err == nil {
+	if _, err := BranchAndBound(context.Background(), in, 0, BnBOpts{}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -38,7 +39,7 @@ func TestBranchAndBoundFig1(t *testing.T) {
 func TestBranchAndBoundRejectsExpanding(t *testing.T) {
 	g, flows, _ := paperfix.Fig1()
 	in := netsim.MustNew(g, flows, 1.5)
-	if _, err := BranchAndBound(in, 3, BnBOpts{}); err == nil {
+	if _, err := BranchAndBound(context.Background(), in, 3, BnBOpts{}); err == nil {
 		t.Fatal("expanding instance accepted")
 	}
 }
@@ -56,8 +57,8 @@ func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, float64(rng.Intn(10))/10)
 		for k := 1; k <= 4; k++ {
-			bb, errB := BranchAndBound(in, k, BnBOpts{})
-			ex, errE := Exhaustive(in, k)
+			bb, errB := BranchAndBound(context.Background(), in, k, BnBOpts{})
+			ex, errE := Exhaustive(context.Background(), in, k)
 			if (errB == nil) != (errE == nil) {
 				t.Fatalf("trial %d k=%d: feasibility mismatch: %v vs %v", trial, k, errB, errE)
 			}
@@ -91,11 +92,11 @@ func TestBranchAndBoundAtEvaluationScale(t *testing.T) {
 	flows := traffic.MergeSameSource(traffic.TreeFlows(tree, traffic.GenConfig{
 		Density: 0.5, LinkCapacity: 40, Dist: dist, Seed: 5}))
 	in := netsim.MustNew(g, flows, 0.5)
-	dp, err := TreeDP(in, tree, 8)
+	dp, err := TreeDP(context.Background(), in, tree, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bb, err := BranchAndBound(in, 8, BnBOpts{Timeout: scaleBudget(60 * time.Second)})
+	bb, err := BranchAndBound(context.Background(), in, 8, BnBOpts{Timeout: scaleBudget(60 * time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestBranchAndBoundTimeoutReturnsIncumbent(t *testing.T) {
 	flows := traffic.GeneralFlows(g, []graph.NodeID{0, 1}, traffic.GenConfig{
 		Density: 0.8, Seed: 4, MaxFlows: 120})
 	in := netsim.MustNew(g, flows, 0.5)
-	r, err := BranchAndBound(in, 10, BnBOpts{Timeout: 30 * time.Millisecond})
+	r, err := BranchAndBound(context.Background(), in, 10, BnBOpts{Timeout: 30 * time.Millisecond})
 	if err != nil {
 		t.Skip("greedy seed infeasible; nothing to assert")
 	}
@@ -121,7 +122,7 @@ func TestBranchAndBoundTimeoutReturnsIncumbent(t *testing.T) {
 		t.Fatal("incumbent infeasible")
 	}
 	// Either it finished very fast or it reports inexactness.
-	gtp, err := GTPBudget(in, 10)
+	gtp, err := GTPBudget(context.Background(), in, 10)
 	if err == nil && r.Bandwidth > gtp.Bandwidth+1e-9 {
 		t.Fatalf("incumbent %v worse than its greedy seed %v", r.Bandwidth, gtp.Bandwidth)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 
 	"tdmd/internal/graph"
@@ -19,12 +20,15 @@ import (
 // by the marginal-decrement shortcut, and carries no approximation
 // bound. A quick necessary-condition check (k·capacity ≥ total rate,
 // no single flow above capacity) rejects hopeless inputs early.
-func GTPCapacitated(in *netsim.Instance, k, capacity int) (Result, error) {
+// GTPCapacitated is fail-fast under cancellation: candidate scoring
+// pays full re-allocations, and a partial capacitated plan has no
+// best-so-far meaning, so the context error is returned directly.
+func GTPCapacitated(ctx context.Context, in *netsim.Instance, k, capacity int) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
 	if capacity <= 0 {
-		r, err := GTPBudget(in, k)
+		r, err := GTPBudget(ctx, in, k)
 		return r, err
 	}
 	if traffic.MaxRate(in.Flows) > capacity {
@@ -36,10 +40,14 @@ func GTPCapacitated(in *netsim.Instance, k, capacity int) (Result, error) {
 	// Phase 1: gain-first greedy (matches GTP's behaviour when the
 	// capacity never binds). If it strands flows, phase 2 reruns with
 	// coverage-first scoring; only then do we give up.
-	if r, ok := runCapacitatedGreedy(in, k, capacity, false); ok {
+	if r, ok, err := runCapacitatedGreedy(ctx, in, k, capacity, false); err != nil {
+		return Result{}, err
+	} else if ok {
 		return r, nil
 	}
-	if r, ok := runCapacitatedGreedy(in, k, capacity, true); ok {
+	if r, ok, err := runCapacitatedGreedy(ctx, in, k, capacity, true); err != nil {
+		return Result{}, err
+	} else if ok {
 		return r, nil
 	}
 	return Result{}, ErrInfeasible
@@ -47,10 +55,13 @@ func GTPCapacitated(in *netsim.Instance, k, capacity int) (Result, error) {
 
 // runCapacitatedGreedy builds a plan with the chosen scoring order.
 // coverageFirst prefers (served, gain); otherwise (gain, served).
-func runCapacitatedGreedy(in *netsim.Instance, k, capacity int, coverageFirst bool) (Result, bool) {
+func runCapacitatedGreedy(ctx context.Context, in *netsim.Instance, k, capacity int, coverageFirst bool) (Result, bool, error) {
 	p := netsim.NewPlan()
 	n := in.G.NumNodes()
 	for p.Size() < k {
+		if canceled(ctx) {
+			return Result{}, false, interruptedErr(ctx)
+		}
 		alloc := in.AllocateCapacitated(p, capacity)
 		feasible := feasibleAlloc(alloc)
 		best, gain, served := bestCapacitatedCandidate(in, p, capacity, n, coverageFirst)
@@ -67,13 +78,13 @@ func runCapacitatedGreedy(in *netsim.Instance, k, capacity int, coverageFirst bo
 	}
 	alloc := in.AllocateCapacitated(p, capacity)
 	if !feasibleAlloc(alloc) {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	var total float64
 	for i := range in.Flows {
 		total += in.FlowBandwidth(i, alloc[i])
 	}
-	return Result{Plan: p, Bandwidth: total, Feasible: true}, true
+	return Result{Plan: p, Bandwidth: total, Feasible: true}, true, nil
 }
 
 // bestCapacitatedCandidate scores each undeployed vertex by full

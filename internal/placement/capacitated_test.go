@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,11 +15,11 @@ import (
 
 func TestCapacitatedUnlimitedMatchesPlain(t *testing.T) {
 	in := fig1Instance(t)
-	plain, err := GTPBudget(in, 3)
+	plain, err := GTPBudget(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	capd, err := GTPCapacitated(in, 3, 0) // 0 = unlimited
+	capd, err := GTPCapacitated(context.Background(), in, 3, 0) // 0 = unlimited
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestCapacitatedUnlimitedMatchesPlain(t *testing.T) {
 		t.Fatalf("unlimited capacitated %v != plain %v", capd.Bandwidth, plain.Bandwidth)
 	}
 	// Huge capacity behaves like unlimited too.
-	huge, err := GTPCapacitated(in, 3, 1000)
+	huge, err := GTPCapacitated(context.Background(), in, 3, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,11 @@ func TestCapacitatedUnlimitedMatchesPlain(t *testing.T) {
 func TestCapacitatedRejectsImpossible(t *testing.T) {
 	in := fig1Instance(t) // rates 4,2,2,2; total 10
 	// A single flow exceeding capacity can never be served.
-	if _, err := GTPCapacitated(in, 4, 3); err == nil {
+	if _, err := GTPCapacitated(context.Background(), in, 4, 3); err == nil {
 		t.Fatal("capacity below max rate accepted")
 	}
 	// Aggregate capacity too small: 2 boxes × 4 = 8 < 10.
-	if _, err := GTPCapacitated(in, 2, 4); err == nil {
+	if _, err := GTPCapacitated(context.Background(), in, 2, 4); err == nil {
 		t.Fatal("aggregate shortfall accepted")
 	}
 }
@@ -52,7 +53,7 @@ func TestCapacitatedForcesSpreading(t *testing.T) {
 	// Capacity 4: no box can serve more than rate 4, so the 3-box
 	// uncapacitated optimum {v4, v5, v6} (v6 serves 4) still fits, but
 	// a 2-box plan cannot (one box would need ≥ 6).
-	r, err := GTPCapacitated(in, 3, 4)
+	r, err := GTPCapacitated(context.Background(), in, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestCapacitatedForcesSpreading(t *testing.T) {
 			t.Fatalf("box %d overloaded: %d > 4", v, l)
 		}
 	}
-	if _, err := GTPCapacitated(in, 2, 4); err == nil {
+	if _, err := GTPCapacitated(context.Background(), in, 2, 4); err == nil {
 		t.Fatal("k=2 capacity=4 should be infeasible (needs 3 boxes)")
 	}
 }
@@ -114,12 +115,12 @@ func TestCapacitatedMonotoneInCapacity(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		opt, err := Exhaustive(in, 4)
+		opt, err := Exhaustive(context.Background(), in, 4)
 		if err != nil {
 			continue
 		}
 		for _, capacity := range []int{traffic.TotalRate(flows), 2 * traffic.MaxRate(flows), traffic.MaxRate(flows)} {
-			r, err := GTPCapacitated(in, 4, capacity)
+			r, err := GTPCapacitated(context.Background(), in, 4, capacity)
 			if err != nil {
 				continue // tighter capacity may be infeasible; fine
 			}
@@ -141,7 +142,7 @@ func TestCapacitatedMonotoneInCapacity(t *testing.T) {
 
 func TestCapacitatedBudgetValidation(t *testing.T) {
 	in := fig1Instance(t)
-	if _, err := GTPCapacitated(in, 0, 5); err == nil {
+	if _, err := GTPCapacitated(context.Background(), in, 0, 5); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -25,8 +26,8 @@ func TestConcurrentSolversShareInstance(t *testing.T) {
 	}
 	in := netsim.MustNew(g, flows, 0.5)
 
-	serialGTP := GTP(in)
-	serialBudget, budgetErr := GTPBudget(in, 4)
+	serialGTP := GTP(context.Background(), in)
+	serialBudget, budgetErr := GTPBudget(context.Background(), in, 4)
 
 	rounds := 4
 	if raceEnabled {
@@ -37,7 +38,7 @@ func TestConcurrentSolversShareInstance(t *testing.T) {
 		wg.Add(4)
 		go func() {
 			defer wg.Done()
-			r := GTP(in)
+			r := GTP(context.Background(), in)
 			if r.Plan.String() != serialGTP.Plan.String() || r.Bandwidth != serialGTP.Bandwidth {
 				t.Errorf("concurrent GTP diverged: %v (%v) vs %v (%v)",
 					r.Plan, r.Bandwidth, serialGTP.Plan, serialGTP.Bandwidth)
@@ -45,14 +46,14 @@ func TestConcurrentSolversShareInstance(t *testing.T) {
 		}()
 		go func() {
 			defer wg.Done()
-			r := GTPParallel(in, ParallelOpts{Workers: 3})
+			r := GTPParallel(context.Background(), in, ParallelOpts{Workers: 3})
 			if r.Plan.String() != serialGTP.Plan.String() {
 				t.Errorf("concurrent GTPParallel diverged: %v vs %v", r.Plan, serialGTP.Plan)
 			}
 		}()
 		go func() {
 			defer wg.Done()
-			r, err := GTPBudget(in, 4) // races two goroutines into CoverSet's sync.Once
+			r, err := GTPBudget(context.Background(), in, 4) // races two goroutines into CoverSet's sync.Once
 			if (err == nil) != (budgetErr == nil) {
 				t.Errorf("concurrent GTPBudget error mismatch: %v vs %v", err, budgetErr)
 				return
@@ -63,7 +64,7 @@ func TestConcurrentSolversShareInstance(t *testing.T) {
 		}()
 		go func() {
 			defer wg.Done()
-			if _, err := ExhaustiveParallel(in, 3, ParallelOpts{Workers: 3}); err != nil {
+			if _, err := ExhaustiveParallel(context.Background(), in, 3, ParallelOpts{Workers: 3}); err != nil {
 				// Infeasibility is a legitimate instance property; data
 				// races are what this test exists to surface.
 				t.Logf("ExhaustiveParallel: %v", err)
@@ -77,7 +78,7 @@ func TestConcurrentSolversShareInstance(t *testing.T) {
 // on one shared instance (the DP allocates all mutable state per call).
 func TestConcurrentTreeDPShareInstance(t *testing.T) {
 	in, tree := fig5Instance(t)
-	serial, err := TreeDP(in, tree, 2)
+	serial, err := TreeDP(context.Background(), in, tree, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestConcurrentTreeDPShareInstance(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := TreeDPParallel(in, tree, 2, ParallelOpts{Workers: 2})
+			r, err := TreeDPParallel(context.Background(), in, tree, 2, ParallelOpts{Workers: 2})
 			if err != nil {
 				t.Error(err)
 				return

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,11 +14,23 @@ import (
 // reached for the wrong tool.
 const maxExhaustiveVertices = 24
 
+// ctxCheckStride is how many search nodes the exact solvers expand
+// between context polls: frequent enough that cancellation lands
+// within microseconds, sparse enough that the poll never shows up in
+// profiles.
+const ctxCheckStride = 1024
+
 // Exhaustive finds a true optimum by enumerating every vertex subset
 // of size <= k and keeping the feasible one with the least total
 // bandwidth. It exists to certify the other algorithms in tests and is
 // limited to very small instances.
-func Exhaustive(in *netsim.Instance, k int) (Result, error) {
+//
+// Exhaustive is an anytime exact solver: on cancellation or deadline
+// it stops enumerating and returns the best feasible incumbent found
+// so far with Optimal=false and Interrupted set; with no incumbent yet
+// it returns the context error. An uninterrupted run certifies the
+// optimum (Optimal=true).
+func Exhaustive(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -31,6 +44,8 @@ func Exhaustive(in *netsim.Instance, k int) (Result, error) {
 	bestVal := math.Inf(1)
 	var bestPlan netsim.Plan
 	found := false
+	aborted := false
+	visited := 0
 	// The enumeration walks the subset tree on one incremental state:
 	// AddBox on descent, RemoveBox on backtrack, so each subset costs
 	// only the flows its last vertex touches instead of a full
@@ -38,6 +53,14 @@ func Exhaustive(in *netsim.Instance, k int) (Result, error) {
 	st := netsim.NewState(in, netsim.NewPlan())
 	var rec func(start graph.NodeID)
 	rec = func(start graph.NodeID) {
+		if aborted {
+			return
+		}
+		visited++
+		if visited%ctxCheckStride == 0 && canceled(ctx) {
+			aborted = true
+			return
+		}
 		if st.Size() > 0 && st.Feasible() {
 			if b := st.ExactBandwidth(); b < bestVal {
 				bestVal = b
@@ -54,11 +77,25 @@ func Exhaustive(in *netsim.Instance, k int) (Result, error) {
 			st.AddBox(v)
 			rec(v + 1)
 			st.RemoveBox(v)
+			if aborted {
+				return
+			}
 		}
 	}
-	rec(0)
+	if canceled(ctx) {
+		aborted = true
+	} else {
+		rec(0)
+	}
 	if !found {
+		if aborted {
+			return Result{}, interruptedErr(ctx)
+		}
 		return Result{}, ErrInfeasible
 	}
-	return Result{Plan: bestPlan, Bandwidth: bestVal, Feasible: true}, nil
+	r := Result{Plan: bestPlan, Bandwidth: bestVal, Feasible: true, Optimal: !aborted}
+	if aborted {
+		r.Interrupted = ctx.Err()
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,7 @@ func expandingFig1(t *testing.T, lambda float64) *netsim.Instance {
 
 func TestGTPExpandingFeasible(t *testing.T) {
 	in := expandingFig1(t, 2.0)
-	r := GTP(in)
+	r := GTP(context.Background(), in)
 	if !r.Feasible {
 		t.Fatalf("GTP infeasible on expanding instance: %v", r.Plan)
 	}
@@ -40,7 +41,7 @@ func TestGTPExpandingFeasible(t *testing.T) {
 
 func TestGTPBudgetExpandingNeverBelowRawDemand(t *testing.T) {
 	in := expandingFig1(t, 1.5)
-	r, err := GTPBudget(in, 3)
+	r, err := GTPBudget(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestGTPBudgetExpandingNeverBelowRawDemand(t *testing.T) {
 
 func TestExpandingBeatsNaiveSourcePlacement(t *testing.T) {
 	in := expandingFig1(t, 2.0)
-	gtp := GTP(in)
+	gtp := GTP(context.Background(), in)
 	// Source placement is the diminishing optimum but the expanding
 	// worst case.
 	sources := netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
@@ -64,13 +65,13 @@ func TestExpandingBeatsNaiveSourcePlacement(t *testing.T) {
 func TestTreeAlgorithmsRejectExpanding(t *testing.T) {
 	g, tree, flows, _ := paperfix.Fig5()
 	in := netsim.MustNew(g, flows, 1.2)
-	if _, err := TreeDP(in, tree, 3); err == nil {
+	if _, err := TreeDP(context.Background(), in, tree, 3); err == nil {
 		t.Fatal("TreeDP accepted λ > 1")
 	}
-	if _, err := HAT(in, tree, 3); err == nil {
+	if _, err := HAT(context.Background(), in, tree, 3); err == nil {
 		t.Fatal("HAT accepted λ > 1")
 	}
-	if _, _, err := ScaledTreeDP(in, tree, 3, ScaledDPOpts{}); err == nil {
+	if _, _, err := ScaledTreeDP(context.Background(), in, tree, 3, ScaledDPOpts{}); err == nil {
 		t.Fatal("ScaledTreeDP accepted λ > 1")
 	}
 }
@@ -88,11 +89,11 @@ func TestGTPExpandingVersusExhaustive(t *testing.T) {
 		}
 		lambda := 1.1 + rng.Float64()*2
 		in := netsim.MustNew(g, flows, lambda)
-		gtp := GTP(in)
+		gtp := GTP(context.Background(), in)
 		if !gtp.Feasible {
 			t.Fatalf("trial %d: infeasible GTP plan", trial)
 		}
-		opt, err := Exhaustive(in, gtp.Plan.Size())
+		opt, err := Exhaustive(context.Background(), in, gtp.Plan.Size())
 		if err != nil {
 			continue
 		}

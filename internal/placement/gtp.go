@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,9 +25,14 @@ import (
 // more still-unserved flows (which is what lets the greedy terminate
 // once positive gains are exhausted), then toward the smaller vertex
 // ID for determinism.
-func GTP(in *netsim.Instance) Result {
+func GTP(ctx context.Context, in *netsim.Instance) Result {
 	st := netsim.NewState(in, netsim.NewPlan())
 	for !st.Feasible() {
+		if canceled(ctx) {
+			r := finish(in, st.Plan())
+			r.Interrupted = ctx.Err()
+			return r
+		}
 		v, ok := bestCandidate(st, nil)
 		if !ok {
 			// No vertex covers any unserved flow: cannot happen for
@@ -50,8 +56,8 @@ func GTP(in *netsim.Instance) Result {
 // Because the feasibility check itself is NP-hard (Theorem 1), the
 // guard is conservative: GTPBudget may return ErrInfeasible even when
 // some feasible plan exists.
-func GTPBudget(in *netsim.Instance, k int) (Result, error) {
-	return CompletePlan(in, netsim.NewPlan(), k, nil)
+func GTPBudget(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
+	return CompletePlan(ctx, in, netsim.NewPlan(), k, nil)
 }
 
 // CompletePlan extends a partial deployment to cover every flow within
@@ -59,7 +65,7 @@ func GTPBudget(in *netsim.Instance, k int) (Result, error) {
 // then spends leftover budget on further decrement. It is the engine
 // behind GTPBudget (empty base) and the failure-repair path (base =
 // surviving boxes, banned = failed servers).
-func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph.NodeID]bool) (Result, error) {
+func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k int, banned map[graph.NodeID]bool) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -68,6 +74,12 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 	}
 	st := netsim.NewState(in, base)
 	for st.Size() < k && !st.Feasible() {
+		if canceled(ctx) {
+			// Interrupted before coverage: no feasible plan to return.
+			r := finish(in, st.Plan())
+			r.Interrupted = ctx.Err()
+			return r, interruptedErr(ctx)
+		}
 		remaining := k - st.Size() - 1 // budget left after the next pick
 		guard := func(v graph.NodeID) bool {
 			if banned[v] {
@@ -85,7 +97,14 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 		return Result{}, ErrInfeasible
 	}
 	// Spend any leftover budget on further decrement (pure gain).
+	// Coverage is already achieved here, so an interruption returns
+	// the feasible plan built so far (anytime semantics).
 	for st.Size() < k {
+		if canceled(ctx) {
+			r := finishBudget(in, st.Plan(), k)
+			r.Interrupted = ctx.Err()
+			return r, nil
+		}
 		v, ok := bestCandidate(st, func(v graph.NodeID) bool { return !banned[v] })
 		if !ok || st.MarginalGain(v) <= 0 {
 			break
@@ -99,13 +118,18 @@ func CompletePlan(in *netsim.Instance, base netsim.Plan, k int, banned map[graph
 // submodular (Theorem 2), a vertex's marginal from an earlier round
 // upper-bounds its current marginal, so stale heap entries only ever
 // overestimate. The plan produced is identical to GTP's.
-func GTPLazy(in *netsim.Instance) Result {
+func GTPLazy(ctx context.Context, in *netsim.Instance) Result {
 	st := netsim.NewState(in, netsim.NewPlan())
 	heap := pq.NewMax[graph.NodeID]()
 	for _, v := range in.G.Nodes() {
 		heap.Push(v, st.MarginalGain(v))
 	}
 	for !st.Feasible() && heap.Len() > 0 {
+		if canceled(ctx) {
+			r := finish(in, st.Plan())
+			r.Interrupted = ctx.Err()
+			return r
+		}
 		v, ok := popBestLazy(st, heap)
 		if !ok {
 			break

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func planEquals(p netsim.Plan, want ...graph.NodeID) bool {
 // at total bandwidth 8.
 func TestGTPFig1Walkthrough(t *testing.T) {
 	in := fig1Instance(t)
-	r := GTP(in)
+	r := GTP(context.Background(), in)
 	if !r.Feasible {
 		t.Fatal("GTP plan infeasible")
 	}
@@ -52,7 +53,7 @@ func TestGTPFig1Walkthrough(t *testing.T) {
 // and bandwidth 12.
 func TestGTPBudgetFig1K2(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := GTPBudget(in, 2)
+	r, err := GTPBudget(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestGTPBudgetFig1K2(t *testing.T) {
 
 func TestGTPBudgetFig1K3(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := GTPBudget(in, 3)
+	r, err := GTPBudget(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,21 +82,21 @@ func TestGTPBudgetFig1K3(t *testing.T) {
 func TestGTPBudgetK1Fig1(t *testing.T) {
 	in := fig1Instance(t)
 	// No single vertex covers all four flows, so k=1 is infeasible.
-	if _, err := GTPBudget(in, 1); err == nil {
+	if _, err := GTPBudget(context.Background(), in, 1); err == nil {
 		t.Fatal("k=1 should be infeasible on Fig. 1")
 	}
 }
 
 func TestGTPBudgetRejectsZeroBudget(t *testing.T) {
 	in := fig1Instance(t)
-	if _, err := GTPBudget(in, 0); err == nil {
+	if _, err := GTPBudget(context.Background(), in, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
 
 func TestGTPLazyMatchesGTPFig1(t *testing.T) {
 	in := fig1Instance(t)
-	a, b := GTP(in), GTPLazy(in)
+	a, b := GTP(context.Background(), in), GTPLazy(context.Background(), in)
 	if a.Plan.String() != b.Plan.String() {
 		t.Fatalf("lazy plan %v != plain plan %v", b.Plan, a.Plan)
 	}
@@ -116,7 +117,7 @@ func TestGTPLazyMatchesGTPRandom(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, float64(rng.Intn(10))/10)
-		a, b := GTP(in), GTPLazy(in)
+		a, b := GTP(context.Background(), in), GTPLazy(context.Background(), in)
 		if a.Plan.String() != b.Plan.String() {
 			t.Fatalf("trial %d: lazy %v != plain %v", trial, b.Plan, a.Plan)
 		}
@@ -135,7 +136,7 @@ func TestGTPAlwaysFeasible(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		if r := GTP(in); !r.Feasible {
+		if r := GTP(context.Background(), in); !r.Feasible {
 			t.Fatalf("trial %d: GTP infeasible plan %v", trial, r.Plan)
 		}
 	}
@@ -154,9 +155,9 @@ func TestGTPApproximationGuarantee(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		gtp := GTP(in)
+		gtp := GTP(context.Background(), in)
 		k := gtp.Plan.Size()
-		opt, err := Exhaustive(in, k)
+		opt, err := Exhaustive(context.Background(), in, k)
 		if err != nil {
 			continue
 		}
@@ -181,8 +182,8 @@ func TestGTPBudgetVersusExhaustive(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, 0.5)
 		for k := 1; k <= 4; k++ {
-			got, err := GTPBudget(in, k)
-			opt, optErr := Exhaustive(in, k)
+			got, err := GTPBudget(context.Background(), in, k)
+			opt, optErr := Exhaustive(context.Background(), in, k)
 			if err != nil {
 				continue // conservative guard may give up; fine
 			}
@@ -204,7 +205,7 @@ func TestGTPBudgetMonotoneInK(t *testing.T) {
 	in := fig1Instance(t)
 	prev := math.Inf(1)
 	for k := 2; k <= 6; k++ {
-		r, err := GTPBudget(in, k)
+		r, err := GTPBudget(context.Background(), in, k)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}

@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"context"
+
 	"tdmd/internal/graph"
 	"tdmd/internal/lca"
 	"tdmd/internal/netsim"
@@ -43,19 +45,22 @@ type MergeTrace struct {
 // any drift in the incremental bookkeeping (possible when a merge
 // target is an ancestor of a third deployed vertex) never mis-scores
 // the result.
-func HAT(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
-	r, _, err := hat(in, t, k, false)
+// HAT is fail-fast under cancellation: a partially-merged plan is
+// above budget and therefore useless, so an interrupted run returns
+// the context error.
+func HAT(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
+	r, _, err := hat(ctx, in, t, k, false)
 	return r, err
 }
 
 // HATWithTrace runs HAT and additionally returns the sequence of
 // merges performed, in order; the walkthrough tests and examples use
 // it to show the algorithm's decisions.
-func HATWithTrace(in *netsim.Instance, t *graph.Tree, k int) (Result, []MergeTrace, error) {
-	return hat(in, t, k, true)
+func HATWithTrace(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (Result, []MergeTrace, error) {
+	return hat(ctx, in, t, k, true)
 }
 
-func hat(in *netsim.Instance, t *graph.Tree, k int, wantTrace bool) (Result, []MergeTrace, error) {
+func hat(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int, wantTrace bool) (Result, []MergeTrace, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, nil, err
 	}
@@ -91,6 +96,9 @@ func hat(in *netsim.Instance, t *graph.Tree, k int, wantTrace bool) (Result, []M
 
 	var trace []MergeTrace
 	for plan.Size() > k {
+		if canceled(ctx) {
+			return Result{}, trace, interruptedErr(ctx)
+		}
 		best, bestCost, ok := popMinPair(heap)
 		if !ok {
 			// Above budget with fewer than two middleboxes left: only

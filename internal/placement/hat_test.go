@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // plan {v4, v5, v7, v8}.
 func TestHATFig5KeepsSourcesForLargeK(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r, err := HAT(in, tree, 4)
+	r, err := HAT(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestHATFig5KeepsSourcesForLargeK(t *testing.T) {
 // the k=3 plan is {v2, v7, v8}.
 func TestHATFig5K3Walkthrough(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r, trace, err := HATWithTrace(in, tree, 3)
+	r, trace, err := HATWithTrace(context.Background(), in, tree, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestHATFig5K3Walkthrough(t *testing.T) {
 // Δb(2,8) = 3, Δb(7,8) = 3; either tie gives {v2, v6} or {v1, v7}.
 func TestHATFig5K2Walkthrough(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r, trace, err := HATWithTrace(in, tree, 2)
+	r, trace, err := HATWithTrace(context.Background(), in, tree, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestHATFig5K2Walkthrough(t *testing.T) {
 // Paper walkthrough: P = {v1} when k = 1.
 func TestHATFig5K1(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r, err := HAT(in, tree, 1)
+	r, err := HAT(context.Background(), in, tree, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,8 +100,8 @@ func TestHATHeapMatchesBruteForceTrace(t *testing.T) {
 			continue
 		}
 		for k := 1; k <= 4; k++ {
-			fast, err1 := HAT(in, tree, k)
-			slow, _, err2 := HATWithTrace(in, tree, k)
+			fast, err1 := HAT(context.Background(), in, tree, k)
+			slow, _, err2 := HATWithTrace(context.Background(), in, tree, k)
 			if (err1 == nil) != (err2 == nil) {
 				t.Fatalf("trial %d k=%d: error mismatch %v vs %v", trial, k, err1, err2)
 			}
@@ -125,7 +126,7 @@ func TestHATFeasibleAndBoundedByDP(t *testing.T) {
 			continue
 		}
 		for k := 1; k <= 4; k++ {
-			h, err := HAT(in, tree, k)
+			h, err := HAT(context.Background(), in, tree, k)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: %v", trial, k, err)
 			}
@@ -135,7 +136,7 @@ func TestHATFeasibleAndBoundedByDP(t *testing.T) {
 			if h.Plan.Size() > k {
 				t.Fatalf("trial %d k=%d: plan size %d over budget", trial, k, h.Plan.Size())
 			}
-			d, err := TreeDP(in, tree, k)
+			d, err := TreeDP(context.Background(), in, tree, k)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: DP: %v", trial, k, err)
 			}
@@ -148,7 +149,7 @@ func TestHATFeasibleAndBoundedByDP(t *testing.T) {
 
 func TestHATRejectsZeroBudget(t *testing.T) {
 	in, tree := fig5Instance(t)
-	if _, err := HAT(in, tree, 0); err == nil {
+	if _, err := HAT(context.Background(), in, tree, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -156,7 +157,7 @@ func TestHATRejectsZeroBudget(t *testing.T) {
 func TestHATEmptyWorkload(t *testing.T) {
 	g, tree, _, _ := paperfix.Fig5()
 	in := netsim.MustNew(g, nil, 0.5)
-	r, err := HAT(in, tree, 2)
+	r, err := HAT(context.Background(), in, tree, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

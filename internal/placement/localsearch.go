@@ -1,7 +1,7 @@
 package placement
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
 	"tdmd/internal/graph"
@@ -20,7 +20,7 @@ import (
 // changes. Pure-drop improvements are exposed separately via Prune
 // because the evaluation's budget semantics ("deploy exactly what you
 // were given") and bandwidth semantics (extra boxes never hurt) differ.
-func LocalSearch(in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
+func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
 	if !in.Feasible(seed) {
 		// Refuse to "improve" an infeasible plan into a feasible-looking
 		// score; return it scored as-is.
@@ -42,6 +42,14 @@ func LocalSearch(in *netsim.Instance, seed netsim.Plan, maxRounds int) Result {
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		for _, out := range st.Plan().Vertices() {
+			// Poll at swap boundaries: the state always holds a feasible
+			// plan here, so an interruption returns best-so-far within
+			// one out-vertex scan.
+			if canceled(ctx) {
+				r := finish(in, st.Plan())
+				r.Interrupted = ctx.Err()
+				return r
+			}
 			curBW := st.Bandwidth()
 			bestIn := graph.Invalid
 			bestBW := curBW
@@ -100,12 +108,17 @@ func Prune(in *netsim.Instance, p netsim.Plan) (netsim.Plan, int) {
 // GTPWithLocalSearch chains the budgeted greedy with a swap pass — the
 // recommended general-topology pipeline when a few extra milliseconds
 // buy bandwidth.
-func GTPWithLocalSearch(in *netsim.Instance, k int) (Result, error) {
-	seedRes, err := GTPBudget(in, k)
+// maxRounds <= 0 uses LocalSearch's default sweep cap.
+func GTPWithLocalSearch(ctx context.Context, in *netsim.Instance, k, maxRounds int) (Result, error) {
+	seedRes, err := GTPBudget(ctx, in, k)
 	if err != nil {
-		return Result{}, err
+		return seedRes, err
 	}
-	return LocalSearch(in, seedRes.Plan, 0), nil
+	if seedRes.Interrupted != nil {
+		// The greedy itself was cut short; skip the swap pass.
+		return seedRes, nil
+	}
+	return LocalSearch(ctx, in, seedRes.Plan, maxRounds), nil
 }
 
 // MultiStartLocalSearch escapes 1-swap local optima by restarting the
@@ -113,20 +126,24 @@ func GTPWithLocalSearch(in *netsim.Instance, k int) (Result, error) {
 // feasible plans. Returns the best local optimum found. Cost scales
 // linearly in starts; the greedy seed alone (starts = 1) equals
 // GTPWithLocalSearch.
-func MultiStartLocalSearch(in *netsim.Instance, k, starts int, rng *rand.Rand) (Result, error) {
+func MultiStartLocalSearch(ctx context.Context, in *netsim.Instance, k, starts int, rng *rand.Rand) (Result, error) {
 	if starts < 1 {
-		return Result{}, fmt.Errorf("placement: MultiStartLocalSearch needs starts >= 1")
+		return Result{}, badOptions("multistart-ls", "needs starts >= 1, got %d", starts)
 	}
-	best, err := GTPWithLocalSearch(in, k)
+	best, err := GTPWithLocalSearch(ctx, in, k, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	for s := 1; s < starts; s++ {
-		seed, err := RandomPlacement(in, k, rng)
+		if canceled(ctx) {
+			best.Interrupted = ctx.Err()
+			return best, nil
+		}
+		seed, err := RandomPlacement(ctx, in, k, rng)
 		if err != nil {
 			continue // random seeding can fail where greedy succeeded
 		}
-		if r := LocalSearch(in, seed.Plan, 0); r.Feasible && r.Bandwidth < best.Bandwidth {
+		if r := LocalSearch(ctx, in, seed.Plan, 0); r.Feasible && r.Bandwidth < best.Bandwidth {
 			best = r
 		}
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,11 +23,11 @@ func TestLocalSearchNeverWorsens(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		seed, err := GTPBudget(in, 2+rng.Intn(4))
+		seed, err := GTPBudget(context.Background(), in, 2+rng.Intn(4))
 		if err != nil {
 			continue
 		}
-		refined := LocalSearch(in, seed.Plan, 0)
+		refined := LocalSearch(context.Background(), in, seed.Plan, 0)
 		if refined.Bandwidth > seed.Bandwidth+1e-9 {
 			t.Fatalf("trial %d: local search worsened %v -> %v", trial, seed.Bandwidth, refined.Bandwidth)
 		}
@@ -46,7 +47,7 @@ func TestLocalSearchFixesBadSeed(t *testing.T) {
 	if got := in.TotalBandwidth(seed); got != 16 {
 		t.Fatalf("seed bandwidth = %v, want 16", got)
 	}
-	refined := LocalSearch(in, seed, 0)
+	refined := LocalSearch(context.Background(), in, seed, 0)
 	// The k=2 optimum is 12 ({v2, v5}).
 	if refined.Bandwidth != 12 {
 		t.Fatalf("refined bandwidth = %v, want 12", refined.Bandwidth)
@@ -57,7 +58,7 @@ func TestLocalSearchRespectsFeasibility(t *testing.T) {
 	in := fig1Instance(t)
 	// Infeasible seed: returned as-is (scored, not "improved").
 	seed := netsim.NewPlan(paperfix.V(5))
-	r := LocalSearch(in, seed, 0)
+	r := LocalSearch(context.Background(), in, seed, 0)
 	if r.Feasible {
 		t.Fatal("infeasible seed laundered into feasible result")
 	}
@@ -69,7 +70,7 @@ func TestLocalSearchRespectsFeasibility(t *testing.T) {
 func TestLocalSearchAtOptimumIsStable(t *testing.T) {
 	in := fig1Instance(t)
 	opt := netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
-	r := LocalSearch(in, opt, 0)
+	r := LocalSearch(context.Background(), in, opt, 0)
 	if r.Bandwidth != 8 || r.Plan.String() != opt.String() {
 		t.Fatalf("optimum destabilized: %+v", r)
 	}
@@ -87,12 +88,12 @@ func TestLocalSearchClosesGapOnTrees(t *testing.T) {
 			continue
 		}
 		k := 2 + rng.Intn(3)
-		seed, err := GTPBudget(in, k)
+		seed, err := GTPBudget(context.Background(), in, k)
 		if err != nil {
 			continue
 		}
-		refined := LocalSearch(in, seed.Plan, 0)
-		opt, err := TreeDP(in, tree, k)
+		refined := LocalSearch(context.Background(), in, seed.Plan, 0)
+		opt, err := TreeDP(context.Background(), in, tree, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,11 +174,11 @@ func TestLocalSearchMatchesReference(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		seed, err := GTPBudget(in, 2+rng.Intn(4))
+		seed, err := GTPBudget(context.Background(), in, 2+rng.Intn(4))
 		if err != nil {
 			continue
 		}
-		fast := LocalSearch(in, seed.Plan, 0)
+		fast := LocalSearch(context.Background(), in, seed.Plan, 0)
 		ref := localSearchRef(in, seed.Plan, 0)
 		if fast.Plan.String() != ref.Plan.String() {
 			t.Fatalf("trial %d: fast plan %v != reference %v", trial, fast.Plan, ref.Plan)
@@ -194,14 +195,14 @@ func BenchmarkLocalSearchIncrementalVsReference(b *testing.B) {
 	flows := traffic.GeneralFlows(g, []graph.NodeID{0, 1}, traffic.GenConfig{
 		Density: 0.6, Seed: 9, MaxFlows: 200})
 	in := netsim.MustNew(g, flows, 0.5)
-	seed, err := GTPBudget(in, 12)
+	seed, err := GTPBudget(context.Background(), in, 12)
 	if err != nil {
 		b.Skip("no feasible seed")
 	}
 	_ = rng
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			LocalSearch(in, seed.Plan, 0)
+			LocalSearch(context.Background(), in, seed.Plan, 0)
 		}
 	})
 	b.Run("reference", func(b *testing.B) {
@@ -229,14 +230,14 @@ func TestPrune(t *testing.T) {
 
 func TestGTPWithLocalSearchPipeline(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := GTPWithLocalSearch(in, 2)
+	r, err := GTPWithLocalSearch(context.Background(), in, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Bandwidth != 12 || !r.Feasible {
 		t.Fatalf("pipeline k=2: %+v", r)
 	}
-	if _, err := GTPWithLocalSearch(in, 1); err == nil {
+	if _, err := GTPWithLocalSearch(context.Background(), in, 1, 0); err == nil {
 		t.Fatal("infeasible budget accepted")
 	}
 }
@@ -244,11 +245,11 @@ func TestGTPWithLocalSearchPipeline(t *testing.T) {
 func TestMultiStartLocalSearch(t *testing.T) {
 	in := fig1Instance(t)
 	rng := rand.New(rand.NewSource(9))
-	one, err := MultiStartLocalSearch(in, 3, 1, rng)
+	one, err := MultiStartLocalSearch(context.Background(), in, 3, 1, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := MultiStartLocalSearch(in, 3, 8, rng)
+	many, err := MultiStartLocalSearch(context.Background(), in, 3, 8, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestMultiStartLocalSearch(t *testing.T) {
 	if many.Bandwidth != 8 {
 		t.Fatalf("bandwidth = %v, want 8", many.Bandwidth)
 	}
-	if _, err := MultiStartLocalSearch(in, 3, 0, rng); err == nil {
+	if _, err := MultiStartLocalSearch(context.Background(), in, 3, 0, rng); err == nil {
 		t.Fatal("starts=0 accepted")
 	}
 }

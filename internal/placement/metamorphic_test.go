@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -58,8 +59,8 @@ func TestMetamorphicRelabelInvariance(t *testing.T) {
 		in := netsim.MustNew(g, flows, 0.5)
 		in2, _ := relabel(in, rng)
 		for k := 2; k <= 4; k++ {
-			a, errA := Exhaustive(in, k)
-			b, errB := Exhaustive(in2, k)
+			a, errA := Exhaustive(context.Background(), in, k)
+			b, errB := Exhaustive(context.Background(), in2, k)
 			if (errA == nil) != (errB == nil) {
 				t.Fatalf("trial %d k=%d: feasibility changed under relabeling", trial, k)
 			}
@@ -96,8 +97,8 @@ func TestMetamorphicRateScaling(t *testing.T) {
 		in := netsim.MustNew(g, flows, 0.5)
 		inScaled := netsim.MustNew(g, scaled, 0.5)
 		k := 2 + rng.Intn(3)
-		a, errA := TreeDP(in, tree, k)
-		b, errB := TreeDP(inScaled, tree, k)
+		a, errA := TreeDP(context.Background(), in, tree, k)
+		b, errB := TreeDP(context.Background(), inScaled, tree, k)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("trial %d: feasibility changed under scaling", trial)
 		}
@@ -177,8 +178,8 @@ func TestMetamorphicDuplicateEqualsDoubleRate(t *testing.T) {
 		inDup := netsim.MustNew(g, dup, 0.5)
 		inDbl := netsim.MustNew(g, doubled, 0.5)
 		k := 1 + rng.Intn(3)
-		a, errA := TreeDP(inDup, tree, k)
-		b, errB := TreeDP(inDbl, tree, k)
+		a, errA := TreeDP(context.Background(), inDup, tree, k)
+		b, errB := TreeDP(context.Background(), inDbl, tree, k)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("trial %d: feasibility mismatch", trial)
 		}

@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"context"
+
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
 	"tdmd/internal/setcover"
@@ -14,7 +16,12 @@ import (
 // bandwidth model so the two objectives can be compared directly:
 // the count-minimal deployment is typically far from bandwidth-
 // minimal for the same k (tests quantify the gap).
-func MinBoxes(in *netsim.Instance) (Result, error) {
+// MinBoxes is fail-fast under cancellation: the greedy cover is one
+// indivisible pass, so it checks the context once at entry.
+func MinBoxes(ctx context.Context, in *netsim.Instance) (Result, error) {
+	if canceled(ctx) {
+		return Result{}, interruptedErr(ctx)
+	}
 	sc := setcover.FromTDMD(in)
 	chosen := setcover.Greedy(sc)
 	if chosen == nil && len(in.Flows) > 0 {

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func TestMinBoxesFig1(t *testing.T) {
 	in := fig1Instance(t)
-	r, err := MinBoxes(in)
+	r, err := MinBoxes(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestMinBoxesEmptyWorkload(t *testing.T) {
 	g.AddBiEdge(0, 1)
 	g.AddBiEdge(1, 2)
 	in := netsim.MustNew(g, nil, 0.5)
-	r, err := MinBoxes(in)
+	r, err := MinBoxes(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,24 +55,24 @@ func TestMinBoxesVsGTPBandwidthGap(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		mb, err := MinBoxes(in)
+		mb, err := MinBoxes(context.Background(), in)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		// A paper-style minimality certificate on small instances: no
 		// feasible plan with fewer boxes exists.
 		if in.G.NumNodes() <= 14 && mb.Plan.Size() > 1 {
-			if _, err := Exhaustive(in, mb.Plan.Size()-1); err == nil {
+			if _, err := Exhaustive(context.Background(), in, mb.Plan.Size()-1); err == nil {
 				// Greedy cover is only H(n)-approximate; a smaller plan
 				// may exist, but then greedy must be within the bound.
-				opt, _ := Exhaustive(in, mb.Plan.Size()-1)
+				opt, _ := Exhaustive(context.Background(), in, mb.Plan.Size()-1)
 				if opt.Plan.Size() < (mb.Plan.Size()+1)/2 && mb.Plan.Size() > 2*opt.Plan.Size() {
 					t.Fatalf("trial %d: greedy cover %d wildly above optimum %d",
 						trial, mb.Plan.Size(), opt.Plan.Size())
 				}
 			}
 		}
-		gtp, err := GTPBudget(in, mb.Plan.Size())
+		gtp, err := GTPBudget(context.Background(), in, mb.Plan.Size())
 		if err != nil {
 			continue
 		}
@@ -93,7 +94,7 @@ func TestMinBoxesVsGTPBandwidthGap(t *testing.T) {
 func TestMinBoxesMatchesSetCoverOptimumSmall(t *testing.T) {
 	in := fig1Instance(t)
 	// Exhaustive search at k = 1 must fail, certifying 2 is optimal.
-	if _, err := Exhaustive(in, 1); err == nil {
+	if _, err := Exhaustive(context.Background(), in, 1); err == nil {
 		t.Fatal("1 box should not cover Fig. 1")
 	}
 }

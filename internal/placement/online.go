@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 
 	"tdmd/internal/graph"
@@ -73,7 +74,10 @@ func (o *OnlineGTP) Bandwidth() (float64, error) {
 // plan as needed. It returns the assigned ID, or ErrInfeasible when
 // even a full replan cannot cover the new workload within budget — in
 // that case the flow is not admitted and the previous plan stands.
-func (o *OnlineGTP) AddFlow(f traffic.Flow) (int, error) {
+// AddFlow honors ctx for the greedy pick and any full replan; an
+// interrupted admission leaves the controller unchanged and the flow
+// unadmitted.
+func (o *OnlineGTP) AddFlow(ctx context.Context, f traffic.Flow) (int, error) {
 	f.ID = o.nextID
 	candidate := append(o.flows, f)
 	in, err := netsim.New(o.g, candidate, o.lambda)
@@ -93,6 +97,9 @@ func (o *OnlineGTP) AddFlow(f traffic.Flow) (int, error) {
 	case o.plan.Size() < o.k:
 		// One greedy pick against the updated workload, scored on a
 		// fresh incremental state for the candidate instance.
+		if canceled(ctx) {
+			return 0, interruptedErr(ctx)
+		}
 		v, ok := bestCandidate(netsim.NewState(in, o.plan), nil)
 		if !ok {
 			return 0, ErrInfeasible
@@ -100,8 +107,11 @@ func (o *OnlineGTP) AddFlow(f traffic.Flow) (int, error) {
 		o.plan.Add(v)
 	default:
 		// Budget exhausted: full replan.
-		res, err := GTPBudget(in, o.k)
-		if err != nil {
+		res, err := GTPBudget(ctx, in, o.k)
+		if err != nil || res.Interrupted != nil {
+			if canceled(ctx) {
+				return 0, interruptedErr(ctx)
+			}
 			return 0, ErrInfeasible
 		}
 		o.Replans++
@@ -127,7 +137,7 @@ func (o *OnlineGTP) RemoveFlow(id int) bool {
 // Compact re-optimizes the plan for the current workload (e.g. after a
 // departure wave) and reports how many boxes moved. Operators call it
 // in maintenance windows rather than on every event.
-func (o *OnlineGTP) Compact() (moved int, err error) {
+func (o *OnlineGTP) Compact(ctx context.Context) (moved int, err error) {
 	in, err := o.instance()
 	if err != nil {
 		return 0, err
@@ -137,9 +147,14 @@ func (o *OnlineGTP) Compact() (moved int, err error) {
 		o.plan = netsim.NewPlan()
 		return moved, nil
 	}
-	res, err := GTPBudget(in, o.k)
+	res, err := GTPBudget(ctx, in, o.k)
 	if err != nil {
 		return 0, err
+	}
+	if res.Interrupted != nil {
+		// Never adopt a cut-short replan: compaction is an optimization,
+		// not a correctness need, so keep the standing plan.
+		return 0, interruptedErr(ctx)
 	}
 	moved = planDiff(o.plan, res.Plan)
 	o.plan = res.Plan

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestOnlineGTPFig1Arrivals(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range flows {
-		if _, err := o.AddFlow(f); err != nil {
+		if _, err := o.AddFlow(context.Background(), f); err != nil {
 			t.Fatalf("AddFlow(%v): %v", f, err)
 		}
 	}
@@ -45,14 +46,14 @@ func TestOnlineGTPCoveredArrivalIsFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.AddFlow(flows[1]); err != nil { // f2 via v6, v3, v2
+	if _, err := o.AddFlow(context.Background(), flows[1]); err != nil { // f2 via v6, v3, v2
 		t.Fatal(err)
 	}
 	before := o.Plan().String()
 	// f3 (v6 -> v2) shares v6/v2 with f2's coverage if the pick landed
 	// there; if not covered, one more pick happens. Either way, a
 	// duplicate of f2 itself must be free.
-	if _, err := o.AddFlow(flows[1]); err != nil {
+	if _, err := o.AddFlow(context.Background(), flows[1]); err != nil {
 		t.Fatal(err)
 	}
 	if o.Plan().String() != before {
@@ -67,7 +68,7 @@ func TestOnlineGTPReplanWhenBudgetTight(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range flows {
-		if _, err := o.AddFlow(f); err != nil {
+		if _, err := o.AddFlow(context.Background(), f); err != nil {
 			t.Fatalf("AddFlow: %v", err)
 		}
 	}
@@ -89,11 +90,11 @@ func TestOnlineGTPInfeasibleArrivalRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.AddFlow(flows[0]); err != nil { // f1 alone: k=1 suffices
+	if _, err := o.AddFlow(context.Background(), flows[0]); err != nil { // f1 alone: k=1 suffices
 		t.Fatal(err)
 	}
 	// f4 shares no vertex with f1's path; k=1 cannot cover both.
-	if _, err := o.AddFlow(flows[3]); err == nil {
+	if _, err := o.AddFlow(context.Background(), flows[3]); err == nil {
 		t.Fatal("uncoverable arrival admitted")
 	}
 	// The previous workload and plan must survive the rejection.
@@ -114,7 +115,7 @@ func TestOnlineGTPRemoveAndCompact(t *testing.T) {
 	}
 	var ids []int
 	for _, f := range flows {
-		id, err := o.AddFlow(f)
+		id, err := o.AddFlow(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func TestOnlineGTPRemoveAndCompact(t *testing.T) {
 	if len(o.Flows()) != 3 {
 		t.Fatalf("flows = %d", len(o.Flows()))
 	}
-	if _, err := o.Compact(); err != nil {
+	if _, err := o.Compact(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	in := netsim.MustNew(g, o.Flows(), lambda)
@@ -140,7 +141,7 @@ func TestOnlineGTPRemoveAndCompact(t *testing.T) {
 	for _, id := range ids[1:] {
 		o.RemoveFlow(id)
 	}
-	moved, err := o.Compact()
+	moved, err := o.Compact(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestOnlineVersusOfflineRandom(t *testing.T) {
 		}
 		admitted := 0
 		for _, f := range all {
-			if _, err := o.AddFlow(f); err == nil {
+			if _, err := o.AddFlow(context.Background(), f); err == nil {
 				admitted++
 			}
 		}

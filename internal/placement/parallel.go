@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,10 +39,19 @@ func (o ParallelOpts) workers() int {
 // goroutine, per the State concurrency contract. The reduction keeps
 // GTP's exact tie-breaking (gain, then unserved flows covered, then
 // vertex ID), so the plan equals GTP's.
-func GTPParallel(in *netsim.Instance, opts ParallelOpts) Result {
+// GTPParallel is anytime: between rounds it polls ctx and, mid-round,
+// every worker polls it per stripe chunk, so cancellation stops the
+// portfolio promptly and returns the partial plan with Interrupted
+// set.
+func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Result {
 	st := netsim.NewState(in, netsim.NewPlan())
 	for !st.Feasible() {
-		v, ok := bestCandidateParallel(st, opts.workers())
+		if canceled(ctx) {
+			r := finish(in, st.Plan())
+			r.Interrupted = ctx.Err()
+			return r
+		}
+		v, ok := bestCandidateParallel(ctx, st, opts.workers())
 		if !ok {
 			break
 		}
@@ -80,7 +90,7 @@ func (a candScore) better(b candScore) bool {
 	return a.v < b.v
 }
 
-func bestCandidateParallel(st *netsim.State, workers int) (graph.NodeID, bool) {
+func bestCandidateParallel(ctx context.Context, st *netsim.State, workers int) (graph.NodeID, bool) {
 	n := st.Instance().G.NumNodes()
 	if workers > n {
 		workers = n
@@ -92,7 +102,15 @@ func bestCandidateParallel(st *netsim.State, workers int) (graph.NodeID, bool) {
 		go func(w int) {
 			defer wg.Done()
 			var best candScore
+			scanned := 0
 			for idx := w; idx < n; idx += workers {
+				// Per-chunk poll so a cancelled round drains quickly even
+				// on large graphs; an incomplete scan is safe because the
+				// caller re-checks ctx before using the answer.
+				scanned++
+				if scanned%256 == 0 && canceled(ctx) {
+					break
+				}
 				v := graph.NodeID(idx)
 				if st.Has(v) {
 					continue
@@ -124,7 +142,10 @@ func bestCandidateParallel(st *netsim.State, workers int) (graph.NodeID, bool) {
 // tables, so the post-order DAG schedules naturally with a counter of
 // unfinished children per vertex. The result is identical to TreeDP
 // (same tables, same traceback).
-func TreeDPParallel(in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts) (Result, error) {
+// TreeDPParallel is fail-fast under cancellation, like TreeDP: workers
+// stop picking up subtree tables and the call returns the context
+// error (a partial DP has no usable plan).
+func TreeDPParallel(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -132,7 +153,10 @@ func TreeDPParallel(in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts
 		return Result{}, err
 	}
 	d := newDPRun(in, t, k)
-	solveTreeParallel(d, t, opts.workers())
+	solveTreeParallel(ctx, d, t, opts.workers())
+	if canceled(ctx) {
+		return Result{}, interruptedErr(ctx)
+	}
 	root := d.memo[t.Root]
 	bRoot := d.subRate[t.Root]
 	bestK := -1
@@ -152,7 +176,7 @@ func TreeDPParallel(in *netsim.Instance, t *graph.Tree, k int, opts ParallelOpts
 
 // solveTreeParallel computes every vertex's DP table bottom-up with a
 // ready-queue of vertices whose children are all done.
-func solveTreeParallel(d *dpRun, t *graph.Tree, workers int) {
+func solveTreeParallel(ctx context.Context, d *dpRun, t *graph.Tree, workers int) {
 	n := t.G.NumNodes()
 	pending := make([]int, n) // unfinished children count
 	for v := 0; v < n; v++ {
@@ -182,11 +206,27 @@ func solveTreeParallel(d *dpRun, t *graph.Tree, workers int) {
 			close(ready)
 		}
 	}
+	// On cancellation the ready channel must still be closed or the
+	// workers would block forever on it; abort closes it once under
+	// the same mutex that guards done-accounting.
+	aborted := false
+	abort := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if !aborted && done < n {
+			aborted = true
+			close(ready)
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for v := range ready {
+				if canceled(ctx) {
+					abort()
+					return
+				}
 				d.solveNode(v)
 				finish(v)
 			}
@@ -199,7 +239,10 @@ func solveTreeParallel(d *dpRun, t *graph.Tree, workers int) {
 // workers by first-element stripes. Results are identical (the same
 // minimum is found; ties resolve to the lexicographically smallest
 // plan to stay deterministic).
-func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, error) {
+// ExhaustiveParallel is anytime like Exhaustive: cancellation stops
+// every stripe and the best incumbent across the completed portions is
+// returned with Optimal=false.
+func ExhaustiveParallel(ctx context.Context, in *netsim.Instance, k int, opts ParallelOpts) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -227,13 +270,26 @@ func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, 
 			defer func() { <-sem }()
 			b := &results[first]
 			b.val = math.Inf(1)
+			if canceled(ctx) {
+				return
+			}
 			// One incremental state per worker (State concurrency
 			// contract); the subset walk adds on descent and removes on
 			// backtrack instead of rebuilding a plan per subset.
 			st := netsim.NewState(in, netsim.NewPlan())
 			st.AddBox(graph.NodeID(first))
+			visited := 0
+			stop := false
 			var rec func(start graph.NodeID)
 			rec = func(start graph.NodeID) {
+				if stop {
+					return
+				}
+				visited++
+				if visited%ctxCheckStride == 0 && canceled(ctx) {
+					stop = true
+					return
+				}
 				if st.Feasible() {
 					if v := st.ExactBandwidth(); v < b.val {
 						b.val = v
@@ -248,6 +304,9 @@ func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, 
 					st.AddBox(v)
 					rec(v + 1)
 					st.RemoveBox(v)
+					if stop {
+						return
+					}
 				}
 			}
 			rec(graph.NodeID(first + 1))
@@ -269,7 +328,15 @@ func ExhaustiveParallel(in *netsim.Instance, k int, opts ParallelOpts) (Result, 
 		}
 	}
 	if !out.found {
+		if canceled(ctx) {
+			return Result{}, interruptedErr(ctx)
+		}
 		return Result{}, ErrInfeasible
 	}
-	return Result{Plan: out.plan, Bandwidth: out.val, Feasible: true}, nil
+	r := Result{Plan: out.plan, Bandwidth: out.val, Feasible: true, Optimal: true}
+	if canceled(ctx) {
+		r.Optimal = false
+		r.Interrupted = ctx.Err()
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,9 +14,9 @@ import (
 
 func TestGTPParallelMatchesSerialFig1(t *testing.T) {
 	in := fig1Instance(t)
-	serial := GTP(in)
+	serial := GTP(context.Background(), in)
 	for _, workers := range []int{1, 2, 4, 13} {
-		par := GTPParallel(in, ParallelOpts{Workers: workers})
+		par := GTPParallel(context.Background(), in, ParallelOpts{Workers: workers})
 		if par.Plan.String() != serial.Plan.String() {
 			t.Fatalf("workers=%d: plan %v != serial %v", workers, par.Plan, serial.Plan)
 		}
@@ -37,8 +38,8 @@ func TestGTPParallelMatchesSerialRandom(t *testing.T) {
 			continue
 		}
 		in := netsim.MustNew(g, flows, 0.5)
-		serial := GTP(in)
-		par := GTPParallel(in, ParallelOpts{Workers: 1 + rng.Intn(8)})
+		serial := GTP(context.Background(), in)
+		par := GTPParallel(context.Background(), in, ParallelOpts{Workers: 1 + rng.Intn(8)})
 		if par.Plan.String() != serial.Plan.String() {
 			t.Fatalf("trial %d: plan %v != serial %v", trial, par.Plan, serial.Plan)
 		}
@@ -48,11 +49,11 @@ func TestGTPParallelMatchesSerialRandom(t *testing.T) {
 func TestTreeDPParallelMatchesSerialFig5(t *testing.T) {
 	in, tree := fig5Instance(t)
 	for k := 1; k <= 4; k++ {
-		serial, err := TreeDP(in, tree, k)
+		serial, err := TreeDP(context.Background(), in, tree, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := TreeDPParallel(in, tree, k, ParallelOpts{Workers: 3})
+		par, err := TreeDPParallel(context.Background(), in, tree, k, ParallelOpts{Workers: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,12 +76,12 @@ func TestTreeDPParallelMatchesSerialRandom(t *testing.T) {
 			continue
 		}
 		k := 1 + rng.Intn(5)
-		serial, err := TreeDP(in, tree, k)
+		serial, err := TreeDP(context.Background(), in, tree, k)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for _, workers := range []int{1, 2, 7, 64} {
-			par, err := TreeDPParallel(in, tree, k, ParallelOpts{Workers: workers})
+			par, err := TreeDPParallel(context.Background(), in, tree, k, ParallelOpts{Workers: workers})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}
@@ -99,7 +100,7 @@ func TestTreeDPParallelSingleVertex(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := netsim.MustNew(g, nil, 0.5)
-	r, err := TreeDPParallel(in, tree, 1, ParallelOpts{Workers: 4})
+	r, err := TreeDPParallel(context.Background(), in, tree, 1, ParallelOpts{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +120,8 @@ func TestExhaustiveParallelMatchesSerial(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, 0.5)
 		for k := 1; k <= 3; k++ {
-			serial, errS := Exhaustive(in, k)
-			par, errP := ExhaustiveParallel(in, k, ParallelOpts{Workers: 4})
+			serial, errS := Exhaustive(context.Background(), in, k)
+			par, errP := ExhaustiveParallel(context.Background(), in, k, ParallelOpts{Workers: 4})
 			if (errS == nil) != (errP == nil) {
 				t.Fatalf("trial %d k=%d: error mismatch %v vs %v", trial, k, errS, errP)
 			}
@@ -138,7 +139,7 @@ func TestExhaustiveParallelRejectsLargeInstance(t *testing.T) {
 	g := topology.GeneralRandom(30, 0.5, 1)
 	flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{Density: 0.2, Seed: 2, MaxFlows: 5})
 	in := netsim.MustNew(g, flows, 0.5)
-	if _, err := ExhaustiveParallel(in, 3, ParallelOpts{}); err == nil {
+	if _, err := ExhaustiveParallel(context.Background(), in, 3, ParallelOpts{}); err == nil {
 		t.Fatal("oversized instance accepted")
 	}
 }
@@ -157,14 +158,14 @@ func BenchmarkTreeDPSerialVsParallel(b *testing.B) {
 	in, tree := randomTreeInstance(rng, 60)
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := TreeDP(in, tree, 8); err != nil {
+			if _, err := TreeDP(context.Background(), in, tree, 8); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := TreeDPParallel(in, tree, 8, ParallelOpts{}); err != nil {
+			if _, err := TreeDPParallel(context.Background(), in, tree, 8, ParallelOpts{}); err != nil {
 				b.Fatal(err)
 			}
 		}

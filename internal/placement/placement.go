@@ -25,6 +25,17 @@ type Result struct {
 	Bandwidth float64
 	// Feasible reports whether every flow is served by the plan.
 	Feasible bool
+	// Optimal is true when an exact solver (exhaustive, branch-and-
+	// bound, tree DP) exhausted its search space and certified the
+	// plan as a global optimum. Heuristics never set it; interrupted
+	// exact solvers downgrade it to false.
+	Optimal bool
+	// Interrupted carries the context error when the solve was cut
+	// short by cancellation or deadline: the plan is the best answer
+	// found before the interruption (best-so-far for anytime solvers),
+	// not necessarily what an uninterrupted run would return. It is
+	// nil for solves that ran to completion.
+	Interrupted error
 }
 
 // ErrInfeasible is returned when an algorithm cannot produce a plan

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -36,7 +37,7 @@ func TestGTPScale1000Vertices(t *testing.T) {
 	}
 	in := netsim.MustNew(g, flows, 0.5)
 	start := time.Now()
-	r := GTPLazy(in)
+	r := GTPLazy(context.Background(), in)
 	elapsed := time.Since(start)
 	if !r.Feasible {
 		t.Fatal("infeasible at scale")
@@ -63,7 +64,7 @@ func TestTreeDPScale300Vertices(t *testing.T) {
 		Density: 0.3, LinkCapacity: 10, Dist: dist, Seed: 4}))
 	in := netsim.MustNew(g, flows, 0.5)
 	start := time.Now()
-	r, err := TreeDPParallel(in, tree, 12, ParallelOpts{})
+	r, err := TreeDPParallel(context.Background(), in, tree, 12, ParallelOpts{})
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +76,7 @@ func TestTreeDPScale300Vertices(t *testing.T) {
 		t.Fatalf("parallel DP took %v on a 300-vertex tree", elapsed)
 	}
 	// The heuristics must agree with optimality ordering at scale too.
-	h, err := HAT(in, tree, 12)
+	h, err := HAT(context.Background(), in, tree, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestHATScale2000Leaves(t *testing.T) {
 	}
 	in := netsim.MustNew(g, flows, 0.5)
 	start := time.Now()
-	r, err := HAT(in, tree, 50)
+	r, err := HAT(context.Background(), in, tree, 50)
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 
 	"tdmd/internal/graph"
@@ -37,7 +38,7 @@ type ScaledDPOpts struct {
 // ScaledTreeDP runs the tree DP on a rate-scaled copy of the instance
 // and returns the resulting plan scored on the original instance,
 // together with the scale used.
-func ScaledTreeDP(in *netsim.Instance, t *graph.Tree, k int, opts ScaledDPOpts) (Result, int, error) {
+func ScaledTreeDP(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int, opts ScaledDPOpts) (Result, int, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, 0, err
 	}
@@ -61,11 +62,13 @@ func ScaledTreeDP(in *netsim.Instance, t *graph.Tree, k int, opts ScaledDPOpts) 
 	if err != nil {
 		return Result{}, 0, fmt.Errorf("placement: scaling produced an invalid instance: %w", err)
 	}
-	r, err := TreeDP(scaledInst, t, k)
+	r, err := TreeDP(ctx, scaledInst, t, k)
 	if err != nil {
 		return Result{}, 0, err
 	}
-	// Score the plan under the true rates.
+	// Score the plan under the true rates. The scaled solve is exact
+	// for its own instance, but rounding means the plan is not
+	// certified optimal for the true rates, so Optimal stays false.
 	return finish(in, r.Plan), scale, nil
 }
 

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,11 +14,11 @@ import (
 
 func TestScaledTreeDPScaleOneIsExact(t *testing.T) {
 	in, tree := fig5Instance(t)
-	exact, err := TreeDP(in, tree, 3)
+	exact, err := TreeDP(context.Background(), in, tree, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	scaled, scale, err := ScaledTreeDP(in, tree, 3, ScaledDPOpts{Scale: 1})
+	scaled, scale, err := ScaledTreeDP(context.Background(), in, tree, 3, ScaledDPOpts{Scale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestScaledTreeDPAutoScaleCapsTotalRate(t *testing.T) {
 		Seed:    9,
 	})
 	in := netsim.MustNew(g, flows, 0.5)
-	res, scale, err := ScaledTreeDP(in, tree, 4, ScaledDPOpts{MaxTotalRate: 64})
+	res, scale, err := ScaledTreeDP(context.Background(), in, tree, 4, ScaledDPOpts{MaxTotalRate: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,12 +79,12 @@ func TestScaledTreeDPWithinErrorBound(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, 0.5)
 		k := 1 + rng.Intn(3)
-		exact, err := TreeDP(in, tree, k)
+		exact, err := TreeDP(context.Background(), in, tree, k)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for _, scale := range []int{2, 8, 32} {
-			approx, usedScale, err := ScaledTreeDP(in, tree, k, ScaledDPOpts{Scale: scale})
+			approx, usedScale, err := ScaledTreeDP(context.Background(), in, tree, k, ScaledDPOpts{Scale: scale})
 			if err != nil {
 				t.Fatalf("trial %d scale=%d: %v", trial, scale, err)
 			}
@@ -123,7 +124,7 @@ func TestScaledErrorBoundZeroAtScaleOne(t *testing.T) {
 
 func TestScaledTreeDPRejectsBadBudget(t *testing.T) {
 	in, tree := fig5Instance(t)
-	if _, _, err := ScaledTreeDP(in, tree, 0, ScaledDPOpts{}); err == nil {
+	if _, _, err := ScaledTreeDP(context.Background(), in, tree, 0, ScaledDPOpts{}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -143,7 +144,7 @@ func BenchmarkScaledVsExactDPHugeRates(b *testing.B) {
 	in := netsim.MustNew(g, flows, 0.5)
 	b.Run("scaled-auto", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := ScaledTreeDP(in, tree, 6, ScaledDPOpts{MaxTotalRate: 128}); err != nil {
+			if _, _, err := ScaledTreeDP(context.Background(), in, tree, 6, ScaledDPOpts{MaxTotalRate: 128}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,10 @@ import (
 // The returned Result carries the optimal plan of size ≤ k, obtained
 // by minimizing F(root, k') over k' ≤ k and tracing the decisions
 // back.
-func TreeDP(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
+// TreeDP is fail-fast under cancellation: a partially-filled DP table
+// has no usable plan, so it polls the context between subtree tables
+// and returns the context error when it fires.
+func TreeDP(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
 	if err := validateBudget(k); err != nil {
 		return Result{}, err
 	}
@@ -38,7 +42,10 @@ func TreeDP(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
 		return Result{}, err
 	}
 	d := newDPRun(in, t, k)
-	root := d.solve(t.Root)
+	root, err := d.solveCtx(ctx, t.Root)
+	if err != nil {
+		return Result{}, err
+	}
 	// Answer: min over k' <= k of F(root, k') = P(root, k', S_root).
 	bRoot := d.subRate[t.Root]
 	bestK, bestVal := -1, math.Inf(1)
@@ -52,13 +59,15 @@ func TreeDP(in *netsim.Instance, t *graph.Tree, k int) (Result, error) {
 	}
 	plan := netsim.NewPlan()
 	d.trace(root, bestK, bRoot, &plan)
-	return finishBudget(in, plan, k), nil
+	r := finishBudget(in, plan, k)
+	r.Optimal = true
+	return r, nil
 }
 
 // TreeDPTables exposes the raw F(v, k) and P(v, k, b) tables for a
 // budget k, for golden tests against the paper's Figs. 6-7 and for the
 // documentation examples. The maps are keyed by vertex.
-func TreeDPTables(in *netsim.Instance, t *graph.Tree, k int) (F map[graph.NodeID][]float64, P map[graph.NodeID][][]float64, err error) {
+func TreeDPTables(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (F map[graph.NodeID][]float64, P map[graph.NodeID][][]float64, err error) {
 	if err := validateBudget(k); err != nil {
 		return nil, nil, err
 	}
@@ -66,7 +75,9 @@ func TreeDPTables(in *netsim.Instance, t *graph.Tree, k int) (F map[graph.NodeID
 		return nil, nil, err
 	}
 	d := newDPRun(in, t, k)
-	d.solve(t.Root)
+	if _, err := d.solveCtx(ctx, t.Root); err != nil {
+		return nil, nil, err
+	}
 	F = make(map[graph.NodeID][]float64)
 	P = make(map[graph.NodeID][][]float64)
 	for v, tab := range d.memo {
@@ -203,18 +214,22 @@ func (d *dpRun) capK(v graph.NodeID) int {
 	return d.budget
 }
 
-// solve computes the tables of the whole subtree rooted at v in
-// post-order and returns v's table.
-func (d *dpRun) solve(v graph.NodeID) *dpTable {
+// solveCtx computes the tables of the whole subtree rooted at v in
+// post-order and returns v's table, polling the context between
+// per-vertex tables (each table is the natural preemption granule).
+func (d *dpRun) solveCtx(ctx context.Context, v graph.NodeID) (*dpTable, error) {
 	if d.memo[v] != nil {
-		return d.memo[v]
+		return d.memo[v], nil
 	}
 	for _, u := range d.t.SubtreeNodes(v) {
+		if canceled(ctx) {
+			return nil, interruptedErr(ctx)
+		}
 		if d.memo[u] == nil {
 			d.solveNode(u)
 		}
 	}
-	return d.memo[v]
+	return d.memo[v], nil
 }
 
 // solveNode computes the table of a single vertex whose children are

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func fig5Instance(t *testing.T) (*netsim.Instance, *graph.Tree) {
 // F(v3, 2) = 6; F(v6, 1) = 6; F(v6, 2) = 3.
 func TestFig6FullServedValues(t *testing.T) {
 	in, tree := fig5Instance(t)
-	F, _, err := TreeDPTables(in, tree, 4)
+	F, _, err := TreeDPTables(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFig6FullServedValues(t *testing.T) {
 // recurrence, so they are asserted at our derived values instead).
 func TestFig7PartialServedRootTable(t *testing.T) {
 	in, tree := fig5Instance(t)
-	_, P, err := TreeDPTables(in, tree, 4)
+	_, P, err := TreeDPTables(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestFig7PartialServedRootTable(t *testing.T) {
 // P(leaf, 1, S) = 0, everything else ∞.
 func TestFig7LeafTables(t *testing.T) {
 	in, tree := fig5Instance(t)
-	_, P, err := TreeDPTables(in, tree, 4)
+	_, P, err := TreeDPTables(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestFig7LeafTables(t *testing.T) {
 // {v1, v7} or {v2, v6} (both 16.5).
 func TestTreeDPFig5Plans(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r3, err := TreeDP(in, tree, 3)
+	r3, err := TreeDP(context.Background(), in, tree, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestTreeDPFig5Plans(t *testing.T) {
 	if !planEquals(r3.Plan, paperfix.V(2), paperfix.V(7), paperfix.V(8)) {
 		t.Fatalf("k=3 plan = %v, want {v2, v7, v8}", r3.Plan)
 	}
-	r2, err := TreeDP(in, tree, 2)
+	r2, err := TreeDP(context.Background(), in, tree, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +140,14 @@ func TestTreeDPFig5Plans(t *testing.T) {
 	if !okPlan {
 		t.Fatalf("k=2 plan = %v, want {v1, v7} or {v2, v6}", r2.Plan)
 	}
-	r1, err := TreeDP(in, tree, 1)
+	r1, err := TreeDP(context.Background(), in, tree, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.Bandwidth != 24 || !planEquals(r1.Plan, paperfix.V(1)) {
 		t.Fatalf("k=1: plan %v bandwidth %v, want {v1} at 24", r1.Plan, r1.Bandwidth)
 	}
-	r4, err := TreeDP(in, tree, 4)
+	r4, err := TreeDP(context.Background(), in, tree, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTreeDPFig5Plans(t *testing.T) {
 // With a budget beyond the useful maximum the DP must not get worse.
 func TestTreeDPBudgetBeyondLeaves(t *testing.T) {
 	in, tree := fig5Instance(t)
-	r, err := TreeDP(in, tree, 8)
+	r, err := TreeDP(context.Background(), in, tree, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +176,14 @@ func TestTreeDPRejectsNonTreeWorkload(t *testing.T) {
 	// Point one flow at a non-root destination.
 	flows[0].Path = graph.Path{paperfix.V(4), paperfix.V(2)}
 	in := netsim.MustNew(g, flows, lambda)
-	if _, err := TreeDP(in, tree, 3); err == nil {
+	if _, err := TreeDP(context.Background(), in, tree, 3); err == nil {
 		t.Fatal("non-root destination accepted")
 	}
 }
 
 func TestTreeDPRejectsZeroBudget(t *testing.T) {
 	in, tree := fig5Instance(t)
-	if _, err := TreeDP(in, tree, 0); err == nil {
+	if _, err := TreeDP(context.Background(), in, tree, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -215,11 +216,11 @@ func TestTreeDPOptimalOnRandomTrees(t *testing.T) {
 			continue
 		}
 		for k := 1; k <= 4; k++ {
-			got, err := TreeDP(in, tree, k)
+			got, err := TreeDP(context.Background(), in, tree, k)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: %v", trial, k, err)
 			}
-			opt, err := Exhaustive(in, k)
+			opt, err := Exhaustive(context.Background(), in, k)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: exhaustive: %v", trial, k, err)
 			}
@@ -248,7 +249,7 @@ func TestTreeDPMonotoneInBudget(t *testing.T) {
 		}
 		prev := math.Inf(1)
 		for k := 1; k <= 6; k++ {
-			r, err := TreeDP(in, tree, k)
+			r, err := TreeDP(context.Background(), in, tree, k)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: %v", trial, k, err)
 			}
@@ -273,7 +274,7 @@ func TestTreeDPReachesLambdaBound(t *testing.T) {
 		for _, f := range in.Flows {
 			sources[f.Src()] = true
 		}
-		r, err := TreeDP(in, tree, len(sources))
+		r, err := TreeDP(context.Background(), in, tree, len(sources))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

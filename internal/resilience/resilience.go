@@ -7,6 +7,8 @@
 package resilience
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -92,12 +94,12 @@ func WorstSingleFailure(in *netsim.Instance, p netsim.Plan) (Impact, error) {
 // where they are (state migration is expensive), and replacements are
 // chosen by the budget-guarded greedy until every flow is served
 // again within the total budget k.
-func Repair(in *netsim.Instance, p netsim.Plan, failed graph.NodeID, k int) (placement.Result, error) {
+func Repair(ctx context.Context, in *netsim.Instance, p netsim.Plan, failed graph.NodeID, k int) (placement.Result, error) {
 	if !p.Has(failed) {
 		return placement.Result{}, fmt.Errorf("resilience: vertex %d hosts no middlebox", failed)
 	}
 	survivors := p.Clone()
 	survivors.Remove(failed)
 	banned := map[graph.NodeID]bool{failed: true}
-	return placement.CompletePlan(in, survivors, k, banned)
+	return placement.CompletePlan(ctx, in, survivors, k, banned)
 }

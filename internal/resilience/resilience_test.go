@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestWorstSingleFailureEmptyPlan(t *testing.T) {
 func TestRepairRestoresFeasibility(t *testing.T) {
 	in := fig1(t)
 	p := netsim.NewPlan(paperfix.V(4), paperfix.V(5), paperfix.V(6))
-	r, err := Repair(in, p, paperfix.V(6), 3)
+	r, err := Repair(context.Background(), in, p, paperfix.V(6), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRepairInfeasibleWithoutBudget(t *testing.T) {
 	flows := []traffic.Flow{{ID: 0, Rate: 2, Path: graph.Path{a, b}}}
 	in := netsim.MustNew(g, flows, 0.5)
 	p := netsim.NewPlan(a)
-	r, err := Repair(in, p, a, 1)
+	r, err := Repair(context.Background(), in, p, a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRepairInfeasibleWithoutBudget(t *testing.T) {
 	}
 	in2 := netsim.MustNew(g2, flows2, 0.5)
 	p2 := netsim.NewPlan(y)
-	if _, err := Repair(in2, p2, y, 1); err == nil {
+	if _, err := Repair(context.Background(), in2, p2, y, 1); err == nil {
 		t.Fatal("unrepairable failure accepted")
 	}
 }
@@ -150,19 +151,19 @@ func TestRepairRandom(t *testing.T) {
 		}
 		in := netsim.MustNew(g, flows, 0.5)
 		k := 3 + rng.Intn(3)
-		seed, err := placement.GTPBudget(in, k)
+		seed, err := placement.GTPBudget(context.Background(), in, k)
 		if err != nil {
 			continue
 		}
 		for _, failed := range seed.Plan.Vertices() {
-			r, err := Repair(in, seed.Plan, failed, k)
+			r, err := Repair(context.Background(), in, seed.Plan, failed, k)
 			if err != nil {
 				continue // genuinely unrepairable without that vertex
 			}
 			if !r.Feasible || r.Plan.Has(failed) || r.Plan.Size() > k {
 				t.Fatalf("trial %d: bad repair %+v", trial, r)
 			}
-			opt, optErr := placement.Exhaustive(in, k)
+			opt, optErr := placement.Exhaustive(context.Background(), in, k)
 			if optErr == nil && r.Bandwidth < opt.Bandwidth-1e-9 {
 				t.Fatalf("trial %d: repair beat the unconstrained optimum", trial)
 			}

@@ -2,9 +2,10 @@
 # check.sh — the repository's single verification entry point.
 #
 # Runs the full tier-1 gate: formatting, go vet, build, tests with the
-# race detector, the invariant-tagged test builds, a short fuzz smoke
-# on every fuzz target, and the project-specific static analyzers
-# (cmd/tdmdlint). Exits non-zero on the first failure.
+# race detector, the invariant-tagged test builds, a repeated
+# race-enabled run of the solver-cancellation tests, a short fuzz
+# smoke on every fuzz target, and the project-specific static
+# analyzers (cmd/tdmdlint). Exits non-zero on the first failure.
 #
 # The script is offline and idempotent: it needs only the go toolchain
 # and the module's own source (the module has no external
@@ -36,6 +37,9 @@ go test -race ./...
 
 echo "==> invariant-tagged tests"
 go test -tags tdmdinvariant ./internal/invariant/ ./internal/netsim/ ./internal/placement/
+
+echo "==> cancellation hammer (race, 5 repetitions)"
+go test -tags tdmdinvariant -run Cancel -race -count=5 ./internal/placement/
 
 echo "==> fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=5s .

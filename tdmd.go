@@ -14,16 +14,22 @@
 //	g := tdmd.NewGraph()
 //	... build topology and flows ...
 //	p, err := tdmd.NewProblem(g, flows, 0.5)
-//	res, err := p.Solve(tdmd.AlgGTP, 10)
+//	res, err := p.Solve(ctx, tdmd.AlgGTP, 10)
 //	fmt.Println(res.Plan, res.Bandwidth)
+//
+// Every Solve takes a context.Context: cancel it (or give it a
+// deadline) and the solver stops at its next loop boundary. Anytime
+// algorithms return their best feasible plan so far with
+// Result.Interrupted set; exact ones additionally downgrade
+// Result.Optimal to false. A context that never fires costs a few
+// channel polls and changes nothing.
 //
 // Tree-only algorithms (AlgDP, AlgHAT) additionally need the rooted
 // tree view, attached with Problem.WithTree.
 package tdmd
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -71,6 +77,28 @@ const Unserved = netsim.Unserved
 // flows (or when the conservative greedy guard cannot certify one).
 var ErrInfeasible = placement.ErrInfeasible
 
+// ErrBadOptions is the sentinel for solver/option mismatches: an
+// explicit option the algorithm does not consume (a budget for
+// AlgGTPLazy, a seed for AlgDP) or a missing requirement (no seed for
+// AlgRandom, no tree for AlgDP). Test with errors.Is. Previously such
+// options were silently ignored.
+var ErrBadOptions = placement.ErrBadOptions
+
+// SolveOption tunes a single Solve call beyond the budget: seed,
+// local-search rounds, multi-start count, and so on.
+type SolveOption = placement.Option
+
+// WithRounds caps AlgGTPLS's local-search sweep rounds (0 = until a
+// local optimum).
+func WithRounds(n int) SolveOption { return placement.WithRounds(n) }
+
+// WithStarts sets the multi-start restart count for multistart-ls.
+func WithStarts(n int) SolveOption { return placement.WithStarts(n) }
+
+// WithSolveSeed seeds this one Solve call's randomized algorithm,
+// overriding the Problem seed.
+func WithSolveSeed(seed int64) SolveOption { return placement.WithSeed(seed) }
+
 // Algorithm names a placement strategy.
 type Algorithm string
 
@@ -107,15 +135,36 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AlgGTP, AlgGTPLazy, AlgGTPLS, AlgDP, AlgHAT, AlgRandom, AlgBestEffort, AlgExhaustive, AlgMinBoxes}
 }
 
+// traits returns the registry traits for a (zero Traits for unknown
+// names).
+func (a Algorithm) traits() placement.Traits {
+	if s, ok := placement.Lookup(string(a)); ok {
+		return s.Traits()
+	}
+	return placement.Traits{}
+}
+
 // NeedsTree reports whether a requires Problem.WithTree.
-func (a Algorithm) NeedsTree() bool { return a == AlgDP || a == AlgHAT }
+func (a Algorithm) NeedsTree() bool { return a.traits().Requires&placement.OptTree != 0 }
+
+// Budgeted reports whether a consumes the middlebox budget k; passing
+// a non-zero k to a non-budgeted algorithm is ErrBadOptions.
+func (a Algorithm) Budgeted() bool { return a.traits().Consumes&placement.OptK != 0 }
+
+// NeedsSeed reports whether a is randomized and requires a seed
+// (Problem.WithSeed or WithSolveSeed).
+func (a Algorithm) NeedsSeed() bool { return a.traits().Requires&placement.OptSeed != 0 }
+
+// Doc is the registry's one-line description of the algorithm.
+func (a Algorithm) Doc() string { return a.traits().Doc }
 
 // Problem bundles an instance with the optional tree view and solver
 // options.
 type Problem struct {
-	inst *Instance
-	tree *Tree
-	seed int64
+	inst    *Instance
+	tree    *Tree
+	seed    int64
+	seedSet bool
 }
 
 // NewProblem validates the network, flows and ratio and returns a
@@ -140,48 +189,48 @@ func (p *Problem) WithTree(t *Tree) *Problem {
 }
 
 // WithSeed sets the seed used by randomized algorithms (AlgRandom).
+// Randomized algorithms require a seed from here or WithSolveSeed;
+// running one without either is ErrBadOptions, not a silent default.
 func (p *Problem) WithSeed(seed int64) *Problem {
 	p.seed = seed
+	p.seedSet = true
 	return p
 }
 
 // Tree returns the attached tree view, or nil.
 func (p *Problem) Tree() *Tree { return p.tree }
 
-// Solve runs the named algorithm with a budget of k middleboxes.
-func (p *Problem) Solve(alg Algorithm, k int) (Result, error) {
-	switch alg {
-	case AlgGTP:
-		return placement.GTPBudget(p.inst, k)
-	case AlgGTPLazy:
-		r := placement.GTPLazy(p.inst)
-		if !r.Feasible {
-			return Result{}, ErrInfeasible
-		}
-		return r, nil
-	case AlgDP:
-		if p.tree == nil {
-			return Result{}, fmt.Errorf("tdmd: %s requires WithTree", alg)
-		}
-		return placement.TreeDP(p.inst, p.tree, k)
-	case AlgHAT:
-		if p.tree == nil {
-			return Result{}, fmt.Errorf("tdmd: %s requires WithTree", alg)
-		}
-		return placement.HAT(p.inst, p.tree, k)
-	case AlgRandom:
-		return placement.RandomPlacement(p.inst, k, rand.New(rand.NewSource(p.seed)))
-	case AlgBestEffort:
-		return placement.BestEffort(p.inst, k)
-	case AlgGTPLS:
-		return placement.GTPWithLocalSearch(p.inst, k)
-	case AlgExhaustive:
-		return placement.Exhaustive(p.inst, k)
-	case AlgMinBoxes:
-		return placement.MinBoxes(p.inst)
-	default:
-		return Result{}, fmt.Errorf("tdmd: unknown algorithm %q", alg)
+// options assembles the one Options value a registry solver receives:
+// the Problem-level tree and seed ride along as fallbacks (they
+// satisfy requirements without being rejected by algorithms that do
+// not consume them), a non-zero k is an explicit budget, and the
+// per-call options apply last so they can override the Problem seed.
+func (p *Problem) options(k int, opts []SolveOption) placement.Options {
+	all := make([]placement.Option, 0, len(opts)+3)
+	if p.tree != nil {
+		all = append(all, placement.FallbackTree(p.tree))
 	}
+	if p.seedSet {
+		all = append(all, placement.FallbackSeed(p.seed))
+	}
+	if k != 0 {
+		all = append(all, placement.WithK(k))
+	}
+	all = append(all, opts...)
+	return placement.NewOptions(all...)
+}
+
+// Solve runs the named algorithm with a budget of k middleboxes,
+// dispatching through the solver registry: validation, option
+// plumbing and cancellation behave identically across the library,
+// the CLIs and the HTTP service.
+//
+// k = 0 means "no budget" and is only valid for algorithms that do
+// not consume one (AlgGTPLazy, AlgMinBoxes); a non-zero k handed to
+// those is ErrBadOptions. ctx cancellation/deadline interrupts the
+// solve per the package contract (see Result.Interrupted).
+func (p *Problem) Solve(ctx context.Context, alg Algorithm, k int, opts ...SolveOption) (Result, error) {
+	return placement.Solve(ctx, string(alg), p.inst, p.options(k, opts))
 }
 
 // Evaluate scores an externally chosen plan under the model: optimal

@@ -2,6 +2,8 @@ package tdmd
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -31,7 +33,7 @@ func fig5Problem(t *testing.T) *Problem {
 
 func TestSolveGTPFig1(t *testing.T) {
 	p := fig1Problem(t)
-	r, err := p.Solve(AlgGTP, 3)
+	r, err := p.Solve(context.Background(), AlgGTP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +44,13 @@ func TestSolveGTPFig1(t *testing.T) {
 
 func TestSolveAllAlgorithmsFig5(t *testing.T) {
 	p := fig5Problem(t)
+	p.WithSeed(1) // AlgRandom requires an explicit seed now
 	for _, alg := range Algorithms() {
-		r, err := p.Solve(alg, 3)
+		k := 3
+		if !alg.Budgeted() {
+			k = 0 // unbudgeted algorithms reject an explicit k
+		}
+		r, err := p.Solve(context.Background(), alg, k)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -55,10 +62,38 @@ func TestSolveAllAlgorithmsFig5(t *testing.T) {
 		}
 	}
 	// DP and exhaustive agree on the optimum.
-	dp, _ := p.Solve(AlgDP, 3)
-	ex, _ := p.Solve(AlgExhaustive, 3)
+	dp, _ := p.Solve(context.Background(), AlgDP, 3)
+	ex, _ := p.Solve(context.Background(), AlgExhaustive, 3)
 	if math.Abs(dp.Bandwidth-ex.Bandwidth) > 1e-9 || dp.Bandwidth != 13.5 {
 		t.Fatalf("DP %v vs exhaustive %v, want 13.5", dp.Bandwidth, ex.Bandwidth)
+	}
+}
+
+func TestAlgorithmsAllRegistered(t *testing.T) {
+	// Every facade Algorithm must resolve to a registry solver; Doc()
+	// comes straight from the solver's traits, so an empty doc means the
+	// facade name and the registry drifted apart.
+	for _, alg := range Algorithms() {
+		if alg.Doc() == "" {
+			t.Fatalf("%s is not backed by a registered solver", alg)
+		}
+	}
+	if Algorithm("nope").Doc() != "" {
+		t.Fatal("unknown algorithm reported a doc line")
+	}
+}
+
+func TestSolveBadOptionsTyped(t *testing.T) {
+	p := fig5Problem(t)
+	// Explicit budget on the unbudgeted lazy greedy: the old facade
+	// silently dropped k, now it is ErrBadOptions.
+	if _, err := p.Solve(context.Background(), AlgGTPLazy, 3); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("gtp-lazy with k: got %v, want ErrBadOptions", err)
+	}
+	// Random without a seed anywhere: the old facade silently used the
+	// global stream.
+	if _, err := p.Solve(context.Background(), AlgRandom, 3); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("random without seed: got %v, want ErrBadOptions", err)
 	}
 }
 
@@ -68,7 +103,7 @@ func TestSolveTreeAlgNeedsTree(t *testing.T) {
 		if !alg.NeedsTree() {
 			t.Fatalf("%s must need a tree", alg)
 		}
-		if _, err := p.Solve(alg, 3); err == nil {
+		if _, err := p.Solve(context.Background(), alg, 3); err == nil {
 			t.Fatalf("%s without tree accepted", alg)
 		}
 	}
@@ -76,18 +111,18 @@ func TestSolveTreeAlgNeedsTree(t *testing.T) {
 
 func TestSolveUnknownAlgorithm(t *testing.T) {
 	p := fig1Problem(t)
-	if _, err := p.Solve("nope", 3); err == nil {
+	if _, err := p.Solve(context.Background(), "nope", 3); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestSolveRandomSeeded(t *testing.T) {
 	p := fig1Problem(t)
-	a, err := p.WithSeed(5).Solve(AlgRandom, 3)
+	a, err := p.WithSeed(5).Solve(context.Background(), AlgRandom, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.WithSeed(5).Solve(AlgRandom, 3)
+	b, err := p.WithSeed(5).Solve(context.Background(), AlgRandom, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +147,7 @@ func TestGTPLazyInfeasibleWorkload(t *testing.T) {
 	// A flow whose path has no coverable vertex cannot happen (its own
 	// source counts), so GTPLazy should always succeed on valid input.
 	p := fig1Problem(t)
-	r, err := p.Solve(AlgGTPLazy, 0) // k ignored
+	r, err := p.Solve(context.Background(), AlgGTPLazy, 0) // k ignored
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +171,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.Solve(AlgGTP, 3)
+	r, err := p.Solve(context.Background(), AlgGTP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +188,7 @@ func TestSpecWithRootEnablesTreeAlgs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.Solve(AlgDP, 3)
+	r, err := p.Solve(context.Background(), AlgDP, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +241,11 @@ func TestGeneratorsExposedViaFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.WithTree(tr)
-	dp, err := p.Solve(AlgDP, 8)
+	dp, err := p.Solve(context.Background(), AlgDP, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hat, err := p.Solve(AlgHAT, 8)
+	hat, err := p.Solve(context.Background(), AlgHAT, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +305,7 @@ func TestFacadeReExportsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Solve(AlgGTPLazy, 0)
+	res, err := p.Solve(context.Background(), AlgGTPLazy, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
