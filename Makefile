@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint fuzz bench cancelhammer
+.PHONY: check build test race lint fuzz bench cancelhammer obs
 
 check:
 	scripts/check.sh
@@ -33,3 +33,11 @@ fuzz:
 # EXPERIMENTS.md "Incremental evaluation".
 bench:
 	go test -run='^$$' -bench=FullVsIncremental -benchmem .
+
+# Observability: race-enabled observer/metrics tests plus the paired
+# off/counting/metrics overhead benchmark guarding the ≤2% hot-path
+# budget (DESIGN.md "Observability").
+obs:
+	go test -race ./internal/obs/
+	go test -race -run 'Observer|Metrics|Cache' ./internal/placement/ ./internal/netsim/ ./cmd/tdmdserve/
+	go test -run='^$$' -bench=ObserverOverhead -benchmem ./internal/placement/

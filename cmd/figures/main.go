@@ -21,23 +21,33 @@ import (
 	"syscall"
 	"time"
 
+	"tdmd"
 	"tdmd/internal/experiments"
 )
 
 func main() {
 	var (
-		fig  = flag.Int("fig", 0, "figure number 9..21 (0 = all; 18-21 are this repo's extensions)")
-		reps = flag.Int("reps", 5, "repetitions per sweep point")
-		seed = flag.Int64("seed", 42, "master seed")
-		out  = flag.String("out", "figures_out", "directory for TSV/SVG output")
-		svg  = flag.Bool("svg", false, "also render each figure as SVG")
-		jsn  = flag.Bool("json", false, "also emit each figure as JSON")
+		fig   = flag.Int("fig", 0, "figure number 9..21 (0 = all; 18-21 are this repo's extensions)")
+		reps  = flag.Int("reps", 5, "repetitions per sweep point")
+		seed  = flag.Int64("seed", 42, "master seed")
+		out   = flag.String("out", "figures_out", "directory for TSV/SVG output")
+		svg   = flag.Bool("svg", false, "also render each figure as SVG")
+		jsn   = flag.Bool("json", false, "also emit each figure as JSON")
+		stats = flag.Bool("stats", false, "after the sweeps, dump the collected solver metrics as JSON to stderr")
 	)
 	flag.Parse()
 	// Ctrl-C / SIGTERM stops the sweeps at the next job boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *fig, *reps, *seed, *out, *svg, *jsn); err != nil {
+	err := run(ctx, *fig, *reps, *seed, *out, *svg, *jsn)
+	if *stats {
+		// Even an interrupted sweep has useful per-algorithm counters.
+		if serr := tdmd.WriteMetricsJSON(os.Stderr); serr != nil {
+			fmt.Fprintln(os.Stderr, "figures: writing stats:", serr)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

@@ -35,6 +35,7 @@ func main() {
 		capacity = flag.Int("capacity", 0, "per-middlebox processing capacity (0 = unlimited; uses the capacitated greedy)")
 		savePlan = flag.String("saveplan", "", "write the solved plan as JSON to this file")
 		evalPlan = flag.String("evalplan", "", "evaluate a JSON plan file instead of solving")
+		stats    = flag.Bool("stats", false, "after running, dump the collected solver metrics as JSON to stderr")
 	)
 	flag.Parse()
 	// Ctrl-C / SIGTERM cancels the solve; anytime algorithms still
@@ -65,6 +66,14 @@ func main() {
 			solveK = 0
 		}
 		err = run(ctx, *specPath, alg, solveK, *seed, *quiet, *savePlan, os.Stdout)
+	}
+	if *stats {
+		// Stats go to stderr so -q output stays pipeable; dumped even
+		// after a failed solve, where the outcome counters are the story.
+		if serr := tdmd.WriteMetricsJSON(os.Stderr); serr != nil {
+			fmt.Fprintln(os.Stderr, "tdmd: writing stats:", serr)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdmd:", err)

@@ -8,13 +8,23 @@
 //	                   -> {"plan": [...], "bandwidth": ..., "feasible": ...}
 //	POST /api/evaluate {"spec": <ProblemSpec>, "plan": [...]}
 //	                   -> deployment report
-//	GET  /healthz      -> 200 ok
+//	GET  /healthz      -> 200 while the process lives (liveness)
+//	GET  /readyz       -> 200 while accepting work, 503 once draining
+//	GET  /metrics      -> Prometheus text exposition (solver + HTTP series)
 //
 // Every solve runs under the request's context plus the -solve-timeout
 // budget: a client that disconnects cancels its solve, and a solve that
 // outlives the budget is cut off (503, or a plan tagged "interrupted"
-// when the algorithm had a feasible best-so-far). SIGINT/SIGTERM stop
-// accepting connections and drain in-flight requests before exiting.
+// when the algorithm had a feasible best-so-far). SIGINT/SIGTERM flip
+// /readyz to 503 (so load balancers stop routing), stop accepting
+// connections and drain in-flight requests before exiting.
+//
+// Each API request emits one structured log line (method, route,
+// algorithm, k, status, elapsed_ms, interrupted) and lands in the
+// request counters and latency histograms served on /metrics. With
+// -pprof-addr set, net/http/pprof and expvar (/debug/pprof,
+// /debug/vars) are served on that separate address so profiling is
+// never exposed on the public port.
 //
 // Errors come back as a JSON envelope:
 //
@@ -27,7 +37,7 @@
 //
 // Usage:
 //
-//	tdmdserve -addr :8080 -solve-timeout 30s
+//	tdmdserve -addr :8080 -solve-timeout 30s -pprof-addr localhost:6060
 package main
 
 import (
@@ -36,11 +46,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"mime"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -51,51 +66,190 @@ import (
 // evaluation's scale are a few hundred KB at most.
 const maxRequestBytes = 4 << 20
 
+// Request-level metrics, on the same default registry as the solver
+// and netsim series so one /metrics scrape carries the whole story.
+var (
+	httpInflight = tdmd.Metrics().NewGauge(
+		"tdmd_http_requests_in_flight", "API requests currently being served")
+	httpRequests = tdmd.Metrics().NewCounterVec(
+		"tdmd_http_requests_total", "API requests served, by route and status code", "route", "code")
+	httpErrors = tdmd.Metrics().NewCounterVec(
+		"tdmd_http_request_errors_total", "API requests answered with a 4xx/5xx status", "route")
+	httpDuration = tdmd.Metrics().NewHistogramVec(
+		"tdmd_http_request_duration_seconds", "API request wall time", nil, "route")
+)
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve budget (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight requests")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this separate address (empty = off)")
 	flag.Parse()
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(*solveTimeout),
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	tdmd.PublishExpvarMetrics()
+
+	s := newServer(*solveTimeout, logger)
+	hsrv := &http.Server{
+		Handler:           s.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ln, err := listen("tdmdserve", *addr, logger)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		pln, err := listen("pprof/expvar", *pprofAddr, logger)
+		if err != nil {
+			logger.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
+		}
+		psrv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("tdmdserve listening on %s", *addr)
+	go func() { errc <- hsrv.Serve(ln) }()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
-		log.Printf("tdmdserve: shutting down, draining in-flight requests")
+		// Flip readiness first so health-checked load balancers stop
+		// routing to us while in-flight requests drain.
+		s.ready.Store(false)
+		logger.Info("shutting down, draining in-flight requests")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("tdmdserve: drain incomplete: %v", err)
+		if err := hsrv.Shutdown(shutCtx); err != nil {
+			logger.Error("drain incomplete", "err", err)
 		}
 	}
 }
 
-// server carries the per-request solve budget into the handlers.
-type server struct {
-	solveTimeout time.Duration
+// listen binds addr and only then announces the resolved address:
+// "listening" must mean the socket is accepting, and with -addr :0 the
+// kernel-chosen port is the useful fact to report.
+func listen(name, addr string, logger *slog.Logger) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info(name+" listening", "addr", ln.Addr().String())
+	return ln, nil
 }
 
-// newMux wires the handlers; split out so tests drive it with
-// httptest.
+// server carries the per-request solve budget, the access logger and
+// the readiness state into the handlers.
+type server struct {
+	solveTimeout time.Duration
+	log          *slog.Logger
+	ready        atomic.Bool
+}
+
+func newServer(solveTimeout time.Duration, logger *slog.Logger) *server {
+	s := &server{solveTimeout: solveTimeout, log: logger}
+	s.ready.Store(true)
+	return s
+}
+
+// newMux wires the handlers with a silent logger; split out so tests
+// drive it with httptest. Tests that assert on readiness or access
+// logs build a newServer directly.
 func newMux(solveTimeout time.Duration) *http.ServeMux {
-	s := &server{solveTimeout: solveTimeout}
+	return newServer(solveTimeout, slog.New(slog.NewTextHandler(io.Discard, nil))).mux()
+}
+
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/solve", s.handleSolve)
-	mux.HandleFunc("POST /api/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /api/solve", s.observe("/api/solve", s.handleSolve))
+	mux.HandleFunc("POST /api/evaluate", s.observe("/api/evaluate", s.handleEvaluate))
+	// Liveness: the process is up. Stays 200 through draining so the
+	// platform does not kill a pod that is finishing its requests.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness: willing to take new work; 503 once draining.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /metrics", tdmd.MetricsHandler())
 	return mux
+}
+
+// accessRecord collects the solve-specific fields a handler wants on
+// its access-log line; the observe middleware threads one through the
+// request context and logs it when the handler returns.
+type accessRecord struct {
+	algorithm   string
+	k           int
+	interrupted bool
+}
+
+type recordKey struct{}
+
+// record returns the request's accessRecord, or a throwaway one if the
+// handler runs outside the observe middleware (tests calling handlers
+// directly).
+func record(ctx context.Context) *accessRecord {
+	if rec, ok := ctx.Value(recordKey{}).(*accessRecord); ok {
+		return rec
+	}
+	return &accessRecord{}
+}
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observe wraps an API handler with the request counters, the latency
+// histogram and one structured access-log line per request.
+func (s *server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		httpInflight.Inc()
+		defer httpInflight.Dec()
+		rec := &accessRecord{}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(context.WithValue(r.Context(), recordKey{}, rec)))
+		elapsed := time.Since(start)
+		httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		httpDuration.With(route).Observe(elapsed.Seconds())
+		if sw.code >= 400 {
+			httpErrors.With(route).Inc()
+		}
+		attrs := []any{
+			"method", r.Method,
+			"route", route,
+			"status", sw.code,
+			"elapsed_ms", float64(elapsed.Microseconds()) / 1000,
+		}
+		if rec.algorithm != "" {
+			attrs = append(attrs, "algorithm", rec.algorithm, "k", rec.k, "interrupted", rec.interrupted)
+		}
+		s.log.Info("request", attrs...)
+	}
 }
 
 // reqScope tracks one request's timing and solve budget so every
@@ -206,6 +360,7 @@ type solveResponse struct {
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sc := s.scope()
+	rec := record(r.Context())
 	var req solveRequest
 	if code, err := decodeJSON(w, r, &req); err != nil {
 		sc.httpError(w, code, "%v", err)
@@ -220,6 +375,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if alg == "" {
 		alg = tdmd.AlgGTP
 	}
+	rec.algorithm, rec.k = string(alg), req.K
 	if alg.NeedsTree() && problem.Tree() == nil {
 		sc.httpError(w, http.StatusBadRequest, "algorithm %s needs a spec with a root", alg)
 		return
@@ -234,7 +390,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sc.httpError(w, solveStatus(err), "solve: %v", err)
 		return
 	}
+	rec.interrupted = res.Interrupted != nil
 	resp := solveResponse{
+		// An explicit empty slice: "no boxes deployed" marshals as [],
+		// never null, so clients can range without a nil check.
+		Plan:        []int{},
 		Bandwidth:   res.Bandwidth,
 		Feasible:    res.Feasible,
 		RawDemand:   problem.Instance().RawDemand(),
@@ -254,18 +414,21 @@ type evaluateRequest struct {
 	Plan []int            `json:"plan"`
 }
 
+// boxReport is one deployed middlebox in the evaluate response.
+type boxReport struct {
+	Vertex int  `json:"vertex"`
+	Flows  int  `json:"flows"`
+	Rate   int  `json:"rate"`
+	Idle   bool `json:"idle"`
+}
+
 // evaluateResponse carries the deployment report.
 type evaluateResponse struct {
-	Bandwidth      float64 `json:"bandwidth"`
-	Feasible       bool    `json:"feasible"`
-	SavingFraction float64 `json:"saving_fraction"`
-	Boxes          []struct {
-		Vertex int  `json:"vertex"`
-		Flows  int  `json:"flows"`
-		Rate   int  `json:"rate"`
-		Idle   bool `json:"idle"`
-	} `json:"boxes"`
-	UnservedFlows []int `json:"unserved_flows"`
+	Bandwidth      float64     `json:"bandwidth"`
+	Feasible       bool        `json:"feasible"`
+	SavingFraction float64     `json:"saving_fraction"`
+	Boxes          []boxReport `json:"boxes"`
+	UnservedFlows  []int       `json:"unserved_flows"`
 }
 
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -294,15 +457,14 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Bandwidth:      rep.TotalBandwidth,
 		Feasible:       rep.Feasible,
 		SavingFraction: rep.SavingFraction,
-		UnservedFlows:  rep.UnservedFlows,
+		// Empty slices marshal as [] — an empty plan or a fully served
+		// flow set must not surface as JSON null.
+		Boxes:         []boxReport{},
+		UnservedFlows: []int{},
 	}
+	resp.UnservedFlows = append(resp.UnservedFlows, rep.UnservedFlows...)
 	for _, b := range rep.Boxes {
-		resp.Boxes = append(resp.Boxes, struct {
-			Vertex int  `json:"vertex"`
-			Flows  int  `json:"flows"`
-			Rate   int  `json:"rate"`
-			Idle   bool `json:"idle"`
-		}{int(b.Vertex), b.Flows, b.Rate, b.Idle})
+		resp.Boxes = append(resp.Boxes, boxReport{int(b.Vertex), b.Flows, b.Rate, b.Idle})
 	}
 	writeJSON(w, resp)
 }
@@ -310,6 +472,6 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("tdmdserve: encoding response: %v", err)
+		slog.Error("encoding response", "err", err)
 	}
 }

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdmd"
+)
+
+// syncBuffer makes a bytes.Buffer safe to share between the test and
+// the server goroutines writing access logs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitFor polls until the buffer contains want: the access log line is
+// written after the handler returns, which can trail the client seeing
+// the response.
+func (b *syncBuffer) waitFor(t *testing.T, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s := b.String(); strings.Contains(s, want) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q:\n%s", want, b.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEmptySlicesMarshalAsArrays pins the wire shape: an interrupted
+// or boxless result must serialize plan/boxes/unserved_flows as [],
+// never null. Decoding into typed structs would hide the regression,
+// so the assertions run on the raw JSON.
+func TestEmptySlicesMarshalAsArrays(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+
+	// An empty evaluate plan: zero boxes, and on fig1 every flow
+	// unserved — the unserved list must still be a JSON array.
+	resp := post(t, srv, "/api/evaluate", evaluateRequest{Spec: fig1SpecJSON(t), Plan: []int{}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-plan evaluate: status = %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["boxes"]) != "[]" {
+		t.Fatalf(`boxes = %s, want []`, raw["boxes"])
+	}
+	if string(raw["unserved_flows"]) == "null" {
+		t.Fatalf("unserved_flows marshaled as null")
+	}
+
+	// A full plan serves every flow: unserved_flows must be [] exactly.
+	spec := fig1SpecJSON(t)
+	problem, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, problem.Instance().G.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	full := post(t, srv, "/api/evaluate", evaluateRequest{Spec: spec, Plan: all})
+	defer full.Body.Close()
+	var fullRaw map[string]json.RawMessage
+	if err := json.NewDecoder(full.Body).Decode(&fullRaw); err != nil {
+		t.Fatal(err)
+	}
+	if string(fullRaw["unserved_flows"]) != "[]" {
+		t.Fatalf(`unserved_flows = %s, want []`, fullRaw["unserved_flows"])
+	}
+
+	// A solve response always carries a JSON array plan.
+	solve := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3})
+	defer solve.Body.Close()
+	var solveRaw map[string]json.RawMessage
+	if err := json.NewDecoder(solve.Body).Decode(&solveRaw); err != nil {
+		t.Fatal(err)
+	}
+	if string(solveRaw["plan"]) == "null" || !strings.HasPrefix(string(solveRaw["plan"]), "[") {
+		t.Fatalf("plan = %s, want a JSON array", solveRaw["plan"])
+	}
+}
+
+// TestReadyzFlipsOnDrain: /healthz is liveness and stays 200, /readyz
+// is readiness and turns 503 the moment the server starts draining.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s := newServer(0, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	srv := httptest.NewServer(s.mux())
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("ready /readyz = %d, want 200", got)
+	}
+	s.ready.Store(false) // what main() does on SIGTERM, before Shutdown
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200 (liveness is not readiness)", got)
+	}
+}
+
+// TestListenAnnouncesResolvedAddr: with :0 the log line must carry the
+// kernel-chosen port, and the announced address must already accept
+// requests.
+func TestListenAnnouncesResolvedAddr(t *testing.T) {
+	var logbuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logbuf, nil))
+	ln, err := listen("tdmdserve", "127.0.0.1:0", logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("resolved addr %q still has port 0", addr)
+	}
+	if got := logbuf.String(); !strings.Contains(got, addr) {
+		t.Fatalf("announcement %q does not carry resolved addr %q", got, addr)
+	}
+	hsrv := &http.Server{Handler: newMux(0)}
+	go hsrv.Serve(ln)
+	defer hsrv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("announced address not accepting: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz via resolved addr = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves parseable Prometheus text
+// carrying the HTTP request series and the solver series fed by the
+// solve that just ran.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3})
+	resp.Body.Close()
+
+	m, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	if m.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", m.StatusCode)
+	}
+	if ct := m.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`tdmd_http_requests_total{route="/api/solve",code="200"}`,
+		`tdmd_http_request_duration_seconds_count{route="/api/solve"}`,
+		"tdmd_http_requests_in_flight",
+		`tdmd_solve_runs_total{algorithm="gtp",outcome="ok"}`,
+		"tdmd_netsim_state_cache_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Every line must parse as comment or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestAccessLogFields: each API request logs one structured line with
+// method, route, status and elapsed time; solves add algorithm, k and
+// the interruption flag.
+func TestAccessLogFields(t *testing.T) {
+	var logbuf syncBuffer
+	s := newServer(0, slog.New(slog.NewTextHandler(&logbuf, nil)))
+	srv := httptest.NewServer(s.mux())
+	defer srv.Close()
+
+	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3})
+	resp.Body.Close()
+	line := logbuf.waitFor(t, "route=/api/solve")
+	for _, want := range []string{
+		"method=POST", "status=200", "algorithm=gtp", "k=3", "interrupted=false", "elapsed_ms=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log missing %q:\n%s", want, line)
+		}
+	}
+
+	// Error responses log their status too.
+	bad := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "random", K: 3})
+	bad.Body.Close()
+	logbuf.waitFor(t, "status=400")
+}
+
+// TestErrorEnvelopeOn413And415: the oversized-body and wrong-media-type
+// rejections carry the same JSON envelope as every other error.
+func TestErrorEnvelopeOn413And415(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+
+	huge := bytes.Repeat([]byte(" "), maxRequestBytes+2)
+	resp, err := http.Post(srv.URL+"/api/solve", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status = %d, want 413", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("413 body is not the JSON envelope: %v", err)
+	}
+	if !strings.Contains(env.Error, "bytes") || env.ElapsedMS < 0 {
+		t.Fatalf("413 envelope: %+v", env)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/evaluate", bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	wrong, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Body.Close()
+	if wrong.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain: status = %d, want 415", wrong.StatusCode)
+	}
+	env = errorEnvelope{}
+	if err := json.NewDecoder(wrong.Body).Decode(&env); err != nil {
+		t.Fatalf("415 body is not the JSON envelope: %v", err)
+	}
+	if !strings.Contains(env.Error, "application/json") {
+		t.Fatalf("415 envelope: %+v", env)
+	}
+}
+
+// TestSolveFeedsSolverMetrics: a request-driven solve must land in the
+// per-algorithm histogram exposed by the library registry (the serve
+// path attaches the metrics observer through the facade).
+func TestSolveFeedsSolverMetrics(t *testing.T) {
+	srv := httptest.NewServer(newMux(0))
+	defer srv.Close()
+	before := countSeries(t, `tdmd_solve_duration_seconds_count{algorithm="gtp"}`)
+	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3})
+	resp.Body.Close()
+	after := countSeries(t, `tdmd_solve_duration_seconds_count{algorithm="gtp"}`)
+	if after != before+1 {
+		t.Fatalf("solve count %d -> %d, want +1", before, after)
+	}
+}
+
+// countSeries reads one cumulative series value from the default
+// registry's exposition.
+func countSeries(t *testing.T, prefix string) int64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := tdmd.WriteMetricsText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}

@@ -168,7 +168,9 @@ func sweep(ctx context.Context, cfg Config, figIdx uint64, id, title, xlabel str
 // seriesSolver maps a figure series to its registry solver name and
 // the options the series runs with. seed feeds randomized series only.
 func seriesSolver(a AlgName, trial Trial, seed int64) (string, placement.Options, error) {
-	opts := []placement.Option{placement.WithK(trial.K)}
+	// Every sweep solve reports to the process metrics, so a -stats run
+	// ends with per-algorithm latency and outcome counters for free.
+	opts := []placement.Option{placement.WithK(trial.K), placement.WithObserver(placement.Metrics())}
 	var name string
 	switch a {
 	case Random:

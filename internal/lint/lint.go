@@ -21,7 +21,10 @@
 //   - internalboundary: commands and examples consume the public tdmd
 //     facade, not internal packages (small allowlist aside);
 //   - todotracker: stray panic("TODO") markers and uppercase
-//     "xxx"/"fixme" attention comments fail the build.
+//     "xxx"/"fixme" attention comments fail the build;
+//   - obsnaming: metric names handed to the obs constructors are
+//     tdmd_-prefixed snake_case string literals with the kind suffix
+//     the exposition format expects (_total, _seconds/_bytes).
 //
 // Analyzers operate on non-test files only: tests are deliberately
 // free to use exact golden comparisons, fixed global randomness and
@@ -108,6 +111,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerCtxFlow,
 		AnalyzerInternalBoundary,
 		AnalyzerTodoTracker,
+		AnalyzerObsNaming,
 	}
 }
 

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerObsNaming enforces metric-name hygiene at every obs
+// constructor call site: names must be string literals (so the
+// /metrics catalog is greppable), snake_case with the tdmd_ namespace
+// prefix, and carry the unit/kind suffix the exposition format
+// expects — counters end in _total, histograms in _seconds or _bytes,
+// gauges in neither. The obs runtime panics on the same violations at
+// registration time; this analyzer moves the failure to the lint gate
+// so a misnamed metric on a rarely-exercised path cannot ship.
+var AnalyzerObsNaming = &Analyzer{
+	Name: "obsnaming",
+	Doc:  "obs metric names must be tdmd_-prefixed snake_case string literals with kind suffixes (_total, _seconds/_bytes)",
+	Run:  runObsNaming,
+}
+
+// obsConstructorKind maps the obs constructor functions (package-level
+// and *Registry methods share names) to the metric kind they build.
+var obsConstructorKind = map[string]string{
+	"NewCounter":      "counter",
+	"NewCounterVec":   "counter",
+	"NewGauge":        "gauge",
+	"NewGaugeVec":     "gauge",
+	"NewHistogram":    "histogram",
+	"NewHistogramVec": "histogram",
+}
+
+func runObsNaming(p *Package) []Finding {
+	obsPath := p.Module + "/internal/obs"
+	if p.Path == obsPath {
+		return nil // the runtime's own plumbing passes names through variables
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.objectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+				return true
+			}
+			kind, ok := obsConstructorKind[fn.Name()]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := stringLiteral(p, call.Args[0])
+			if !ok {
+				out = append(out, p.finding("obsnaming", call.Args[0],
+					"metric name passed to obs.%s must be a string literal so the catalog is greppable", fn.Name()))
+				return true
+			}
+			for _, msg := range metricNameIssues(name, kind) {
+				out = append(out, p.finding("obsnaming", call.Args[0], "metric %q: %s", name, msg))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stringLiteral resolves e to a compile-time string constant (a quoted
+// literal or a named string constant).
+func stringLiteral(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// metricNameIssues returns every hygiene violation of name for a
+// metric of the given kind ("counter", "gauge", "histogram").
+func metricNameIssues(name, kind string) []string {
+	var issues []string
+	if !isSnakeCase(name) {
+		issues = append(issues, "must be snake_case ([a-z0-9_], starting with a letter, no repeated/trailing underscores)")
+	}
+	if !strings.HasPrefix(name, "tdmd_") {
+		issues = append(issues, `must carry the "tdmd_" namespace prefix`)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			issues = append(issues, `counters must end in "_total"`)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			issues = append(issues, `histograms must end in a unit suffix ("_seconds" or "_bytes")`)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			issues = append(issues, `gauges must not end in "_total" (reserved for counters)`)
+		}
+	}
+	return issues
+}
+
+// isSnakeCase reports whether name is lower-snake-case: a letter
+// first, then letters/digits/single underscores, no trailing
+// underscore.
+func isSnakeCase(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	prevUnderscore := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevUnderscore = false
+		case c == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}

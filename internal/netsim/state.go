@@ -61,6 +61,11 @@ type State struct {
 	gain  []float64
 	cov   []int
 	fresh []bool
+
+	// pendingHits batches cache-hit counts locally (plain field, no
+	// atomics on the read path) until the next mutation flushes them
+	// to the shared stateCacheHits counter; see metrics.go.
+	pendingHits int64
 }
 
 // NewState builds the incremental state for the given plan. The plan
@@ -90,6 +95,7 @@ func NewState(in *Instance, p Plan) *State {
 	if invariant.Enabled {
 		s.verify("NewState")
 	}
+	statesBuilt.Inc()
 	return s
 }
 
@@ -123,7 +129,10 @@ func (s *State) UnservedCount() int { return s.unserved }
 func (s *State) UnservedSet() *bitset.Set { return s.unservedBits }
 
 // Plan returns a copy of the current plan.
-func (s *State) Plan() Plan { return s.plan.Clone() }
+func (s *State) Plan() Plan {
+	s.flushCacheHits() // solvers extract plans at decision points; a cheap drain site
+	return s.plan.Clone()
+}
 
 // Has reports whether v currently hosts a middlebox (no copy).
 func (s *State) Has(v graph.NodeID) bool { return s.plan.Has(v) }
@@ -146,6 +155,8 @@ func (s *State) AddBox(v graph.NodeID) float64 {
 		return 0
 	}
 	s.plan.Add(v)
+	stateMutations.Inc()
+	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
 	var delta float64
 	for _, fa := range s.in.Through(v) {
@@ -186,6 +197,8 @@ func (s *State) RemoveBox(v graph.NodeID) float64 {
 		return 0
 	}
 	s.plan.Remove(v)
+	stateMutations.Inc()
+	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
 	var delta float64
 	for _, fa := range s.in.Through(v) {
@@ -247,7 +260,9 @@ func (s *State) MarginalGain(v graph.NodeID) float64 {
 	if s.plan.Has(v) {
 		return 0
 	}
-	if !s.fresh[v] {
+	if s.fresh[v] {
+		s.pendingHits++
+	} else {
 		s.rescore(v)
 	}
 	if invariant.Enabled {
@@ -263,7 +278,9 @@ func (s *State) MarginalGain(v graph.NodeID) float64 {
 // UnservedCovered counts the currently unserved flows whose paths
 // visit v, cached alongside the marginal.
 func (s *State) UnservedCovered(v graph.NodeID) int {
-	if !s.fresh[v] {
+	if s.fresh[v] {
+		s.pendingHits++
+	} else {
 		s.rescore(v)
 	}
 	return s.cov[v]
@@ -274,6 +291,7 @@ func (s *State) UnservedCovered(v graph.NodeID) int {
 // flow order, same float operations) so cached and from-scratch values
 // are bit-identical.
 func (s *State) rescore(v graph.NodeID) {
+	stateCacheMisses.Inc() // a miss pays a full through-index scan; the atomic add is noise
 	s.gain[v], s.cov[v] = s.VertexScore(v)
 	s.fresh[v] = true
 }

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Exposition: the registry renders itself as Prometheus text (the
+// format /metrics scrapers consume) and as an expvar-style JSON
+// document. Both snapshots are taken metric by metric with atomic
+// loads; a scrape concurrent with updates sees a slightly torn but
+// always well-formed view, which is the standard contract.
+
+// WritePrometheus renders every family in text exposition format
+// (version 0.0.4): one HELP and TYPE line per family, then one line
+// per series, histograms expanded into cumulative _bucket lines plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, s.values, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPairs(f.labels, s.values, "", ""), m.Value())
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range m.bounds {
+					cum += m.buckets[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelPairs(f.labels, s.values, "le", formatFloat(bound)), cum)
+				}
+				cum += m.buckets[len(m.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+					labelPairs(f.labels, s.values, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name,
+					labelPairs(f.labels, s.values, "", ""), formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name,
+					labelPairs(f.labels, s.values, "", ""), m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the Prometheus text exposition — mount it on
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Render into memory first so a mid-exposition failure can still
+		// produce a clean error status instead of a torn body.
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return // client went away mid-scrape; nothing left to send
+		}
+	})
+}
+
+// Snapshot returns the registry as a JSON-marshalable map: counters
+// and gauges as numbers, histograms as {count, sum, buckets} objects.
+// Labeled series are keyed "name{label=\"value\",...}" exactly as in
+// the Prometheus exposition.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			key := f.name + labelPairs(f.labels, s.values, "", "")
+			switch m := s.metric.(type) {
+			case *Counter:
+				out[key] = m.Value()
+			case *Gauge:
+				out[key] = m.Value()
+			case *Histogram:
+				buckets := map[string]int64{}
+				cum := int64(0)
+				for i, bound := range m.bounds {
+					cum += m.buckets[i].Load()
+					buckets[formatFloat(bound)] = cum
+				}
+				buckets["+Inf"] = m.Count()
+				out[key] = map[string]any{
+					"count":   m.Count(),
+					"sum":     m.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as one JSON object (the expvar-style
+// view).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Snapshot())
+}
+
+// publishOnce guards expvar.Publish, which panics on duplicate names.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the Default registry under the "tdmd_metrics"
+// expvar variable (GET /debug/vars), alongside the runtime's own
+// expvars. Safe to call more than once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("tdmd_metrics", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}
+
+// labelPairs renders {a="x",b="y"} for the given names and values,
+// optionally appending one extra pair (the histogram le label).
+// Returns "" when there are no pairs at all.
+func labelPairs(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -29,11 +30,15 @@ func RandomPlacement(ctx context.Context, in *netsim.Instance, k int, rng *rand.
 	if k > n {
 		k = n
 	}
+	sc := observing(ctx)
+	var samples int64
+	defer func() { sc.count("samples", samples) }()
 	const maxAttempts = 200
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if canceled(ctx) {
 			return Result{}, interruptedErr(ctx)
 		}
+		samples++
 		p := netsim.NewPlan()
 		for _, idx := range rng.Perm(n)[:k] {
 			p.Add(graph.NodeID(idx))
@@ -113,10 +118,18 @@ func BestEffort(ctx context.Context, in *netsim.Instance, k int) (Result, error)
 	}
 	// Coverage repair: drop the lowest-ranked picks in favour of
 	// greedy-cover vertices until every flow is served.
+	sc := observing(ctx)
+	repairStart := time.Now()
+	var repairs int64
+	defer func() {
+		sc.count("repair_iterations", repairs)
+		sc.phase("repair", repairStart)
+	}()
 	for drop := k - 1; !st.Feasible() && drop >= 0; drop-- {
 		if canceled(ctx) {
 			return Result{}, interruptedErr(ctx)
 		}
+		repairs++
 		st.RemoveBox(ranked[drop].v)
 		v := mostCovering(st)
 		if v == graph.Invalid {

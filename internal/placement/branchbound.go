@@ -108,7 +108,15 @@ func BranchAndBound(ctx context.Context, in *netsim.Instance, k int, opts BnBOpt
 		incumbent.Interrupted = nil
 	}
 
+	sc := observing(ctx)
+	searchStart := time.Now()
+	var incumbentUpdates int64
 	nodes := 0
+	defer func() {
+		sc.count("branch_nodes", int64(nodes))
+		sc.count("incumbent_updates", incumbentUpdates)
+		sc.phase("search", searchStart)
+	}()
 	timedOut := false
 	// DFS with pruning. Search state: index into order, plus the
 	// incremental allocation state standing in for the current plan.
@@ -131,6 +139,7 @@ func BranchAndBound(ctx context.Context, in *netsim.Instance, k int, opts BnBOpt
 		bw := st.ExactBandwidth()
 		if st.Feasible() && bw < incumbent.Bandwidth-1e-12 {
 			incumbent.Result = Result{Plan: st.Plan(), Bandwidth: bw, Feasible: true}
+			incumbentUpdates++
 		}
 		if idx == len(order) || used == k {
 			return

@@ -3,6 +3,7 @@ package placement
 import (
 	"context"
 	"math"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -56,6 +57,13 @@ func GTPCapacitated(ctx context.Context, in *netsim.Instance, k, capacity int) (
 // runCapacitatedGreedy builds a plan with the chosen scoring order.
 // coverageFirst prefers (served, gain); otherwise (gain, served).
 func runCapacitatedGreedy(ctx context.Context, in *netsim.Instance, k, capacity int, coverageFirst bool) (Result, bool, error) {
+	sc := observing(ctx)
+	greedyStart := time.Now()
+	var deployed int64
+	defer func() {
+		sc.count("deployments", deployed)
+		sc.phase("greedy", greedyStart)
+	}()
 	p := netsim.NewPlan()
 	n := in.G.NumNodes()
 	for p.Size() < k {
@@ -75,6 +83,7 @@ func runCapacitatedGreedy(ctx context.Context, in *netsim.Instance, k, capacity 
 			break // stuck: candidate helps neither coverage nor bandwidth
 		}
 		p.Add(best)
+		deployed++
 	}
 	alloc := in.AllocateCapacitated(p, capacity)
 	if !feasibleAlloc(alloc) {

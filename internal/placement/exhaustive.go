@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -46,6 +47,14 @@ func Exhaustive(ctx context.Context, in *netsim.Instance, k int) (Result, error)
 	found := false
 	aborted := false
 	visited := 0
+	sc := observing(ctx)
+	enumStart := time.Now()
+	var incumbentUpdates int64
+	defer func() {
+		sc.count("subsets", int64(visited))
+		sc.count("incumbent_updates", incumbentUpdates)
+		sc.phase("enumerate", enumStart)
+	}()
 	// The enumeration walks the subset tree on one incremental state:
 	// AddBox on descent, RemoveBox on backtrack, so each subset costs
 	// only the flows its last vertex touches instead of a full
@@ -66,6 +75,7 @@ func Exhaustive(ctx context.Context, in *netsim.Instance, k int) (Result, error)
 				bestVal = b
 				bestPlan = st.Plan()
 				found = true
+				incumbentUpdates++
 			}
 			// Supersets cannot beat this subset by feasibility, but
 			// they can still lower bandwidth, so keep recursing.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -26,6 +27,15 @@ import (
 // once positive gains are exhausted), then toward the smaller vertex
 // ID for determinism.
 func GTP(ctx context.Context, in *netsim.Instance) Result {
+	// Observation is hoisted once and accumulated in locals; the
+	// candidate scans below stay free of observer calls.
+	sc := observing(ctx)
+	coverStart := time.Now()
+	var deployed int64
+	defer func() {
+		sc.count("deployments", deployed)
+		sc.phase("cover", coverStart)
+	}()
 	st := netsim.NewState(in, netsim.NewPlan())
 	for !st.Feasible() {
 		if canceled(ctx) {
@@ -41,6 +51,7 @@ func GTP(ctx context.Context, in *netsim.Instance) Result {
 			break
 		}
 		st.AddBox(v)
+		deployed++
 	}
 	return finish(in, st.Plan())
 }
@@ -72,6 +83,10 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 	if base.Size() > k {
 		return Result{}, fmt.Errorf("placement: base plan already exceeds budget %d: %w", k, ErrInfeasible)
 	}
+	sc := observing(ctx)
+	var deployed int64
+	defer func() { sc.count("deployments", deployed) }()
+	coverStart := time.Now()
 	st := netsim.NewState(in, base)
 	for st.Size() < k && !st.Feasible() {
 		if canceled(ctx) {
@@ -92,13 +107,17 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 			return Result{}, ErrInfeasible
 		}
 		st.AddBox(v)
+		deployed++
 	}
 	if !st.Feasible() {
 		return Result{}, ErrInfeasible
 	}
+	sc.phase("cover", coverStart)
 	// Spend any leftover budget on further decrement (pure gain).
 	// Coverage is already achieved here, so an interruption returns
 	// the feasible plan built so far (anytime semantics).
+	spendStart := time.Now()
+	defer func() { sc.phase("spend", spendStart) }()
 	for st.Size() < k {
 		if canceled(ctx) {
 			r := finishBudget(in, st.Plan(), k)
@@ -110,6 +129,7 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 			break
 		}
 		st.AddBox(v)
+		deployed++
 	}
 	return finishBudget(in, st.Plan(), k), nil
 }
@@ -119,6 +139,13 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 // upper-bounds its current marginal, so stale heap entries only ever
 // overestimate. The plan produced is identical to GTP's.
 func GTPLazy(ctx context.Context, in *netsim.Instance) Result {
+	sc := observing(ctx)
+	coverStart := time.Now()
+	var deployed int64
+	defer func() {
+		sc.count("deployments", deployed)
+		sc.phase("cover", coverStart)
+	}()
 	st := netsim.NewState(in, netsim.NewPlan())
 	heap := pq.NewMax[graph.NodeID]()
 	for _, v := range in.G.Nodes() {
@@ -135,6 +162,7 @@ func GTPLazy(ctx context.Context, in *netsim.Instance) Result {
 			break
 		}
 		st.AddBox(v)
+		deployed++
 	}
 	return finish(in, st.Plan())
 }

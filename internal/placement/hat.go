@@ -2,6 +2,7 @@ package placement
 
 import (
 	"context"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/lca"
@@ -94,11 +95,19 @@ func hat(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int, wantTra
 		}
 	}
 
+	sc := observing(ctx)
+	mergeStart := time.Now()
+	var merges int64
+	defer func() {
+		sc.count("merges", merges)
+		sc.phase("merge", mergeStart)
+	}()
 	var trace []MergeTrace
 	for plan.Size() > k {
 		if canceled(ctx) {
 			return Result{}, trace, interruptedErr(ctx)
 		}
+		merges++
 		best, bestCost, ok := popMinPair(heap)
 		if !ok {
 			// Above budget with fewer than two middleboxes left: only

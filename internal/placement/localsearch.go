@@ -3,6 +3,7 @@ package placement
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -37,10 +38,19 @@ func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, max
 	// Every swap probe is a Remove+Add delta on the incremental state,
 	// exactly revertible, touching only the flows through the two
 	// mutated vertices.
+	sc := observing(ctx)
+	refineStart := time.Now()
+	var rounds, swaps int64
+	defer func() {
+		sc.count("rounds", rounds)
+		sc.count("swaps", swaps)
+		sc.phase("refine", refineStart)
+	}()
 	st := netsim.NewState(in, seed)
 	n := in.G.NumNodes()
 	for round := 0; round < maxRounds; round++ {
 		improved := false
+		rounds++
 		for _, out := range st.Plan().Vertices() {
 			// Poll at swap boundaries: the state always holds a feasible
 			// plan here, so an interruption returns best-so-far within
@@ -68,6 +78,7 @@ func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, max
 			if bestIn != graph.Invalid {
 				st.AddBox(bestIn)
 				improved = true
+				swaps++
 			} else {
 				st.AddBox(out) // revert
 			}
@@ -130,6 +141,9 @@ func MultiStartLocalSearch(ctx context.Context, in *netsim.Instance, k, starts i
 	if starts < 1 {
 		return Result{}, badOptions("multistart-ls", "needs starts >= 1, got %d", starts)
 	}
+	sc := observing(ctx)
+	var started int64 = 1 // the greedy seed
+	defer func() { sc.count("starts", started) }()
 	best, err := GTPWithLocalSearch(ctx, in, k, 0)
 	if err != nil {
 		return Result{}, err
@@ -139,6 +153,7 @@ func MultiStartLocalSearch(ctx context.Context, in *netsim.Instance, k, starts i
 			best.Interrupted = ctx.Err()
 			return best, nil
 		}
+		started++
 		seed, err := RandomPlacement(ctx, in, k, rng)
 		if err != nil {
 			continue // random seeding can fail where greedy succeeded

@@ -22,11 +22,12 @@ func MinBoxes(ctx context.Context, in *netsim.Instance) (Result, error) {
 	if canceled(ctx) {
 		return Result{}, interruptedErr(ctx)
 	}
-	sc := setcover.FromTDMD(in)
-	chosen := setcover.Greedy(sc)
+	cover := setcover.FromTDMD(in)
+	chosen := setcover.Greedy(cover)
 	if chosen == nil && len(in.Flows) > 0 {
 		return Result{}, ErrInfeasible
 	}
+	observing(ctx).count("deployments", int64(len(chosen)))
 	p := netsim.NewPlan()
 	for _, v := range chosen {
 		p.Add(graph.NodeID(v))

@@ -6,6 +6,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -44,6 +46,13 @@ func (o ParallelOpts) workers() int {
 // portfolio promptly and returns the partial plan with Interrupted
 // set.
 func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Result {
+	sc := observing(ctx)
+	coverStart := time.Now()
+	var deployed int64
+	defer func() {
+		sc.count("deployments", deployed)
+		sc.phase("cover", coverStart)
+	}()
 	st := netsim.NewState(in, netsim.NewPlan())
 	for !st.Feasible() {
 		if canceled(ctx) {
@@ -56,6 +65,7 @@ func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Re
 			break
 		}
 		st.AddBox(v)
+		deployed++
 	}
 	return finish(in, st.Plan())
 }
@@ -152,11 +162,14 @@ func TreeDPParallel(ctx context.Context, in *netsim.Instance, t *graph.Tree, k i
 	if err := checkTreeWorkload(in, t); err != nil {
 		return Result{}, err
 	}
+	sc := observing(ctx)
+	tablesStart := time.Now()
 	d := newDPRun(in, t, k)
 	solveTreeParallel(ctx, d, t, opts.workers())
 	if canceled(ctx) {
 		return Result{}, interruptedErr(ctx)
 	}
+	sc.phase("tables", tablesStart)
 	root := d.memo[t.Root]
 	bRoot := d.subRate[t.Root]
 	bestK := -1
@@ -169,8 +182,10 @@ func TreeDPParallel(ctx context.Context, in *netsim.Instance, t *graph.Tree, k i
 	if bestK < 0 || math.IsInf(bestVal, 1) {
 		return Result{}, ErrInfeasible
 	}
+	traceStart := time.Now()
 	plan := netsim.NewPlan()
 	d.trace(root, bestK, bRoot, &plan)
+	sc.phase("trace", traceStart)
 	return finishBudget(in, plan, k), nil
 }
 
@@ -253,6 +268,13 @@ func ExhaustiveParallel(ctx context.Context, in *netsim.Instance, k int, opts Pa
 	if k > n {
 		k = n
 	}
+	sc := observing(ctx)
+	enumStart := time.Now()
+	var totalVisited atomic.Int64
+	defer func() {
+		sc.count("subsets", totalVisited.Load())
+		sc.phase("enumerate", enumStart)
+	}()
 	workers := opts.workers()
 	type best struct {
 		val   float64
@@ -310,6 +332,7 @@ func ExhaustiveParallel(ctx context.Context, in *netsim.Instance, k int, opts Pa
 				}
 			}
 			rec(graph.NodeID(first + 1))
+			totalVisited.Add(int64(visited))
 		}(first)
 	}
 	wg.Wait()

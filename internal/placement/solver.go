@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -103,6 +104,10 @@ type Options struct {
 	NodeLimit int
 	// Capacity is the per-box processing capacity (0 = unlimited).
 	Capacity int
+	// Observer receives solve lifecycle and progress events; nil
+	// disables observation. Not part of the OptionSet contract: every
+	// solver tolerates it, none requires it.
+	Observer SolveObserver
 
 	// explicit marks options the caller set deliberately; a solver
 	// that does not consume an explicit option rejects the call
@@ -172,6 +177,13 @@ func WithNodeLimit(n int) Option {
 // WithCapacity sets the per-middlebox processing capacity.
 func WithCapacity(c int) Option {
 	return func(o *Options) { o.Capacity = c; o.mark(OptCapacity) }
+}
+
+// WithObserver attaches a SolveObserver. Deliberately outside the
+// OptionSet validation: observation is orthogonal to what a solver
+// consumes.
+func WithObserver(ob SolveObserver) Option {
+	return func(o *Options) { o.Observer = ob }
 }
 
 // FallbackSeed provides a seed without marking it explicit: it
@@ -325,16 +337,33 @@ func ValidateOptions(t Traits, opts Options) error {
 
 // Solve validates opts against the named solver's traits and runs it —
 // the single dispatch path behind Problem.Solve and every binary.
+// With opts.Observer set it reports the run's lifecycle (start,
+// outcome, duration) and threads the observer to the solver body via
+// the context so phase timings and progress counts are attributed to
+// the registry name being dispatched.
 func Solve(ctx context.Context, name string, in *netsim.Instance, opts Options) (Result, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("placement: unknown solver %q (have %s)",
 			name, strings.Join(Names(), ", "))
 	}
+	ob := opts.Observer
 	if err := ValidateOptions(s.Traits(), opts); err != nil {
+		if ob != nil {
+			// Paired start/done keeps the in-flight gauge balanced.
+			ob.SolveStart(name)
+			ob.SolveDone(name, OutcomeBadOptions, 0)
+		}
 		return Result{}, err
 	}
-	return s.Solve(ctx, in, opts)
+	if ob == nil {
+		return s.Solve(ctx, in, opts)
+	}
+	ob.SolveStart(name)
+	start := time.Now()
+	r, err := s.Solve(withScope(ctx, ob, name), in, opts)
+	ob.SolveDone(name, OutcomeOf(r, err), time.Since(start))
+	return r, err
 }
 
 // canceled polls the context without blocking; solvers call it at loop

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
@@ -41,11 +42,14 @@ func TreeDP(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (Res
 	if err := checkTreeWorkload(in, t); err != nil {
 		return Result{}, err
 	}
+	sc := observing(ctx)
+	tablesStart := time.Now()
 	d := newDPRun(in, t, k)
 	root, err := d.solveCtx(ctx, t.Root)
 	if err != nil {
 		return Result{}, err
 	}
+	sc.phase("tables", tablesStart)
 	// Answer: min over k' <= k of F(root, k') = P(root, k', S_root).
 	bRoot := d.subRate[t.Root]
 	bestK, bestVal := -1, math.Inf(1)
@@ -57,8 +61,10 @@ func TreeDP(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int) (Res
 	if bestK < 0 || math.IsInf(bestVal, 1) {
 		return Result{}, ErrInfeasible
 	}
+	traceStart := time.Now()
 	plan := netsim.NewPlan()
 	d.trace(root, bestK, bRoot, &plan)
+	sc.phase("trace", traceStart)
 	r := finishBudget(in, plan, k)
 	r.Optimal = true
 	return r, nil

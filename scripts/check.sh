@@ -46,7 +46,12 @@ go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=5s .
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s .
 go test -run='^$' -fuzz=FuzzStateOps -fuzztime=5s ./internal/netsim/
 
-echo "==> tdmdlint"
+echo "==> tdmdlint (incl. obsnaming metric-name hygiene)"
 go run ./cmd/tdmdlint ./...
+
+echo "==> observability (observer identity + exposition, race)"
+go test -race ./internal/obs/
+go test -race -run 'Observer|Metrics|Cache' \
+    ./internal/placement/ ./internal/netsim/ ./cmd/tdmdserve/
 
 echo "OK: all checks passed"

@@ -206,7 +206,10 @@ func (p *Problem) Tree() *Tree { return p.tree }
 // not consume them), a non-zero k is an explicit budget, and the
 // per-call options apply last so they can override the Problem seed.
 func (p *Problem) options(k int, opts []SolveOption) placement.Options {
-	all := make([]placement.Option, 0, len(opts)+3)
+	all := make([]placement.Option, 0, len(opts)+4)
+	// Every facade solve reports to the process metrics by default; a
+	// per-call WithSolveObserver applies later and overrides it.
+	all = append(all, placement.WithObserver(placement.Metrics()))
 	if p.tree != nil {
 		all = append(all, placement.FallbackTree(p.tree))
 	}
