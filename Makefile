@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint fuzz bench cancelhammer obs
+.PHONY: check build test race lint lint-json fuzz bench cancelhammer obs
 
 check:
 	scripts/check.sh
@@ -16,8 +16,17 @@ test:
 race:
 	go test -race ./...
 
+# The full analyzer suite (per-package rules plus the interprocedural
+# solverpurity/detorder/goleak) against the checked-in baseline —
+# identical to the tdmdlint step in scripts/check.sh.
 lint:
-	go run ./cmd/tdmdlint ./...
+	go run ./cmd/tdmdlint -baseline lint.baseline.json ./...
+
+# Machine-readable findings in the baseline format (deterministic,
+# position-sorted; feed the output back via -baseline to accept
+# findings from the baselinable analyzers).
+lint-json:
+	go run ./cmd/tdmdlint -baseline lint.baseline.json -json ./...
 
 # Repeated race-enabled run of the solver-cancellation tests (the
 # DESIGN.md "Cancellation & anytime contract" suite).

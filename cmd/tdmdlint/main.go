@@ -2,17 +2,35 @@
 // analyzers (internal/lint) over the module and exits non-zero when
 // any finding survives. It is part of the tier-1 verification gate:
 //
-//	go run ./cmd/tdmdlint ./...
+//	go run ./cmd/tdmdlint -baseline lint.baseline.json ./...
 //
 // Flags:
 //
-//	-list        print the analyzers and exit
-//	-only a,b    run only the named analyzers
+//	-list            print the analyzers and exit
+//	-only a,b        run only the named analyzers
+//	-json            emit findings as JSON (the baseline format)
+//	-baseline file   suppress findings recorded in the baseline file
 //
-// Exit codes: 0 clean, 1 findings reported, 2 load or usage error.
+// Findings print sorted by (file, line, column, analyzer, message),
+// so output is byte-identical across runs; -json emits the same order
+// and round-trips through -baseline: a finding is suppressed when the
+// baseline holds an entry with the same analyzer, file and message
+// (line numbers drift with unrelated edits and do not participate).
+//
+// The interprocedural analyzers — solverpurity, detorder, goleak —
+// cannot be baselined: their findings are contract violations that
+// must be fixed, not recorded. A baseline file containing entries for
+// them is itself an error.
+//
+// Exit codes:
+//
+//	0  clean — no findings, or every finding matched the baseline
+//	1  findings not covered by the baseline were reported
+//	2  load failure, usage error, or an invalid baseline file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,13 +45,37 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// noBaseline lists the analyzers whose findings may never be
+// baselined (see the package comment).
+var noBaseline = map[string]bool{
+	"solverpurity": true,
+	"detorder":     true,
+	"goleak":       true,
+}
+
+// jsonFinding is one finding in the -json / baseline format.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// report is the top-level -json / baseline document.
+type report struct {
+	Findings []jsonFinding `json:"findings"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tdmdlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON (the baseline format)")
+	baselinePath := fs.String("baseline", "", "baseline file of findings to suppress")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [packages]")
+		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [-json] [-baseline file] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +105,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var baseline map[baselineKey]bool
+	if *baselinePath != "" {
+		var err error
+		baseline, err = readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+			return 2
+		}
+	}
+
 	dir, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
@@ -75,15 +127,101 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		f.Pos.Filename = relPath(dir, f.Pos.Filename)
-		fmt.Fprintln(stdout, f)
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(dir, findings[i].Pos.Filename)
+	}
+	// Relativizing can reorder file names; restore the canonical order
+	// so output bytes are stable regardless of the working directory.
+	lint.SortFindings(findings)
+	findings, suppressed := applyBaseline(findings, baseline)
+
+	if *asJSON {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "tdmdlint: %d finding(s) suppressed by baseline\n", suppressed)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "tdmdlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// baselineKey identifies a finding across unrelated edits: the line
+// moves, the analyzer/file/message triple does not.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// readBaseline parses and validates a baseline file.
+func readBaseline(path string) (map[baselineKey]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	var rep report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	keys := make(map[baselineKey]bool, len(rep.Findings))
+	for _, f := range rep.Findings {
+		if noBaseline[f.Analyzer] {
+			return nil, fmt.Errorf("baseline %s: analyzer %q findings cannot be baselined — fix the violation instead",
+				path, f.Analyzer)
+		}
+		keys[baselineKey{f.Analyzer, f.File, f.Message}] = true
+	}
+	return keys, nil
+}
+
+// applyBaseline drops findings recorded in the baseline, reporting
+// how many were suppressed.
+func applyBaseline(findings []lint.Finding, baseline map[baselineKey]bool) ([]lint.Finding, int) {
+	if len(baseline) == 0 {
+		return findings, 0
+	}
+	kept := findings[:0]
+	suppressed := 0
+	for _, f := range findings {
+		if baseline[baselineKey{f.Analyzer, f.Pos.Filename, f.Message}] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// writeJSON emits the findings in the baseline format. The findings
+// array is always present (never null) so an empty run round-trips.
+func writeJSON(w io.Writer, findings []lint.Finding) error {
+	rep := report{Findings: make([]jsonFinding, 0, len(findings))}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // relPath shortens absolute file names to working-directory-relative

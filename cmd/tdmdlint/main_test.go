@@ -1,9 +1,14 @@
 package main
 
 import (
+	"go/token"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tdmd/internal/lint"
 )
 
 func TestListFlag(t *testing.T) {
@@ -56,5 +61,93 @@ func TestRelPath(t *testing.T) {
 	}
 	if got := relPath("/a/b", "/elsewhere/d.go"); got != "/elsewhere/d.go" {
 		t.Errorf("relPath outside dir = %q, want absolute unchanged", got)
+	}
+}
+
+func TestJSONOutputDeterministicAndRoundTrips(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	var out1, out2, errOut strings.Builder
+	if code := run([]string{"-json", "."}, &out1, &errOut); code != 0 {
+		t.Fatalf("run(-json .) = %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-json", "."}, &out2, &errOut); code != 0 {
+		t.Fatalf("second run(-json .) = %d, stderr: %s", code, errOut.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("-json output not byte-identical across runs:\n%s\n---\n%s", out1.String(), out2.String())
+	}
+
+	// The JSON output IS the baseline format: feeding it back in must
+	// parse (round-trip), and an empty run must still carry the
+	// findings array.
+	if !strings.Contains(out1.String(), `"findings"`) {
+		t.Fatalf("-json output missing findings array:\n%s", out1.String())
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(out1.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err != nil {
+		t.Fatalf("-json output does not round-trip as a baseline: %v", err)
+	}
+}
+
+func TestBaselineSuppressesByAnalyzerFileMessage(t *testing.T) {
+	findings := []lint.Finding{
+		{Analyzer: "floateq", Pos: token.Position{Filename: "a.go", Line: 3}, Message: "m1"},
+		{Analyzer: "floateq", Pos: token.Position{Filename: "a.go", Line: 9}, Message: "m2"},
+	}
+	baseline := map[baselineKey]bool{
+		{"floateq", "a.go", "m1"}: true, // line differs from the finding: must still match
+	}
+	kept, suppressed := applyBaseline(findings, baseline)
+	if suppressed != 1 || len(kept) != 1 || kept[0].Message != "m2" {
+		t.Fatalf("applyBaseline kept %v (suppressed %d), want only m2", kept, suppressed)
+	}
+}
+
+func TestBaselineRejectsInterproceduralAnalyzers(t *testing.T) {
+	for _, name := range []string{"solverpurity", "detorder", "goleak"} {
+		path := filepath.Join(t.TempDir(), "base.json")
+		doc := `{"findings": [{"analyzer": "` + name + `", "file": "x.go", "line": 1, "col": 1, "message": "m"}]}`
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-baseline", path, "."}, &out, &errOut); code != 2 {
+			t.Fatalf("baselining %s: run = %d, want 2 (stderr: %s)", name, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "cannot be baselined") {
+			t.Errorf("stderr should state the no-baseline policy: %s", errOut.String())
+		}
+	}
+}
+
+func TestBaselineBadFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", "/nonexistent/base.json", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline file: run = %d, want 2", code)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"unknown_field": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", path, "."}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed baseline: run = %d, want 2", code)
+	}
+}
+
+// TestRepoBaselineEmpty pins the policy: the checked-in baseline holds
+// no findings at all — pre-existing violations were fixed, not
+// recorded, and the interprocedural analyzers must stay at zero.
+func TestRepoBaselineEmpty(t *testing.T) {
+	keys, err := readBaseline(filepath.Join("..", "..", "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("checked-in baseline must be empty, has %d entries", len(keys))
 	}
 }

@@ -99,18 +99,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	var stopPprof func(context.Context)
 	if *pprofAddr != "" {
 		pln, err := listen("pprof/expvar", *pprofAddr, logger)
 		if err != nil {
 			logger.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
 			os.Exit(1)
 		}
-		psrv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
-		go func() {
-			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("pprof server failed", "err", err)
-			}
-		}()
+		stopPprof = startPprof(pln, logger)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,6 +126,28 @@ func main() {
 		defer cancel()
 		if err := hsrv.Shutdown(shutCtx); err != nil {
 			logger.Error("drain incomplete", "err", err)
+		}
+		if stopPprof != nil {
+			stopPprof(shutCtx)
+		}
+	}
+}
+
+// startPprof serves the pprof/expvar mux on ln until the returned
+// stop function is called. Stop shuts the server down and then waits
+// for the serve goroutine's exit report, so shutdown cannot leak it —
+// the goroutine's only blocking operation is a send on a buffered
+// channel that stop receives.
+func startPprof(ln net.Listener, logger *slog.Logger) func(context.Context) {
+	srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return func(ctx context.Context) {
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("pprof drain incomplete", "err", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof server failed", "err", err)
 		}
 	}
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Regression for the goleak finding on the pprof server: the serve
+// goroutine used to be fire-and-forget, with no way to join it on
+// shutdown. startPprof's stop function must shut the server down AND
+// wait for the goroutine's exit report.
+func TestStartPprofStopJoinsServeGoroutine(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	stop := startPprof(ln, logger)
+
+	// The server must be accepting before stop (main.go imports
+	// net/http/pprof, so the default mux serves /debug/pprof/).
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof server not accepting: %v", err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		stop(ctx)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop did not return: serve goroutine never joined")
+	}
+
+	// After stop the listener is closed: new connections must fail.
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("server still accepting after stop")
+	}
+}

@@ -11,7 +11,10 @@ import (
 const (
 	fakeContext = `package context
 
-type Context interface{ Done() <-chan struct{} }
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
 
 func Background() Context { return nil }
 func TODO() Context       { return nil }

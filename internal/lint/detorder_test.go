@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The positive fixture splits the violation across two packages and
+// two calls: the map range lives in a helper package, an unexported
+// relay forwards its result, and only the top-level constructor
+// returns an order-sensitive type. Per-function analysis sees nothing
+// wrong at any single level.
+
+const detOrderKeysPkg = `package summarize
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+const detOrderSortedKeysPkg = `package summarize
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`
+
+const detOrderBuildPkg = `package placement
+
+import "tdmd/internal/summarize"
+
+type Result struct {
+	Names []string
+}
+
+func relay(m map[string]int) []string { return summarize.Keys(m) }
+
+func Build(m map[string]int) Result {
+	return Result{Names: relay(m)}
+}
+`
+
+func TestDetOrderCrossPackageResultTwoCallsDeep(t *testing.T) {
+	got := runModuleOn(t, AnalyzerDetOrder,
+		srcPkg{"tdmd/internal/summarize", detOrderKeysPkg},
+		srcPkg{"tdmd/internal/placement", detOrderBuildPkg},
+	)
+	wantFindings(t, AnalyzerDetOrder, got, 1)
+	if !strings.Contains(got[0].Message, "returned") {
+		t.Errorf("finding should mention the tainted return: %v", got[0])
+	}
+}
+
+func TestDetOrderSortSanitizesCrossPackage(t *testing.T) {
+	// Identical shape, but the helper sorts before returning: the
+	// sanitizer must clear the taint across the package boundary.
+	got := runModuleOn(t, AnalyzerDetOrder,
+		srcPkg{"sort", fakeSort},
+		srcPkg{"tdmd/internal/summarize", detOrderSortedKeysPkg},
+		srcPkg{"tdmd/internal/placement", detOrderBuildPkg},
+	)
+	wantFindings(t, AnalyzerDetOrder, got, 0)
+}
+
+func TestDetOrderDiagnosticSink(t *testing.T) {
+	got := runModuleOn(t, AnalyzerDetOrder,
+		srcPkg{"fmt", fakeFmt},
+		srcPkg{"tdmd/internal/report", `package report
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys)
+}
+`},
+	)
+	wantFindings(t, AnalyzerDetOrder, got, 1)
+	if !strings.Contains(got[0].Message, "fmt.Println") {
+		t.Errorf("finding should name the sink: %v", got[0])
+	}
+}
+
+// Integer accumulation over a map is order-insensitive (associative
+// and commutative in machine arithmetic) and stays clean; the same
+// loop over floats is not (rounding depends on the order) and is
+// flagged when it reaches a sink.
+func TestDetOrderCommutativeIntegerExemptFloatFlagged(t *testing.T) {
+	got := runModuleOn(t, AnalyzerDetOrder,
+		srcPkg{"fmt", fakeFmt},
+		srcPkg{"tdmd/internal/report", `package report
+
+import "fmt"
+
+func Ints(m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+
+func Floats(m map[string]float64) {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+`},
+	)
+	wantFindings(t, AnalyzerDetOrder, got, 1)
+	if got[0].Pos.Line < 13 {
+		t.Errorf("the integer accumulator must stay clean; finding at %v", got[0].Pos)
+	}
+}
+
+// A tainted value returned as a type nobody pins (plain []string from
+// a non-placement package) is not a finding: ordering only matters
+// where the test suites assert byte identity.
+func TestDetOrderUnpinnedReturnClean(t *testing.T) {
+	got := runModuleOn(t, AnalyzerDetOrder,
+		srcPkg{"tdmd/internal/summarize", detOrderKeysPkg},
+	)
+	wantFindings(t, AnalyzerDetOrder, got, 0)
+}

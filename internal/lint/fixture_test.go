@@ -6,6 +6,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"strings"
 	"testing"
 )
 
@@ -77,6 +78,42 @@ func (b *Builder) String() string                    { return "" }
 
 func Run() {}
 `
+
+	// Stubs for the interprocedural (module-analyzer) fixtures. The
+	// stdlib-path stubs (sync, sort — plus fakeContext from the
+	// ctxflow tests) are type-checked so the fixtures compile but are
+	// NOT handed to the engine as units, so the engine models them
+	// through its external tables — exactly as in a real run, where
+	// only module packages are loaded.
+	fakeSync = `package sync
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) { wg.n += delta }
+func (wg *WaitGroup) Done()         { wg.n-- }
+func (wg *WaitGroup) Wait()         {}
+
+type Once struct{ done bool }
+
+func (o *Once) Do(f func()) { f() }
+`
+	fakeSort = `package sort
+
+func Strings(x []string)                          {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}
+`
+	fakeNetsimModel = `package netsim
+
+type Instance struct {
+	Lambda float64
+	Flows  []int
+}
+
+type Plan struct {
+	Boxes []int
+}
+`
 )
 
 // mapImporter resolves fixture imports from already-checked packages.
@@ -124,6 +161,49 @@ func typecheckFixture(t *testing.T, pkgs ...srcPkg) *Package {
 func runOn(t *testing.T, a *Analyzer, pkgs ...srcPkg) []Finding {
 	t.Helper()
 	return a.Run(typecheckFixture(t, pkgs...))
+}
+
+// typecheckModule checks the packages in order and returns lint
+// Packages for every module ("tdmd/...") package. Stdlib-path stubs
+// are checked so imports resolve, but excluded from the returned set:
+// the flow engine must treat them as externals, like a real load.
+func typecheckModule(t *testing.T, pkgs ...srcPkg) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := make(mapImporter)
+	var out []*Package
+	for _, sp := range pkgs {
+		file, err := parser.ParseFile(fset, sp.path+"/fixture.go", sp.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", sp.path, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(sp.path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", sp.path, err)
+		}
+		imp[sp.path] = tpkg
+		if !strings.HasPrefix(sp.path, "tdmd") {
+			continue
+		}
+		out = append(out, &Package{
+			Path:   sp.path,
+			Module: "tdmd",
+			Fset:   fset,
+			Files:  []*ast.File{file},
+			Pkg:    tpkg,
+			Info:   info,
+		})
+	}
+	return out
+}
+
+// runModuleOn applies one module analyzer (graph included) to a
+// fixture module.
+func runModuleOn(t *testing.T, a *Analyzer, pkgs ...srcPkg) []Finding {
+	t.Helper()
+	return Run(typecheckModule(t, pkgs...), []*Analyzer{a})
 }
 
 // wantFindings asserts the number of findings and that each carries

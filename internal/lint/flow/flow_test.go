@@ -1,0 +1,413 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// srcPkg is one fake package for engine tests.
+type srcPkg struct {
+	path string
+	src  string
+}
+
+// chainImporter resolves previously checked test packages first and
+// falls back to the compiler importer for the standard library.
+type chainImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.pkgs[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// analyze type-checks the fake packages in order (dependencies first)
+// and runs the engine over all of them.
+func analyze(t *testing.T, pkgs ...srcPkg) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		pkgs:     make(map[string]*types.Package),
+		fallback: importer.Default(),
+	}
+	var units []*Unit
+	for _, sp := range pkgs {
+		file, err := parser.ParseFile(fset, sp.path+"/src.go", sp.src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", sp.path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(sp.path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", sp.path, err)
+		}
+		imp.pkgs[sp.path] = pkg
+		units = append(units, &Unit{
+			Path:  sp.path,
+			Fset:  fset,
+			Files: []*ast.File{file},
+			Info:  info,
+			Pkg:   pkg,
+		})
+	}
+	return Analyze(units)
+}
+
+func node(t *testing.T, g *Graph, key string) *Node {
+	t.Helper()
+	n := g.Node(key)
+	if n == nil {
+		var keys []string
+		for _, n := range g.Nodes() {
+			keys = append(keys, n.Key)
+		}
+		t.Fatalf("no node %q; have %s", key, strings.Join(keys, ", "))
+	}
+	return n
+}
+
+func TestTransitiveParamWriteCrossPackage(t *testing.T) {
+	g := analyze(t,
+		srcPkg{"fake/model", `package model
+type S struct{ N int }
+func Mutate(s *S) { s.N = 1 }
+`},
+		srcPkg{"fake/use", `package use
+import "fake/model"
+func helper(s *model.S) { model.Mutate(s) }
+func Outer(s *model.S) { helper(s) }
+`},
+	)
+	// Two calls deep, across a package boundary.
+	outer := node(t, g, "fake/use.Outer")
+	if len(outer.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("Outer should transitively write param 0: %+v", outer.Sum)
+	}
+	// A pure reader stays clean.
+	helper := node(t, g, "fake/use.helper")
+	if len(helper.Sum.ParamWrites) != 1 {
+		t.Fatalf("helper writes = %+v, want exactly param 0", helper.Sum.ParamWrites)
+	}
+}
+
+func TestValueReceiverWriteIsLocal(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/v", `package v
+type S struct{ N int }
+func (s S) Set() { s.N = 1 }     // value receiver: local copy
+func (s *S) SetPtr() { s.N = 1 } // pointer receiver: shared
+`})
+	if n := node(t, g, "fake/v.S.Set"); len(n.Sum.ParamWrites) != 0 {
+		t.Fatalf("value-receiver write leaked: %+v", n.Sum.ParamWrites)
+	}
+	if n := node(t, g, "fake/v.S.SetPtr"); len(n.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("pointer-receiver write missed")
+	}
+}
+
+func TestGlobalWriteTransitive(t *testing.T) {
+	g := analyze(t,
+		srcPkg{"fake/gl", `package gl
+var Count int
+func bump() { Count++ }
+func Outer() { bump() }
+`},
+	)
+	outer := node(t, g, "fake/gl.Outer")
+	if len(outer.Sum.GlobalWrites["fake/gl.Count"]) == 0 {
+		t.Fatalf("transitive global write missed: %+v", outer.Sum.GlobalWrites)
+	}
+}
+
+func TestParamFlowAndAliasWrite(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/al", `package al
+type S struct{ N int }
+func pick(s *S) *S { return s }
+func Writes(s *S) { p := pick(s); p.N = 2 }
+`})
+	pick := node(t, g, "fake/al.pick")
+	if !pick.Sum.ParamFlows[0][0] {
+		t.Fatalf("pick should flow param 0 to result 0: %+v", pick.Sum.ParamFlows)
+	}
+	w := node(t, g, "fake/al.Writes")
+	if len(w.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("write through aliased call result missed: %+v", w.Sum)
+	}
+}
+
+func TestMapRangeTaintAndSortSanitizer(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/ord", `package ord
+import "sort"
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+func KeysSorted(m map[string]int) []string {
+	out := Keys(m)
+	sort.Strings(out)
+	return out
+}
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`})
+	keys := node(t, g, "fake/ord.Keys")
+	if _, ok := keys.Sum.UnorderedResults[0]; !ok {
+		t.Fatalf("Keys should return unordered: %+v", keys.Sum)
+	}
+	sorted := node(t, g, "fake/ord.KeysSorted")
+	if _, ok := sorted.Sum.UnorderedResults[0]; ok {
+		t.Fatalf("sort.Strings should sanitize: %+v", sorted.Sum)
+	}
+	sum := node(t, g, "fake/ord.Sum")
+	if len(sum.Sum.UnorderedResults) != 0 {
+		t.Fatalf("integer += accumulation should be order-safe: %+v", sum.Sum)
+	}
+}
+
+func TestUnorderedTaintCrossPackage(t *testing.T) {
+	g := analyze(t,
+		srcPkg{"fake/prov", `package prov
+func Names(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`},
+		srcPkg{"fake/cons", `package cons
+import "fake/prov"
+func relay(m map[string]bool) []string { return prov.Names(m) }
+func Top(m map[string]bool) []string { return relay(m) }
+`},
+	)
+	top := node(t, g, "fake/cons.Top")
+	if _, ok := top.Sum.UnorderedResults[0]; !ok {
+		t.Fatalf("taint should survive two calls across packages: %+v", top.Sum)
+	}
+}
+
+func TestSpawnSignalsAndJoins(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/go1", `package go1
+import "sync"
+func ChanStyle() {
+	done := make(chan bool, 1)
+	go func() { done <- true }()
+	<-done
+}
+func WgStyle() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+func Leak() {
+	go func() {}()
+}
+`})
+	cs := node(t, g, "fake/go1.ChanStyle")
+	if len(cs.Spawns) != 1 || len(cs.Spawns[0].Signals) == 0 {
+		t.Fatalf("chan-style spawn signals missed: %+v", cs.Spawns)
+	}
+	if cs.Spawns[0].Signals[0].Kind != SigSend {
+		t.Fatalf("want SigSend, got %v", cs.Spawns[0].Signals[0].Kind)
+	}
+	if len(cs.Joins) == 0 {
+		t.Fatalf("<-done join missed")
+	}
+	if cs.Joins[0].Src != cs.Spawns[0].Signals[0].Src {
+		t.Fatalf("join %+v does not match signal %+v", cs.Joins[0], cs.Spawns[0].Signals[0])
+	}
+	if len(cs.Buffered) != 1 {
+		t.Fatalf("buffered make not recorded: %+v", cs.Buffered)
+	}
+
+	wg := node(t, g, "fake/go1.WgStyle")
+	if len(wg.Spawns) != 1 || len(wg.Spawns[0].Signals) == 0 ||
+		wg.Spawns[0].Signals[0].Kind != SigDone {
+		t.Fatalf("WaitGroup.Done signal missed: %+v", wg.Spawns)
+	}
+	if len(wg.Joins) == 0 || wg.Joins[0].Src != wg.Spawns[0].Signals[0].Src {
+		t.Fatalf("Wait join does not match Done signal: joins=%+v", wg.Joins)
+	}
+
+	leak := node(t, g, "fake/go1.Leak")
+	if len(leak.Spawns) != 1 || len(leak.Spawns[0].Signals) != 0 {
+		t.Fatalf("leak spawn should have no signals: %+v", leak.Spawns)
+	}
+}
+
+func TestSpawnNamedFuncSignalsMapThroughArgs(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/go2", `package go2
+func worker(out chan<- int) { out <- 1 }
+func Spawner() {
+	ch := make(chan int)
+	go worker(ch)
+	<-ch
+}
+`})
+	sp := node(t, g, "fake/go2.Spawner")
+	if len(sp.Spawns) != 1 || len(sp.Spawns[0].Signals) == 0 {
+		t.Fatalf("param-mapped spawn signal missed: %+v", sp.Spawns)
+	}
+	if len(sp.Joins) == 0 || sp.Joins[0].Src != sp.Spawns[0].Signals[0].Src {
+		t.Fatalf("join/signal mismatch: %+v vs %+v", sp.Joins, sp.Spawns[0].Signals)
+	}
+}
+
+func TestOnceDoExemptAndCompositeLaunder(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/ex", `package ex
+import "sync"
+type S struct {
+	once  sync.Once
+	cache []int
+}
+func (s *S) Lazy() []int {
+	s.once.Do(func() { s.cache = []int{1} })
+	return s.cache
+}
+type Holder struct{ S *S }
+func Wrap(s *S) Holder { return Holder{S: s} }
+func UseWrap(s *S) {
+	h := Wrap(s)
+	_ = h
+}
+`})
+	lazy := node(t, g, "fake/ex.S.Lazy")
+	if len(lazy.Sum.ParamWrites) != 0 {
+		t.Fatalf("once.Do body should be exempt: %+v", lazy.Sum.ParamWrites)
+	}
+	wrap := node(t, g, "fake/ex.Wrap")
+	if len(wrap.Sum.ParamFlows) != 0 {
+		t.Fatalf("composite literal should launder the alias: %+v", wrap.Sum.ParamFlows)
+	}
+}
+
+func TestCtxReturns(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/cx", `package cx
+import "context"
+func Poll(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+}
+`})
+	n := node(t, g, "fake/cx.Poll")
+	if len(n.CtxReturns) != 2 {
+		t.Fatalf("want 2 ctx returns, got %+v", n.CtxReturns)
+	}
+	if n.CtxReturns[0].SelectID != token.NoPos {
+		t.Fatalf("if-guarded return should have no select ID")
+	}
+	if n.CtxReturns[1].SelectID == token.NoPos {
+		t.Fatalf("select-guarded return should carry the select ID")
+	}
+}
+
+func TestSummariesConvergeDeterministically(t *testing.T) {
+	pkgs := []srcPkg{
+		{"fake/model", `package model
+type S struct{ N int }
+func Mutate(s *S) { s.N = 1 }
+`},
+		{"fake/use", `package use
+import "fake/model"
+func a(s *model.S) { b(s) }
+func b(s *model.S) { c(s) }
+func c(s *model.S) { model.Mutate(s) }
+`},
+	}
+	g1 := analyze(t, pkgs...)
+	g2 := analyze(t, pkgs...)
+	for _, n1 := range g1.Nodes() {
+		n2 := g2.Node(n1.Key)
+		if n2 == nil {
+			t.Fatalf("node %s missing on rerun", n1.Key)
+		}
+		if !summaryEqual(&n1.Sum, &n2.Sum) {
+			t.Fatalf("summary for %s differs across runs", n1.Key)
+		}
+	}
+	a := node(t, g1, "fake/use.a")
+	if len(a.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("three-deep chain write missed: %+v", a.Sum)
+	}
+}
+
+func TestPackageLevelVarLitIsANode(t *testing.T) {
+	// The registered-solver idiom binds the entry point as a
+	// package-level var initializer; it must become a graph node with
+	// the var's name, and its summary must see writes two calls deep.
+	g := analyze(t,
+		srcPkg{"fake/model", `package model
+type S struct{ N int }
+`},
+		srcPkg{"fake/reg", `package reg
+import "fake/model"
+
+var count int
+
+func bump()           { count++ }
+func poke(s *model.S) { s.N = 2 }
+
+var run = func(s *model.S) {
+	bump()
+	poke(s)
+}
+
+var handlers = map[string]func(*model.S){
+	"anon": func(s *model.S) { poke(s) },
+}
+`})
+	run := node(t, g, "fake/reg.run")
+	if len(run.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("var-lit solver should see the param write: %+v", run.Sum)
+	}
+	if len(run.Sum.GlobalWrites["fake/reg.count"]) == 0 {
+		t.Fatalf("var-lit solver should see the global write: %+v", run.Sum)
+	}
+	// The literal inside the map initializer gets a synthetic key but
+	// is still analyzed.
+	var anon *Node
+	for _, n := range g.Nodes() {
+		if strings.Contains(n.Key, "$pkgvar$") {
+			anon = n
+		}
+	}
+	if anon == nil {
+		t.Fatalf("literal in composite initializer not collected")
+	}
+	if len(anon.Sum.ParamWrites[0]) == 0 {
+		t.Fatalf("composite-initializer lit should see the param write: %+v", anon.Sum)
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The cross-package positive: the spawned function lives in another
+// package, and proving it carries no completion signal requires its
+// summary (its body calls one more helper — nothing at the go
+// statement itself reveals the leak).
+
+func TestGoLeakNoSignalCrossPackage(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"tdmd/internal/work", `package work
+
+func inner() {}
+
+func Run() { inner() }
+`},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "tdmd/internal/work"
+
+func Fan() {
+	go work.Run()
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 1)
+	if !strings.Contains(got[0].Message, "no completion signal") {
+		t.Errorf("finding should explain the missing signal: %v", got[0])
+	}
+}
+
+// The cross-package negative: the worker's send is two calls deep
+// behind a parameter, and the spawning frame receives on the same
+// channel. The engine has to map the send through the go-call
+// argument back to the spawner's local to connect signal and join.
+func TestGoLeakJoinedWorkerCrossPackageClean(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"tdmd/internal/work", `package work
+
+func emit(ch chan int) { ch <- 1 }
+
+func Worker(ch chan int) { emit(ch) }
+`},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "tdmd/internal/work"
+
+func Fan() int {
+	ch := make(chan int)
+	go work.Worker(ch)
+	return <-ch
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 0)
+}
+
+// The select-sibling leak: the only receive for the worker's
+// unbuffered send sits in a select whose <-ctx.Done() sibling clause
+// returns — on cancellation the worker blocks forever.
+func TestGoLeakSelectSiblingCancelLeak(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "context"
+
+func Solve(ctx context.Context) (int, error) {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 1)
+	if !strings.Contains(got[0].Message, "cancellation") {
+		t.Errorf("finding should explain the cancellation leak: %v", got[0])
+	}
+}
+
+// Buffering the channel makes the send non-blocking: the worker
+// completes even when nobody receives, so the same select is fine.
+func TestGoLeakBufferedSendClean(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "context"
+
+func Solve(ctx context.Context) (int, error) {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 0)
+}
+
+// The canonical WaitGroup fan-out: Done never blocks and Wait joins.
+func TestGoLeakWaitGroupClean(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "sync"
+
+func All(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 0)
+}
+
+// The analyzer's scope is where the runtime spawns: the identical
+// unjoined goroutine outside internal/placement and cmd/tdmdserve is
+// out of contract and stays silent.
+func TestGoLeakScopeLimited(t *testing.T) {
+	got := runModuleOn(t, AnalyzerGoLeak,
+		srcPkg{"tdmd/internal/netsim", `package netsim
+
+func fire() {}
+
+func Fan() {
+	go fire()
+}
+`},
+	)
+	wantFindings(t, AnalyzerGoLeak, got, 0)
+}

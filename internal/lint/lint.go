@@ -26,6 +26,22 @@
 //     tdmd_-prefixed snake_case string literals with the kind suffix
 //     the exposition format expects (_total, _seconds/_bytes).
 //
+// Three analyzers are interprocedural, built on the fixed-point
+// summary engine in internal/lint/flow, and see the whole package set
+// at once:
+//
+//   - solverpurity: nothing reachable from a registered solver may
+//     mutate the shared *netsim.Instance or package-level state
+//     (sync/obs metric state excepted) — solvers must be pure
+//     functions of (instance, options);
+//   - detorder: map-iteration order must not reach a returned
+//     placement.Result/netsim.Plan or a diagnostic/serialization sink
+//     without an explicit sort or ordered tie-break in between;
+//   - goleak: goroutines spawned in internal/placement and
+//     cmd/tdmdserve must carry a completion signal (send, close,
+//     WaitGroup.Done) that the spawning frame joins, including on the
+//     cancellation branch.
+//
 // Analyzers operate on non-test files only: tests are deliberately
 // free to use exact golden comparisons, fixed global randomness and
 // internal packages.
@@ -38,6 +54,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"tdmd/internal/lint/flow"
 )
 
 // Package is one parsed and type-checked package under analysis.
@@ -90,7 +108,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// Analyzer is one independent rule over a single package.
+// Analyzer is one independent rule. Per-package rules implement Run;
+// interprocedural rules implement RunModule and see every loaded
+// package plus the flow graph at once. Exactly one of the two is set.
 type Analyzer struct {
 	// Name is the rule's identifier, used in findings and -only.
 	Name string
@@ -98,6 +118,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports the rule's findings for one package.
 	Run func(p *Package) []Finding
+	// RunModule reports findings over the whole package set, with the
+	// interprocedural summary graph.
+	RunModule func(pkgs []*Package, g *flow.Graph) []Finding
 }
 
 // Analyzers returns every analyzer in the suite, in reporting order.
@@ -112,18 +135,41 @@ func Analyzers() []*Analyzer {
 		AnalyzerInternalBoundary,
 		AnalyzerTodoTracker,
 		AnalyzerObsNaming,
+		AnalyzerSolverPurity,
+		AnalyzerDetOrder,
+		AnalyzerGoLeak,
 	}
 }
 
 // Run applies the analyzers to every package and returns the combined
-// findings ordered by file position.
+// findings ordered by file position. The interprocedural graph is
+// built once, and only when a module analyzer is selected.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			out = append(out, a.Run(p)...)
+			if a.Run != nil {
+				out = append(out, a.Run(p)...)
+			}
 		}
 	}
+	var g *flow.Graph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if g == nil {
+			g = buildFlowGraph(pkgs)
+		}
+		out = append(out, a.RunModule(pkgs, g)...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, column, analyzer and
+// message — the canonical, byte-stable reporting order.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -135,9 +181,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+}
+
+// buildFlowGraph runs the interprocedural engine over the loaded
+// packages.
+func buildFlowGraph(pkgs []*Package) *flow.Graph {
+	units := make([]*flow.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &flow.Unit{
+			Path:  p.Path,
+			Fset:  p.Fset,
+			Files: p.Files,
+			Info:  p.Info,
+			Pkg:   p.Pkg,
+		})
+	}
+	return flow.Analyze(units)
 }
 
 // finding builds a Finding at a node's position.

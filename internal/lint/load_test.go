@@ -1,7 +1,11 @@
 package lint
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -55,5 +59,94 @@ func TestLoadRejectsBrokenPatterns(t *testing.T) {
 	}
 	if _, err := Load("../..", "./no/such/package"); err == nil {
 		t.Fatal("Load should fail for a nonexistent pattern")
+	}
+}
+
+// The error-path tests build throwaway modules under t.TempDir(): bad
+// input of any kind — unparsable source, type errors, patterns that
+// match nothing — must come back as a diagnostic error, never a panic
+// and never a silent empty load.
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const loadTestGoMod = "module example.test/m\n\ngo 1.24\n"
+
+func TestLoadMalformedSource(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  loadTestGoMod,
+		"main.go": "package main\n\nfunc main() { this is not go\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of unparsable source: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "lint:") {
+		t.Errorf("error should be a lint diagnostic: %v", err)
+	}
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	// Parses fine, fails the type checker: the error must name the
+	// package and quote the type error rather than panic.
+	dir := writeModule(t, map[string]string{
+		"go.mod": loadTestGoMod,
+		"a/a.go": "package a\n\nvar X int = \"not an int\"\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of ill-typed source: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "example.test/m/a") {
+		t.Errorf("error should name the failing package: %v", err)
+	}
+}
+
+func TestLoadNonexistentPatternInTempModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  loadTestGoMod,
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	if _, err := Load(dir, "./no/such/dir/..."); err == nil {
+		t.Fatal("Load of nonexistent pattern: want error, got nil")
+	}
+}
+
+func TestLoadReturnsPackagesSortedByImportPath(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": loadTestGoMod,
+		// Named so dependency order (zz before aa: aa imports zz)
+		// differs from import-path order.
+		"zz/z.go": "package zz\n\nfunc Z() int { return 1 }\n",
+		"aa/a.go": "package aa\n\nimport \"example.test/m/zz\"\n\nfunc A() int { return zz.Z() }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	if !sort.SliceIsSorted(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path }) {
+		var got []string
+		for _, p := range pkgs {
+			got = append(got, p.Path)
+		}
+		t.Fatalf("packages not sorted by import path: %v", got)
 	}
 }

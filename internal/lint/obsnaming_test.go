@@ -6,7 +6,10 @@ import "testing"
 // calls by package path + function name, so only signatures matter.
 const fakeObs = `package obs
 
-type Counter struct{}
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(n uint64) { c.v += n }
+
 type Gauge struct{}
 type Histogram struct{}
 type CounterVec struct{}

@@ -1,0 +1,185 @@
+package lint
+
+import "testing"
+
+// The positive fixtures place the violation two calls deep — solver
+// entry → exported helper → unexported helper, with the write in a
+// different package than the entry point. A per-function AST analyzer
+// sees only a clean-looking call at every level; only the
+// interprocedural summaries connect the entry to the write.
+
+const purityTunePkg = `package tune
+
+import "tdmd/internal/netsim"
+
+func apply(in *netsim.Instance) { in.Lambda = 0.5 }
+
+// Boost looks pure at its call site; the mutation is one more call
+// down, in this package.
+func Boost(in *netsim.Instance) { apply(in) }
+`
+
+func TestSolverPurityInstanceWriteTwoCallsDeepCrossPackage(t *testing.T) {
+	got := runModuleOn(t, AnalyzerSolverPurity,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/netsim", fakeNetsimModel},
+		srcPkg{"tdmd/internal/tune", purityTunePkg},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import (
+	"context"
+
+	"tdmd/internal/netsim"
+	"tdmd/internal/tune"
+)
+
+type Result struct{ Bandwidth float64 }
+
+var solve = func(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
+	tune.Boost(in)
+	return Result{}, nil
+}
+`},
+	)
+	wantFindings(t, AnalyzerSolverPurity, got, 1)
+}
+
+func TestSolverPuritySolveMethodFlagged(t *testing.T) {
+	got := runModuleOn(t, AnalyzerSolverPurity,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/netsim", fakeNetsimModel},
+		srcPkg{"tdmd/internal/tune", purityTunePkg},
+		srcPkg{"tdmd/internal/custom", `package custom
+
+import (
+	"context"
+
+	"tdmd/internal/netsim"
+	"tdmd/internal/tune"
+)
+
+type greedy struct{}
+
+func (g greedy) Solve(ctx context.Context, in *netsim.Instance) error {
+	tune.Boost(in)
+	return nil
+}
+`},
+	)
+	wantFindings(t, AnalyzerSolverPurity, got, 1)
+}
+
+func TestSolverPurityGlobalWriteTwoCallsDeep(t *testing.T) {
+	got := runModuleOn(t, AnalyzerSolverPurity,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/netsim", fakeNetsimModel},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import (
+	"context"
+
+	"tdmd/internal/netsim"
+)
+
+type Result struct{ Bandwidth float64 }
+
+var solves int
+
+func bump()  { solves++ }
+func track() { bump() }
+
+var solve = func(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
+	track()
+	return Result{}, nil
+}
+`},
+	)
+	wantFindings(t, AnalyzerSolverPurity, got, 1)
+}
+
+// A clean solver: reads the instance, mutates only locals, launders
+// nothing. Also exercises the sanctioned exemptions — obs metric
+// globals and sync.Once lazy initialization stay silent.
+func TestSolverPurityCleanAndExemptions(t *testing.T) {
+	got := runModuleOn(t, AnalyzerSolverPurity,
+		srcPkg{"context", fakeContext},
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/obs", fakeObs},
+		srcPkg{"tdmd/internal/netsim", `package netsim
+
+import "sync"
+
+type Instance struct {
+	Lambda float64
+	Flows  []int
+
+	once  sync.Once
+	cache []int
+}
+
+// Cover is the sanctioned lazy-init pattern: a synchronized,
+// idempotent write under sync.Once.
+func (in *Instance) Cover() []int {
+	in.once.Do(func() { in.cache = make([]int, len(in.Flows)) })
+	return in.cache
+}
+`},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import (
+	"context"
+
+	"tdmd/internal/netsim"
+	"tdmd/internal/obs"
+)
+
+type Result struct{ Bandwidth float64 }
+
+var solveTotal = &obs.Counter{}
+
+var solve = func(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
+	solveTotal.Add(1) // metrics are sanctioned package-level mutation
+	_ = in.Cover()    // once.Do lazy init is sanctioned
+
+	total := 0.0
+	for _, f := range in.Flows {
+		total += in.Lambda * float64(f)
+	}
+	local := make([]int, 0, len(in.Flows))
+	local = append(local, in.Flows...)
+	local[0] = 7 // local copy: not the instance's memory
+	return Result{Bandwidth: total}, nil
+}
+`},
+	)
+	wantFindings(t, AnalyzerSolverPurity, got, 0)
+}
+
+// Writing through an alias returned by a helper is still a write to
+// the instance: the param→result flow in the helper's summary keeps
+// the alias alive across the call.
+func TestSolverPurityAliasThroughHelperReturn(t *testing.T) {
+	got := runModuleOn(t, AnalyzerSolverPurity,
+		srcPkg{"context", fakeContext},
+		srcPkg{"tdmd/internal/netsim", fakeNetsimModel},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import (
+	"context"
+
+	"tdmd/internal/netsim"
+)
+
+type Result struct{ Bandwidth float64 }
+
+func pick(in *netsim.Instance) *netsim.Instance { return in }
+
+var solve = func(ctx context.Context, in *netsim.Instance, k int) (Result, error) {
+	p := pick(in)
+	p.Lambda = 2
+	return Result{}, nil
+}
+`},
+	)
+	wantFindings(t, AnalyzerSolverPurity, got, 1)
+}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sort"
+
 	"tdmd/internal/graph"
 )
 
@@ -32,12 +34,31 @@ func (in *Instance) LinkLoads(p Plan) map[LinkKey]float64 {
 	return loads
 }
 
+// sortedLinkKeys lists a load map's keys in (From, To) order, giving
+// every load walk a deterministic iteration order: float accumulation
+// is not associative, so summing in map order would change result
+// bits between runs.
+func sortedLinkKeys(loads map[LinkKey]float64) []LinkKey {
+	keys := make([]LinkKey, 0, len(loads))
+	for k := range loads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	return keys
+}
+
 // SumLoads adds up a link-load map; equals the total bandwidth
-// consumption by construction.
+// consumption by construction. Summation runs in sorted key order so
+// the result is bit-identical across runs.
 func SumLoads(loads map[LinkKey]float64) float64 {
 	var total float64
-	for _, l := range loads {
-		total += l
+	for _, k := range sortedLinkKeys(loads) {
+		total += loads[k]
 	}
 	return total
 }
@@ -45,19 +66,16 @@ func SumLoads(loads map[LinkKey]float64) float64 {
 // MaxLinkLoad returns the most loaded directed link and its load
 // (zero value and 0 for an empty map). Useful for the congestion
 // sanity checks the paper's over-provisioning assumption relies on.
+// Iteration runs in sorted key order, so ties resolve to the smallest
+// (From, To) key deterministically.
 func MaxLinkLoad(loads map[LinkKey]float64) (LinkKey, float64) {
 	var bestKey LinkKey
 	var best float64
 	first := true
-	for k, l := range loads {
-		switch {
-		case first || l > best:
+	for _, k := range sortedLinkKeys(loads) {
+		if l := loads[k]; first || l > best {
 			bestKey, best = k, l
 			first = false
-		case l < best:
-			// keep incumbent
-		case k.From < bestKey.From || (k.From == bestKey.From && k.To < bestKey.To):
-			bestKey, best = k, l
 		}
 	}
 	return bestKey, best

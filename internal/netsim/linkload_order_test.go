@@ -1,0 +1,43 @@
+package netsim
+
+import "testing"
+
+// Regression tests for the detorder findings fixed in linkload.go:
+// SumLoads and MaxLinkLoad used to iterate the load map directly, so
+// their results depended on Go's randomized map-iteration order.
+
+// TestSumLoadsBitDeterministic pins the summation order. Float
+// addition is not associative: with loads {1, 1e16, -1e16}, summing
+// in sorted key order gives (1+1e16)-1e16 = 0 exactly (the 1 is
+// absorbed), while e.g. (1e16-1e16)+1 = 1. Only a fixed iteration
+// order produces the same bits every run.
+func TestSumLoadsBitDeterministic(t *testing.T) {
+	loads := map[LinkKey]float64{
+		{From: 0, To: 1}: 1,
+		{From: 1, To: 2}: 1e16,
+		{From: 2, To: 3}: -1e16,
+	}
+	const want = 0.0
+	for i := 0; i < 100; i++ {
+		if got := SumLoads(loads); got != want {
+			t.Fatalf("run %d: SumLoads = %v, want exactly %v (summation order not deterministic)", i, got, want)
+		}
+	}
+}
+
+// TestMaxLinkLoadTieDeterministic pins the tie-break: with equal
+// maximal loads the smallest (From, To) key must win, every run.
+func TestMaxLinkLoadTieDeterministic(t *testing.T) {
+	loads := map[LinkKey]float64{
+		{From: 5, To: 1}: 7,
+		{From: 2, To: 9}: 7,
+		{From: 3, To: 3}: 5,
+	}
+	want := LinkKey{From: 2, To: 9}
+	for i := 0; i < 100; i++ {
+		key, max := MaxLinkLoad(loads)
+		if key != want || max != 7 {
+			t.Fatalf("run %d: MaxLinkLoad = %v/%v, want %v/7", i, key, max, want)
+		}
+	}
+}

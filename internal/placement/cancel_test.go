@@ -300,3 +300,38 @@ func fig1Tree(t *testing.T) *graph.Tree {
 	}
 	return tr
 }
+
+// Regression for a send-on-closed-channel panic in solveTreeParallel:
+// a worker that observed cancellation closed the ready queue via
+// abort() while a sibling was still inside solveNode; the sibling's
+// finish() then sent the parent vertex to the closed channel. finish
+// must check the abort flag under the same mutex before sending.
+func TestCancelTreeDPParallelAbortFinishRace(t *testing.T) {
+	g := topology.RandomTree(48, 0, 29)
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.MergeSameSource(traffic.TreeFlows(tr, traffic.GenConfig{
+		Density: 0.6, LinkCapacity: 40, Seed: 5}))
+	in := netsim.MustNew(tr.G, flows, 0.5)
+	// Measure an uncancelled solve, then sweep the cancellation time
+	// across that window so some worker is mid-solveNode when a
+	// sibling observes the cancel — the racy interleaving.
+	start := time.Now()
+	if _, err := TreeDPParallel(context.Background(), in, tr, 24, ParallelOpts{Workers: 8}); err != nil &&
+		!errors.Is(err, ErrInfeasible) {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	const sweeps = 24
+	for i := 0; i < sweeps; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) { time.Sleep(d); cancel() }(full * time.Duration(i) / sweeps)
+		if _, err := TreeDPParallel(ctx, in, tr, 24, ParallelOpts{Workers: 8}); err != nil &&
+			!errors.Is(err, context.Canceled) && !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
+		cancel()
+	}
+}

@@ -206,11 +206,18 @@ func solveTreeParallel(ctx context.Context, d *dpRun, t *graph.Tree, workers int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	done := 0
+	aborted := false
 	var finish func(v graph.NodeID)
 	finish = func(v graph.NodeID) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
+		// A sibling worker may have aborted (and closed ready) while
+		// this one was still inside solveNode; its late finish must
+		// not send on the closed channel.
+		if aborted {
+			return
+		}
 		if parent := t.Parent(v); parent != graph.Invalid {
 			pending[parent]--
 			if pending[parent] == 0 {
@@ -224,7 +231,6 @@ func solveTreeParallel(ctx context.Context, d *dpRun, t *graph.Tree, workers int
 	// On cancellation the ready channel must still be closed or the
 	// workers would block forever on it; abort closes it once under
 	// the same mutex that guards done-accounting.
-	aborted := false
 	abort := func() {
 		mu.Lock()
 		defer mu.Unlock()

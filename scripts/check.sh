@@ -41,13 +41,24 @@ go test -tags tdmdinvariant ./internal/invariant/ ./internal/netsim/ ./internal/
 echo "==> cancellation hammer (race, 5 repetitions)"
 go test -tags tdmdinvariant -run Cancel -race -count=5 ./internal/placement/
 
-echo "==> fuzz smoke (5s per target)"
-go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=5s .
-go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s .
-go test -run='^$' -fuzz=FuzzStateOps -fuzztime=5s ./internal/netsim/
+echo "==> fuzz smoke (5s per target, auto-discovered)"
+# Every Fuzz* function in the repo gets a short smoke run; new fuzz
+# targets join the gate by existing, not by being listed here.
+FUZZ_FILES=$(grep -rl --include='*_test.go' '^func Fuzz' . | sort)
+if [ -z "$FUZZ_FILES" ]; then
+    echo "no fuzz targets found (expected at least one)" >&2
+    exit 1
+fi
+for f in $FUZZ_FILES; do
+    dir=$(dirname "$f")
+    for target in $(sed -n 's/^func \(Fuzz[A-Za-z0-9_]*\).*/\1/p' "$f" | sort); do
+        echo "    $dir: $target"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime=5s "$dir"
+    done
+done
 
-echo "==> tdmdlint (incl. obsnaming metric-name hygiene)"
-go run ./cmd/tdmdlint ./...
+echo "==> tdmdlint (full suite incl. solverpurity/detorder/goleak, baseline)"
+go run ./cmd/tdmdlint -baseline lint.baseline.json ./...
 
 echo "==> observability (observer identity + exposition, race)"
 go test -race ./internal/obs/
