@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint lint-json fuzz bench cancelhammer obs
+.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check cancelhammer obs
 
 check:
 	scripts/check.sh
@@ -17,16 +17,17 @@ race:
 	go test -race ./...
 
 # The full analyzer suite (per-package rules plus the interprocedural
-# solverpurity/detorder/goleak) against the checked-in baseline —
-# identical to the tdmdlint step in scripts/check.sh.
+# solverpurity/detorder/goleak and the compiler escape-analysis diff)
+# against the checked-in baselines — identical to the tdmdlint step in
+# scripts/check.sh.
 lint:
-	go run ./cmd/tdmdlint -baseline lint.baseline.json ./...
+	go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.baseline.json ./...
 
 # Machine-readable findings in the baseline format (deterministic,
 # position-sorted; feed the output back via -baseline to accept
 # findings from the baselinable analyzers).
 lint-json:
-	go run ./cmd/tdmdlint -baseline lint.baseline.json -json ./...
+	go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.baseline.json -json ./...
 
 # Repeated race-enabled run of the solver-cancellation tests (the
 # DESIGN.md "Cancellation & anytime contract" suite).
@@ -42,6 +43,15 @@ fuzz:
 # EXPERIMENTS.md "Incremental evaluation".
 bench:
 	go test -run='^$$' -bench=FullVsIncremental -benchmem .
+
+# Benchmark snapshot (BENCH_solver.json): bench-snap rewrites it from
+# a fresh run, bench-check gates allocs/op against it (DESIGN.md
+# "Allocation discipline").
+bench-snap:
+	scripts/bench.sh -update
+
+bench-check:
+	scripts/bench.sh -check
 
 # Observability: race-enabled observer/metrics tests plus the paired
 # off/counting/metrics overhead benchmark guarding the ≤2% hot-path

@@ -6,10 +6,14 @@
 //
 // Flags:
 //
-//	-list            print the analyzers and exit
-//	-only a,b        run only the named analyzers
-//	-json            emit findings as JSON (the baseline format)
-//	-baseline file   suppress findings recorded in the baseline file
+//	-list                  print the analyzers and exit
+//	-only a,b              run only the named analyzers
+//	-json                  emit findings as JSON (the baseline format)
+//	-baseline file         suppress findings recorded in the baseline file
+//	-escape-baseline file  also run the compiler escape/inlining diff
+//	                       (internal/lint/escape) against this baseline
+//	-escape-update         regenerate the escape baseline instead of
+//	                       diffing (requires -escape-baseline)
 //
 // Findings print sorted by (file, line, column, analyzer, message),
 // so output is byte-identical across runs; -json emits the same order
@@ -20,7 +24,10 @@
 // The interprocedural analyzers — solverpurity, detorder, goleak —
 // cannot be baselined: their findings are contract violations that
 // must be fixed, not recorded. A baseline file containing entries for
-// them is itself an error.
+// them is itself an error. The same holds for "escape": compiler
+// escape regressions are accepted only by regenerating the dedicated
+// escape baseline (-escape-update), never by suppressing them in the
+// analyzer baseline.
 //
 // Exit codes:
 //
@@ -33,12 +40,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"tdmd/internal/lint"
+	"tdmd/internal/lint/escape"
 )
 
 func main() {
@@ -51,6 +60,7 @@ var noBaseline = map[string]bool{
 	"solverpurity": true,
 	"detorder":     true,
 	"goleak":       true,
+	"escape":       true,
 }
 
 // jsonFinding is one finding in the -json / baseline format.
@@ -74,8 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit findings as JSON (the baseline format)")
 	baselinePath := fs.String("baseline", "", "baseline file of findings to suppress")
+	escapeBaseline := fs.String("escape-baseline", "", "escape baseline file; enables the compiler escape/inlining diff")
+	escapeUpdate := fs.Bool("escape-update", false, "regenerate the escape baseline instead of diffing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [-json] [-baseline file] [packages]")
+		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [-json] [-baseline file] [-escape-baseline file [-escape-update]] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +117,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *escapeUpdate && *escapeBaseline == "" {
+		fmt.Fprintln(stderr, "tdmdlint: -escape-update requires -escape-baseline")
+		return 2
+	}
+
 	var baseline map[baselineKey]bool
 	if *baselinePath != "" {
 		var err error
@@ -130,6 +147,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range findings {
 		findings[i].Pos.Filename = relPath(dir, findings[i].Pos.Filename)
 	}
+	if *escapeBaseline != "" {
+		escFindings, code := runEscape(dir, *escapeBaseline, *escapeUpdate, stderr)
+		if code != 0 {
+			return code
+		}
+		findings = append(findings, escFindings...)
+	}
+
 	// Relativizing can reorder file names; restore the canonical order
 	// so output bytes are stable regardless of the working directory.
 	lint.SortFindings(findings)
@@ -153,6 +178,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runEscape executes the compiler escape/inlining layer: collect
+// current diagnostics for the gated packages, then either regenerate
+// the baseline (update mode — never a failure) or diff against it and
+// return the regressions as findings under the "escape" analyzer
+// name. A non-zero code reports an infrastructure error, not a
+// finding.
+func runEscape(dir, baselinePath string, update bool, stderr io.Writer) ([]lint.Finding, int) {
+	var base escape.Report
+	if !update {
+		// Validate the baseline before paying for the compile.
+		var err error
+		base, err = escape.ReadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+			return nil, 2
+		}
+	}
+	cur, err := escape.Collect(dir, escape.Packages)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+		return nil, 2
+	}
+	if update {
+		if err := escape.WriteBaseline(baselinePath, cur); err != nil {
+			fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+			return nil, 2
+		}
+		fmt.Fprintf(stderr, "tdmdlint: escape baseline %s updated (%d findings)\n",
+			baselinePath, len(cur.Findings))
+		return nil, 0
+	}
+	fresh, err := escape.Diff(cur, base)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+		return nil, 2
+	}
+	out := make([]lint.Finding, 0, len(fresh))
+	for _, f := range fresh {
+		out = append(out, lint.Finding{
+			Analyzer: "escape",
+			Pos:      token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+			Message: string(f.Kind) + " regression vs " + filepath.Base(baselinePath) +
+				": " + f.Message,
+		})
+	}
+	return out, 0
 }
 
 // baselineKey identifies a finding across unrelated edits: the line

@@ -109,7 +109,7 @@ func TestBaselineSuppressesByAnalyzerFileMessage(t *testing.T) {
 }
 
 func TestBaselineRejectsInterproceduralAnalyzers(t *testing.T) {
-	for _, name := range []string{"solverpurity", "detorder", "goleak"} {
+	for _, name := range []string{"solverpurity", "detorder", "goleak", "escape"} {
 		path := filepath.Join(t.TempDir(), "base.json")
 		doc := `{"findings": [{"analyzer": "` + name + `", "file": "x.go", "line": 1, "col": 1, "message": "m"}]}`
 		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
@@ -149,5 +149,66 @@ func TestRepoBaselineEmpty(t *testing.T) {
 	}
 	if len(keys) != 0 {
 		t.Fatalf("checked-in baseline must be empty, has %d entries", len(keys))
+	}
+}
+
+// TestBaselineAcceptsAllocationDebt pins the other half of the
+// baseline policy: hotalloc and mapstate findings are burn-down debt
+// and MAY be recorded, unlike the contract analyzers and the compiler
+// escape diff.
+func TestBaselineAcceptsAllocationDebt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	doc := `{"findings": [
+		{"analyzer": "hotalloc", "file": "x.go", "line": 1, "col": 1, "message": "m1"},
+		{"analyzer": "mapstate", "file": "y.go", "line": 2, "col": 2, "message": "m2"}
+	]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := readBaseline(path)
+	if err != nil {
+		t.Fatalf("hotalloc/mapstate baseline rejected: %v", err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("baseline keys = %d, want 2", len(keys))
+	}
+}
+
+func TestEscapeUpdateRequiresBaselinePath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-escape-update", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-escape-update) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-escape-baseline") {
+		t.Errorf("stderr should point at the missing flag: %s", errOut.String())
+	}
+}
+
+// TestEscapeBaselineMissingFailsBeforeCompiling pins both the exit
+// code and the fail-fast order: an unreadable escape baseline is a
+// usage error (2), diagnosed without paying for a compile.
+func TestEscapeBaselineMissingFailsBeforeCompiling(t *testing.T) {
+	findings, code := runEscape(".", "/nonexistent/escape.json", false, &strings.Builder{})
+	if code != 2 || findings != nil {
+		t.Fatalf("runEscape(missing baseline) = (%v, %d), want (nil, 2)", findings, code)
+	}
+}
+
+// TestEscapeDiffCleanAtHead runs the real compiler diff against the
+// checked-in baseline from the repo root: HEAD must be regression-free
+// (the same pin scripts/check.sh enforces, kept close to the code).
+func TestEscapeDiffCleanAtHead(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	t.Chdir(filepath.Join("..", ".."))
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-baseline", "lint.baseline.json",
+		"-escape-baseline", "escape.baseline.json",
+		"./internal/netsim", "./internal/placement",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("escape diff not clean at HEAD (exit %d):\n%s%s", code, out.String(), errOut.String())
 	}
 }

@@ -1,0 +1,43 @@
+package escape
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadBaseline parses and validates an escape baseline file.
+func ReadBaseline(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("escape baseline: %v", err)
+	}
+	var rep Report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("escape baseline %s: %v", path, err)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind != KindEscape && f.Kind != KindNoInline {
+			return Report{}, fmt.Errorf("escape baseline %s: unknown kind %q", path, f.Kind)
+		}
+	}
+	return rep, nil
+}
+
+// WriteBaseline writes the report in the checked-in format: indented,
+// position-sorted, trailing newline, findings never null.
+func WriteBaseline(path string, rep Report) error {
+	if rep.Findings == nil {
+		rep.Findings = []Finding{}
+	}
+	Sort(rep.Findings)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The //tdmd:hot annotation contract (see DESIGN.md "Allocation
+// discipline"): a directive comment `//tdmd:hot` placed on a function
+// declaration marks the whole body, and placed immediately above a for
+// or range statement marks that loop, as a hot region — code on the
+// per-flow/per-vertex solver fast path. Inside a hot region the
+// hotalloc analyzer rejects heap-allocating constructs, and the
+// mapstate analyzer tracks calls out of the region to find map-keyed
+// state reads anywhere downstream.
+//
+// Two kinds of blocks inside a hot region are exempt, because they are
+// not part of the steady-state iteration:
+//
+//   - `if invariant.Enabled { ... }` cross-check blocks (the same
+//     carve-out allocloop grants), and
+//   - cold exits: an if whose body unconditionally leaves the hot
+//     region (ends in return, break, or panic) — cancellation
+//     salvage branches allocate their best-so-far Result exactly once
+//     on the way out.
+
+// hotMarker is the directive comment text (without the "//").
+const hotMarker = "tdmd:hot"
+
+// hotMarks holds one file's hot regions.
+type hotMarks struct {
+	funcs map[*ast.FuncDecl]bool
+	loops map[ast.Stmt]bool
+}
+
+// hasHotDirective reports whether any comment group contains the raw
+// directive line. Directive comments ("//tdmd:hot") are excluded from
+// CommentGroup.Text, so the raw list is inspected.
+func hasHotDirective(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == "//"+hotMarker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotMarksOf collects the hot functions and hot loops of one file.
+func hotMarksOf(fset *token.FileSet, file *ast.File) hotMarks {
+	marks := hotMarks{
+		funcs: make(map[*ast.FuncDecl]bool),
+		loops: make(map[ast.Stmt]bool),
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && hasHotDirective(fd.Doc) {
+			marks.funcs[fd] = true
+		}
+	}
+	// Comments inside function bodies are not attached to statements by
+	// the parser; the comment map associates a comment line immediately
+	// preceding a statement with that statement.
+	cm := ast.NewCommentMap(fset, file, file.Comments)
+	for node, groups := range cm {
+		if !hasHotDirective(groups...) {
+			continue
+		}
+		switch n := node.(type) {
+		case *ast.ForStmt:
+			marks.loops[n] = true
+		case *ast.RangeStmt:
+			marks.loops[n] = true
+		}
+	}
+	return marks
+}
+
+// anyHot reports whether the file set has at least one marked region.
+func (m hotMarks) anyHot() bool { return len(m.funcs) > 0 || len(m.loops) > 0 }
+
+// isInvariantEnabledCondInfo is isInvariantEnabledCond generalized to a
+// bare types.Info, so region walkers shared with the module analyzer
+// work on any type-checking universe.
+func isInvariantEnabledCondInfo(info *types.Info, cond ast.Expr) bool {
+	sel, ok := cond.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	pn, ok := obj.(*types.PkgName)
+	return ok && pkgPathHasSuffix(pn.Imported().Path(), "internal/invariant")
+}
+
+// pkgPathHasSuffix matches an import path suffix on a path-segment
+// boundary.
+func pkgPathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// blockColdExits reports whether a block unconditionally leaves the
+// hot region: its last statement is a return, a break, or a panic
+// call. Such branches run at most once per solve (cancellation
+// salvage, infeasibility bail-out), not once per iteration.
+func blockColdExits(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// hotWalk traverses a hot region, calling visit on every node that is
+// part of the steady-state iteration. Exempt blocks — invariant
+// cross-checks and cold exits — are skipped entirely. visit returns
+// whether to descend into the node's children.
+func hotWalk(info *types.Info, region ast.Node, visit func(n ast.Node) bool) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if node == nil {
+				return false
+			}
+			if ifs, ok := node.(*ast.IfStmt); ok {
+				if isInvariantEnabledCondInfo(info, ifs.Cond) || blockColdExits(ifs.Body) {
+					// Cond and init still run per iteration; the body does
+					// not. Else branches stay on the steady-state path.
+					if ifs.Init != nil {
+						walk(ifs.Init)
+					}
+					walk(ifs.Cond)
+					if ifs.Else != nil {
+						walk(ifs.Else)
+					}
+					return false
+				}
+			}
+			return visit(node)
+		})
+	}
+	switch r := region.(type) {
+	case *ast.FuncDecl:
+		if r.Body != nil {
+			walk(r.Body)
+		}
+	case *ast.RangeStmt:
+		// The range expression is evaluated once, before iteration.
+		walk(r.Body)
+	case *ast.ForStmt:
+		// Init runs once; cond and post run every iteration.
+		if r.Cond != nil {
+			walk(r.Cond)
+		}
+		if r.Post != nil {
+			walk(r.Post)
+		}
+		walk(r.Body)
+	default:
+		walk(region)
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotAllocFlagsAllocatingConstructsInHotFunc(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/placement", `package placement
+
+//tdmd:hot
+func Step(n int) int {
+	m := make(map[int]int)   // want: make
+	p := new(int)            // want: new
+	s := []int{1, 2}         // want: slice literal
+	q := map[int]bool{1: true} // want: map literal
+	t := &pair{1, 2}         // want: &composite literal
+	f := func() int { return n } // want: closure
+	_ = m
+	_ = p
+	_ = q
+	_ = t
+	return s[0] + f() + *p
+}
+
+type pair struct{ a, b int }
+`})
+	wantFindings(t, a, got, 6)
+}
+
+func TestHotAllocFlagsOnlyMarkedLoop(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/placement", `package placement
+
+func Solve(vs []int) []int {
+	cold := []int{} // unmarked code: fine
+	//tdmd:hot
+	for _, v := range vs {
+		cold = append(cold, v) // want: growing append
+	}
+	for range vs {
+		cold = append(cold, 9) // unmarked loop: fine
+	}
+	return cold
+}
+`})
+	wantFindings(t, a, got, 1)
+	if !strings.Contains(got[0].Message, "append") {
+		t.Errorf("finding should be the append: %v", got[0])
+	}
+}
+
+func TestHotAllocAppendExemptions(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/placement", `package placement
+
+// Appending into a caller-provided buffer or a locally preallocated
+// one is the sanctioned pattern.
+
+//tdmd:hot
+func IntoParam(buf []int, vs []int) []int {
+	for _, v := range vs {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+//tdmd:hot
+func IntoPrealloc(vs []int) []int {
+	out := make([]int, 0, len(vs)) // make itself is outside any hot loop? no: whole func is hot
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func Rounds(vs []int) {
+	scratch := make([]int, 0, len(vs))
+	//tdmd:hot
+	for _, v := range vs {
+		fresh := scratch[:0]
+		fresh = append(fresh, v) // reslice of preallocated: fine
+		_ = fresh
+	}
+}
+`})
+	// IntoPrealloc's make() is itself inside a hot function — that one
+	// finding is expected; none of the appends fire.
+	wantFindings(t, a, got, 1)
+	if !strings.Contains(got[0].Message, "make allocates") {
+		t.Errorf("only the make should fire: %v", got[0])
+	}
+}
+
+func TestHotAllocBoxingStringsVariadicMapIndex(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/placement", `package placement
+
+func sink(v any)        {}
+func many(vs ...int)    {}
+func concrete(v int)    {}
+
+//tdmd:hot
+func Hot(names map[int]string, s string, vs []int) string {
+	sink(3)          // want: boxed into interface param
+	sink(nil)        // untyped nil: fine
+	var a any = 7
+	sink(a)          // already an interface: fine
+	many(1, 2, 3)    // want: variadic argument slice
+	many(vs...)      // pass-through: fine
+	concrete(4)      // fine
+	s += "x"         // want: string concatenation
+	_ = s + "y"      // want: string concatenation
+	_ = names[3]     // want: integer-keyed map index
+	names[4] = "w"   // want: stores hash too (mapstate is the reads-only layer)
+	_ = any(5)       // want: conversion to interface boxes
+	return s
+}
+`})
+	wantFindings(t, a, got, 7)
+}
+
+func TestHotAllocExemptsInvariantAndColdExits(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/invariant", fakeInvariant},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "tdmd/internal/invariant"
+
+func check(got, want []int) {}
+
+//tdmd:hot
+func Hot(vs []int, done bool) []int {
+	for _, v := range vs {
+		if invariant.Enabled {
+			check([]int{v}, []int{v}) // cross-check block: exempt
+		}
+		if done {
+			salvage := []int{v} // cold exit: exempt
+			return salvage
+		}
+	}
+	return nil
+}
+`})
+	wantFindings(t, a, got, 0)
+}
+
+func TestHotAllocIgnoresUnmarkedCode(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+	got := runOn(t, a,
+		srcPkg{"tdmd/internal/placement", `package placement
+
+func Cold() []int {
+	m := map[int]bool{1: true}
+	out := []int{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`})
+	wantFindings(t, a, got, 0)
+}

@@ -24,7 +24,12 @@
 //     "xxx"/"fixme" attention comments fail the build;
 //   - obsnaming: metric names handed to the obs constructors are
 //     tdmd_-prefixed snake_case string literals with the kind suffix
-//     the exposition format expects (_total, _seconds/_bytes).
+//     the exposition format expects (_total, _seconds/_bytes);
+//   - hotalloc: inside `//tdmd:hot` regions (solver fast-path
+//     functions and loops, see hot.go) no heap-allocating construct —
+//     make/new, slice/map/&T{} literals, growing append, string
+//     concatenation, interface boxing, closures, variadic argument
+//     slices — and no integer-keyed map indexing.
 //
 // Three analyzers are interprocedural, built on the fixed-point
 // summary engine in internal/lint/flow, and see the whole package set
@@ -40,7 +45,15 @@
 //   - goleak: goroutines spawned in internal/placement and
 //     cmd/tdmdserve must carry a completion signal (send, close,
 //     WaitGroup.Done) that the spawning frame joins, including on the
-//     cancellation branch.
+//     cancellation branch;
+//   - mapstate: map-keyed state on the simulation/solver structs must
+//     not be read anywhere reachable from a `//tdmd:hot` region — IDs
+//     are dense integers, so hot state belongs in flat slices.
+//
+// A third allocation-discipline layer — the compiler's own escape
+// analysis and inlining decisions, diffed against a checked-in
+// baseline — lives in internal/lint/escape and is wired into
+// cmd/tdmdlint next to these analyzers.
 //
 // Analyzers operate on non-test files only: tests are deliberately
 // free to use exact golden comparisons, fixed global randomness and
@@ -135,9 +148,11 @@ func Analyzers() []*Analyzer {
 		AnalyzerInternalBoundary,
 		AnalyzerTodoTracker,
 		AnalyzerObsNaming,
+		AnalyzerHotAlloc,
 		AnalyzerSolverPurity,
 		AnalyzerDetOrder,
 		AnalyzerGoLeak,
+		AnalyzerMapState,
 	}
 }
 

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Netsim stubs with a map-backed plan, mirroring the real package's
+// shape. The "dirty" variant routes the hot Has through the plan map
+// (the bug the analyzer exists for); the clean variant keeps the flat
+// mirror on the read path and the map only on the write path.
+const (
+	fakeNetsimMapStateDirty = `package netsim
+
+type Plan struct {
+	set map[int]bool
+}
+
+func (p Plan) Has(v int) bool { return p.set[v] }
+
+func (p Plan) Add(v int) { p.set[v] = true }
+
+type State struct {
+	plan Plan
+	has  []bool
+}
+
+//tdmd:hot
+func (s *State) Has(v int) bool { return s.plan.Has(v) }
+
+//tdmd:hot
+func (s *State) AddBox(v int) { s.plan.Add(v) }
+`
+	fakeNetsimMapStateClean = `package netsim
+
+type Plan struct {
+	set map[int]bool
+}
+
+func (p Plan) Add(v int) { p.set[v] = true }
+
+type State struct {
+	plan Plan
+	has  []bool
+}
+
+//tdmd:hot
+func (s *State) Has(v int) bool { return s.has[v] }
+
+//tdmd:hot
+func (s *State) AddBox(v int) { s.plan.Add(v) }
+`
+)
+
+func TestMapStateChasesReadsAcrossCalls(t *testing.T) {
+	a := analyzerByName(t, "mapstate")
+	got := runModuleOn(t, a,
+		srcPkg{"tdmd/internal/netsim", fakeNetsimMapStateDirty},
+	)
+	// Plan.Has reads plan.set and is reachable from the hot State.Has;
+	// Plan.Add only stores, so the AddBox chain stays clean.
+	wantFindings(t, a, got, 1)
+	if !strings.Contains(got[0].Message, "Plan.set") {
+		t.Errorf("finding should name the field: %v", got[0])
+	}
+	if !strings.Contains(got[0].Message, "netsim.State.Has") {
+		t.Errorf("finding should name the hot root: %v", got[0])
+	}
+}
+
+func TestMapStateHotLoopCalleesAndDirectReads(t *testing.T) {
+	a := analyzerByName(t, "mapstate")
+	got := runModuleOn(t, a,
+		srcPkg{"tdmd/internal/netsim", fakeNetsimMapStateClean},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import "tdmd/internal/netsim"
+
+type solver struct {
+	cache map[int]float64
+}
+
+func (s *solver) score(v int) float64 { return s.cache[v] }
+
+func (s *solver) Run(st *netsim.State, vs []int) float64 {
+	total := 0.0
+	//tdmd:hot
+	for _, v := range vs {
+		total += s.score(v)      // callee of a hot loop reads solver.cache
+		total += s.cache[v+1]    // direct read inside the hot loop
+	}
+	for _, v := range vs {
+		total += s.score(v) // unmarked loop: fine
+	}
+	return total
+}
+`})
+	// Two distinct read sites: one inside score (via the callee chase),
+	// one lexically in the loop.
+	wantFindings(t, a, got, 2)
+	for _, f := range got {
+		if !strings.Contains(f.Message, "solver.cache") {
+			t.Errorf("finding should name solver.cache: %v", f)
+		}
+	}
+}
+
+func TestMapStateExemptsWritesForeignTypesAndInvariant(t *testing.T) {
+	a := analyzerByName(t, "mapstate")
+	got := runModuleOn(t, a,
+		srcPkg{"tdmd/internal/invariant", fakeInvariant},
+		srcPkg{"tdmd/internal/netsim", fakeNetsimMapStateClean},
+		srcPkg{"tdmd/internal/placement", `package placement
+
+import (
+	"tdmd/internal/invariant"
+	"tdmd/internal/netsim"
+)
+
+type registry struct {
+	m map[string]int
+}
+
+//tdmd:hot
+func Hot(st *netsim.State, scratch map[int]bool, vs []int) {
+	for _, v := range vs {
+		st.AddBox(v)        // write chain: Plan.Add only stores
+		scratch[v] = true   // store on a non-field map: fine
+		delete(scratch, v)  // delete: fine
+		if invariant.Enabled {
+			_ = st.Has(v) // cross-check block: exempt even though it reads
+		}
+	}
+	_ = scratch[0] // read of a parameter map, not a state field: fine
+}
+`})
+	wantFindings(t, a, got, 0)
+}

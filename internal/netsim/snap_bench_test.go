@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// The SnapState benchmarks measure the incremental engine's primitive
+// operations on the snapshot workload (|V|=200, |F|≈1500 — the same
+// scale as the root package's FullVsIncremental pair) and feed the
+// checked-in BENCH_solver.json via cmd/benchsnap. Keep names stable:
+// the snapshot is keyed by benchmark name.
+
+// snapInstance mirrors the root package's incrBenchInstance: 200
+// vertices, 40 sources, ≥1000 flows, diminishing regime.
+func snapInstance(b *testing.B) *Instance {
+	b.Helper()
+	g := topology.GeneralRandom(200, 0.8, 7)
+	srcs := make([]graph.NodeID, 40)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i)
+	}
+	fl := traffic.GeneralFlows(g, srcs, traffic.GenConfig{
+		Density: 2.0, Seed: 9, MaxFlows: 1500})
+	if len(fl) < 1000 {
+		b.Fatalf("workload generation produced only %d flows, need >= 1000", len(fl))
+	}
+	return MustNew(g, fl, 0.5)
+}
+
+// BenchmarkSnapStateAddRemove: one AddBox/RemoveBox round trip — the
+// unit of work every greedy cover step and every swap probe pays.
+func BenchmarkSnapStateAddRemove(b *testing.B) {
+	in := snapInstance(b)
+	s := NewState(in, NewPlan())
+	n := graph.NodeID(in.G.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := graph.NodeID(i) % n
+		s.AddBox(v)
+		s.RemoveBox(v)
+	}
+}
+
+// BenchmarkSnapStateMarginalGain: the cached marginal read — the GTP
+// oracle query; after the first sweep these must be cache hits.
+func BenchmarkSnapStateMarginalGain(b *testing.B) {
+	in := snapInstance(b)
+	s := NewState(in, NewPlan())
+	n := graph.NodeID(in.G.NumNodes())
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += s.MarginalGain(graph.NodeID(i) % n)
+	}
+	_ = sink
+}
+
+// BenchmarkSnapStateAppendVertices: the flat plan snapshot the local
+// search takes once per round, into a reused buffer.
+func BenchmarkSnapStateAppendVertices(b *testing.B) {
+	in := snapInstance(b)
+	s := NewState(in, NewPlan())
+	for v := graph.NodeID(0); v < 40; v++ {
+		s.AddBox(v * 5)
+	}
+	buf := make([]graph.NodeID, 0, in.G.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendVertices(buf[:0])
+	}
+	if len(buf) != 40 {
+		b.Fatalf("snapshot has %d vertices, want 40", len(buf))
+	}
+}

@@ -50,6 +50,14 @@ type State struct {
 	in   *Instance
 	plan Plan
 
+	// has mirrors plan as a flat vertex-indexed slice: has[v] reports
+	// whether v hosts a middlebox. The mutation and scoring inner
+	// loops (AddBox/RemoveBox path scans, VertexScore, the greedy
+	// candidate scan via Has) read this instead of the plan's map, so
+	// the per-flow, per-vertex hot path performs no map lookups; the
+	// map stays the source of truth for Plan() snapshots only.
+	has []bool
+
 	serving      Allocation // serving[i] = vertex serving flow i, or Unserved
 	servDown     []int      // downstream count at serving[i]; -1 when unserved
 	total        float64    // running b(P), updated by deltas
@@ -74,12 +82,16 @@ func NewState(in *Instance, p Plan) *State {
 	s := &State{
 		in:           in,
 		plan:         p.Clone(),
+		has:          make([]bool, in.G.NumNodes()),
 		serving:      in.Allocate(p),
 		servDown:     make([]int, len(in.Flows)),
 		unservedBits: bitset.New(len(in.Flows)),
 		gain:         make([]float64, in.G.NumNodes()),
 		cov:          make([]int, in.G.NumNodes()),
 		fresh:        make([]bool, in.G.NumNodes()),
+	}
+	for v := range s.plan.set {
+		s.has[v] = true
 	}
 	for i := range in.Flows {
 		v := s.serving[i]
@@ -108,6 +120,8 @@ func (s *State) Bandwidth() float64 { return s.total }
 // ExactBandwidth recomputes b(P) from the maintained allocation in
 // flow order — the identical float operations TotalBandwidth performs,
 // without the O(|F|·|P|) re-allocation or its allocations.
+//
+//tdmd:hot
 func (s *State) ExactBandwidth() float64 {
 	var total float64
 	for i := range s.in.Flows {
@@ -134,8 +148,26 @@ func (s *State) Plan() Plan {
 	return s.plan.Clone()
 }
 
-// Has reports whether v currently hosts a middlebox (no copy).
-func (s *State) Has(v graph.NodeID) bool { return s.plan.Has(v) }
+// Has reports whether v currently hosts a middlebox (no copy, no map
+// lookup — a flat slice read).
+//
+//tdmd:hot
+func (s *State) Has(v graph.NodeID) bool { return s.has[v] }
+
+// AppendVertices appends the deployed vertices to buf in increasing
+// order and returns the extended slice. It is the allocation-free
+// counterpart of Plan().Vertices() for hot loops: the flat mirror is
+// already vertex-ordered, so no map range and no sort.
+//
+//tdmd:hot
+func (s *State) AppendVertices(buf []graph.NodeID) []graph.NodeID {
+	for v := range s.has {
+		if s.has[v] {
+			buf = append(buf, graph.NodeID(v))
+		}
+	}
+	return buf
+}
 
 // Size returns |P|.
 func (s *State) Size() int { return s.plan.Size() }
@@ -150,11 +182,14 @@ func (s *State) Instance() *Instance { return s.in }
 // (≤ 0 for a diminishing middlebox). Adding a deployed vertex is a
 // no-op. Only flows through v are touched; only vertices on moved
 // flows' paths lose their cached scores.
+//
+//tdmd:hot
 func (s *State) AddBox(v graph.NodeID) float64 {
-	if s.plan.Has(v) {
+	if s.has[v] {
 		return 0
 	}
 	s.plan.Add(v)
+	s.has[v] = true
 	stateMutations.Inc()
 	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
@@ -192,11 +227,14 @@ func (s *State) AddBox(v graph.NodeID) float64 {
 // (≥ 0 for a diminishing middlebox). Removing an undeployed vertex is
 // a no-op. Each flow v served re-scans its own path once for the best
 // remaining middlebox.
+//
+//tdmd:hot
 func (s *State) RemoveBox(v graph.NodeID) float64 {
-	if !s.plan.Has(v) {
+	if !s.has[v] {
 		return 0
 	}
 	s.plan.Remove(v)
+	s.has[v] = false
 	stateMutations.Inc()
 	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
@@ -211,14 +249,14 @@ func (s *State) RemoveBox(v graph.NodeID) float64 {
 		path := s.in.Flows[i].Path
 		if expanding {
 			for j := len(path) - 1; j >= 0; j-- { // last hit: nearest the destination
-				if s.plan.Has(path[j]) {
+				if s.has[path[j]] {
 					next = path[j]
 					break
 				}
 			}
 		} else {
 			for _, u := range path { // first hit: nearest the source
-				if s.plan.Has(u) {
+				if s.has[u] {
 					next = u
 					break
 				}
@@ -245,6 +283,8 @@ func (s *State) RemoveBox(v graph.NodeID) float64 {
 // invalidatePath drops the cached scores of every vertex on flow i's
 // path — exactly the vertices whose marginal or coverage count can
 // have changed when flow i's serving state changed.
+//
+//tdmd:hot
 func (s *State) invalidatePath(i int) {
 	for _, u := range s.in.Flows[i].Path {
 		s.fresh[u] = false
@@ -256,8 +296,10 @@ func (s *State) invalidatePath(i int) {
 // changed serving state since the last query. The value is bit-
 // identical to Instance.MarginalDecrement on the equivalent plan and
 // allocation. Deployed vertices have zero marginal.
+//
+//tdmd:hot
 func (s *State) MarginalGain(v graph.NodeID) float64 {
-	if s.plan.Has(v) {
+	if s.has[v] {
 		return 0
 	}
 	if s.fresh[v] {
@@ -277,6 +319,8 @@ func (s *State) MarginalGain(v graph.NodeID) float64 {
 
 // UnservedCovered counts the currently unserved flows whose paths
 // visit v, cached alongside the marginal.
+//
+//tdmd:hot
 func (s *State) UnservedCovered(v graph.NodeID) int {
 	if s.fresh[v] {
 		s.pendingHits++
@@ -290,6 +334,8 @@ func (s *State) UnservedCovered(v graph.NodeID) int {
 // index, mirroring Instance.MarginalDecrement's loop exactly (same
 // flow order, same float operations) so cached and from-scratch values
 // are bit-identical.
+//
+//tdmd:hot
 func (s *State) rescore(v graph.NodeID) {
 	stateCacheMisses.Inc() // a miss pays a full through-index scan; the atomic add is noise
 	s.gain[v], s.cov[v] = s.VertexScore(v)
@@ -301,6 +347,8 @@ func (s *State) rescore(v graph.NodeID) {
 // bypassing and leaving untouched the per-vertex cache. It performs no
 // writes, so concurrent calls are safe while no mutation is in flight;
 // the parallel greedy fans its candidate scan out over this.
+//
+//tdmd:hot
 func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 	expanding := s.in.Lambda > 1
 	for _, fa := range s.in.Through(v) {
@@ -323,7 +371,7 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 			gain += float64(f.Rate) * (1 - s.in.Lambda) * float64(fa.Downstream-cur)
 		}
 	}
-	if s.plan.Has(v) {
+	if s.has[v] {
 		gain = 0 // deployed vertices have no marginal; coverage still counts
 	}
 	return gain, covered
@@ -337,6 +385,10 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 func (s *State) verify(op string) {
 	alloc := s.in.Allocate(s.plan)
 	unserved := 0
+	for v := 0; v < s.in.G.NumNodes(); v++ {
+		invariant.Assert(s.has[v] == s.plan.Has(graph.NodeID(v)),
+			"netsim: %s left flat mirror has[%d]=%v disagreeing with the plan map", op, v, s.has[v])
+	}
 	for i := range s.in.Flows {
 		invariant.Assert(s.serving[i] == alloc[i],
 			"netsim: %s left flow %d served at %d, full allocation says %d", op, i, s.serving[i], alloc[i])

@@ -173,6 +173,50 @@ func TestStateRevertExact(t *testing.T) {
 	}
 }
 
+// TestStateFlatMirror drives random mutations and checks the flat
+// deployment mirror behind Has/AppendVertices against the plan map:
+// Has must agree with Plan().Has for every vertex, and AppendVertices
+// must yield exactly Plan().Vertices() (same vertices, same increasing
+// order) while reusing the caller's buffer.
+func TestStateFlatMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := topology.GeneralRandom(6+rng.Intn(12), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.5, Seed: rng.Int63(), MaxFlows: 12})
+		if len(flows) == 0 {
+			continue
+		}
+		in := MustNew(g, flows, 0.5)
+		s := NewState(in, NewPlan())
+		buf := make([]graph.NodeID, 0, g.NumNodes())
+		for op := 0; op < 60; op++ {
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if rng.Intn(2) == 0 {
+				s.AddBox(v)
+			} else {
+				s.RemoveBox(v)
+			}
+			p := s.Plan()
+			for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+				if s.Has(u) != p.Has(u) {
+					t.Fatalf("op %d: Has(%d)=%v, plan says %v", op, u, s.Has(u), p.Has(u))
+				}
+			}
+			buf = s.AppendVertices(buf[:0])
+			want := p.Vertices()
+			if len(buf) != len(want) {
+				t.Fatalf("op %d: AppendVertices yields %v, want %v", op, buf, want)
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("op %d: AppendVertices yields %v, want %v", op, buf, want)
+				}
+			}
+		}
+	}
+}
+
 func TestStateClonesItsPlan(t *testing.T) {
 	in := fig1(t)
 	p := NewPlan(paperfix.V(5))

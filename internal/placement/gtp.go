@@ -37,6 +37,7 @@ func GTP(ctx context.Context, in *netsim.Instance) Result {
 		sc.phase("cover", coverStart)
 	}()
 	st := netsim.NewState(in, netsim.NewPlan())
+	//tdmd:hot
 	for !st.Feasible() {
 		if canceled(ctx) {
 			r := finish(in, st.Plan())
@@ -88,6 +89,26 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 	defer func() { sc.count("deployments", deployed) }()
 	coverStart := time.Now()
 	st := netsim.NewState(in, base)
+	// The banned set is flattened to a vertex-indexed slice once per
+	// solve: the budget guard probes it for every (candidate, cover
+	// pick) pair, which is O(|V|²) lookups per greedy round.
+	bannedFlat := make([]bool, in.G.NumNodes())
+	for v, bad := range banned {
+		if bad && int(v) >= 0 && int(v) < len(bannedFlat) {
+			bannedFlat[v] = true
+		}
+	}
+	// The guard closures are hoisted out of the greedy loops (one
+	// allocation per solve, not per round); the cover guard reads the
+	// remaining budget through the captured variable.
+	remaining := 0 // budget left after the next pick; set each round
+	coverGuard := func(v graph.NodeID) bool {
+		if bannedFlat[v] {
+			return false
+		}
+		return greedyCoverSize(st, v, bannedFlat) <= remaining
+	}
+	//tdmd:hot
 	for st.Size() < k && !st.Feasible() {
 		if canceled(ctx) {
 			// Interrupted before coverage: no feasible plan to return.
@@ -95,14 +116,8 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 			r.Interrupted = ctx.Err()
 			return r, interruptedErr(ctx)
 		}
-		remaining := k - st.Size() - 1 // budget left after the next pick
-		guard := func(v graph.NodeID) bool {
-			if banned[v] {
-				return false
-			}
-			return greedyCoverSize(st, v, banned) <= remaining
-		}
-		v, ok := bestCandidate(st, guard)
+		remaining = k - st.Size() - 1
+		v, ok := bestCandidate(st, coverGuard)
 		if !ok {
 			return Result{}, ErrInfeasible
 		}
@@ -118,13 +133,15 @@ func CompletePlan(ctx context.Context, in *netsim.Instance, base netsim.Plan, k 
 	// the feasible plan built so far (anytime semantics).
 	spendStart := time.Now()
 	defer func() { sc.phase("spend", spendStart) }()
+	spendGuard := func(v graph.NodeID) bool { return !bannedFlat[v] }
+	//tdmd:hot
 	for st.Size() < k {
 		if canceled(ctx) {
 			r := finishBudget(in, st.Plan(), k)
 			r.Interrupted = ctx.Err()
 			return r, nil
 		}
-		v, ok := bestCandidate(st, func(v graph.NodeID) bool { return !banned[v] })
+		v, ok := bestCandidate(st, spendGuard)
 		if !ok || st.MarginalGain(v) <= 0 {
 			break
 		}
@@ -151,13 +168,18 @@ func GTPLazy(ctx context.Context, in *netsim.Instance) Result {
 	for _, v := range in.G.Nodes() {
 		heap.Push(v, st.MarginalGain(v))
 	}
+	// One refresh buffer for the whole solve: popBestLazy can pop at
+	// most every heap entry, so |V| capacity means the per-deployment
+	// refresh loop never grows a slice.
+	scratch := make([]lazyCand, 0, in.G.NumNodes())
+	//tdmd:hot
 	for !st.Feasible() && heap.Len() > 0 {
 		if canceled(ctx) {
 			r := finish(in, st.Plan())
 			r.Interrupted = ctx.Err()
 			return r
 		}
-		v, ok := popBestLazy(st, heap)
+		v, ok := popBestLazy(st, heap, scratch)
 		if !ok {
 			break
 		}
@@ -167,17 +189,22 @@ func GTPLazy(ctx context.Context, in *netsim.Instance) Result {
 	return finish(in, st.Plan())
 }
 
+// lazyCand is one refreshed heap entry inside popBestLazy.
+type lazyCand struct {
+	v       graph.NodeID
+	gain    float64
+	covered int
+}
+
 // popBestLazy extracts the true-best vertex from a heap of possibly
 // stale marginals, reproducing GTP's exact tie-breaking: among all
 // vertices whose refreshed marginal equals the maximum, prefer more
-// unserved flows covered, then the smaller ID.
-func popBestLazy(st *netsim.State, heap *pq.Heap[graph.NodeID]) (graph.NodeID, bool) {
-	type cand struct {
-		v       graph.NodeID
-		gain    float64
-		covered int
-	}
-	var fresh []cand
+// unserved flows covered, then the smaller ID. scratch is a caller-
+// owned refresh buffer (reused across calls, overwritten every call).
+//
+//tdmd:hot
+func popBestLazy(st *netsim.State, heap *pq.Heap[graph.NodeID], scratch []lazyCand) (graph.NodeID, bool) {
+	fresh := scratch[:0]
 	best := math.Inf(-1)
 	// Pop while a stale entry could still beat or tie the best fresh
 	// value (stale priorities never underestimate, by submodularity).
@@ -188,12 +215,12 @@ func popBestLazy(st *netsim.State, heap *pq.Heap[graph.NodeID]) (graph.NodeID, b
 		}
 		v, _, _ := heap.Pop()
 		g := st.MarginalGain(v)
-		fresh = append(fresh, cand{v, g, st.UnservedCovered(v)})
+		fresh = append(fresh, lazyCand{v, g, st.UnservedCovered(v)})
 		if g > best {
 			best = g
 		}
 	}
-	chosen := cand{v: graph.Invalid, covered: -1}
+	chosen := lazyCand{v: graph.Invalid, covered: -1}
 	for _, c := range fresh {
 		if c.gain < best {
 			continue
@@ -222,6 +249,8 @@ func popBestLazy(st *netsim.State, heap *pq.Heap[graph.NodeID]) (graph.NodeID, b
 // marginal, or coverage of at least one unserved flow. Scores come
 // from the state's per-vertex cache, so a round after a deployment
 // recomputes only the vertices the deployment actually affected.
+//
+//tdmd:hot
 func bestCandidate(st *netsim.State, guard func(graph.NodeID) bool) (graph.NodeID, bool) {
 	best := graph.Invalid
 	bestGain := math.Inf(-1)
@@ -264,7 +293,9 @@ func bestCandidate(st *netsim.State, guard func(graph.NodeID) bool) (graph.NodeI
 // state already maintains the unserved set as a bitset, so the guard
 // starts from a clone instead of re-deriving it from an allocation
 // (see the BenchmarkAblationBudgetGuard history in DESIGN.md).
-func greedyCoverSize(st *netsim.State, v graph.NodeID, banned map[graph.NodeID]bool) int {
+//
+//tdmd:hot
+func greedyCoverSize(st *netsim.State, v graph.NodeID, banned []bool) int {
 	in := st.Instance()
 	unserved := st.UnservedSet().Clone()
 	unserved.AndNot(in.CoverSet(v))

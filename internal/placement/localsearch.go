@@ -48,10 +48,17 @@ func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, max
 	}()
 	st := netsim.NewState(in, seed)
 	n := in.G.NumNodes()
+	// One snapshot buffer reused across rounds: AppendVertices reads
+	// the state's flat deployment mirror in increasing vertex order —
+	// the same order Plan().Vertices() yields, without the per-round
+	// map clone and sort.
+	verts := make([]graph.NodeID, 0, st.Size())
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		rounds++
-		for _, out := range st.Plan().Vertices() {
+		verts = st.AppendVertices(verts[:0])
+		//tdmd:hot
+		for _, out := range verts {
 			// Poll at swap boundaries: the state always holds a feasible
 			// plan here, so an interruption returns best-so-far within
 			// one out-vertex scan.

@@ -124,6 +124,8 @@ func observing(ctx context.Context) obsScope {
 
 // count emits an aggregate progress count; no-op for n == 0 or an
 // empty scope.
+//
+//tdmd:hot
 func (sc obsScope) count(event string, n int64) {
 	if sc.ob != nil && n != 0 {
 		sc.ob.Count(sc.solver, event, n)
@@ -131,6 +133,8 @@ func (sc obsScope) count(event string, n int64) {
 }
 
 // phase emits the time since start as one phase duration.
+//
+//tdmd:hot
 func (sc obsScope) phase(name string, start time.Time) {
 	if sc.ob != nil {
 		sc.ob.Phase(sc.solver, name, time.Since(start))

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# bench.sh — record or check the solver benchmark snapshot.
+#
+# The snapshot (BENCH_solver.json) holds ns/op, B/op and allocs/op for
+# the paired solver benchmarks — the root package's FullVsIncremental
+# pair and the netsim SnapState primitives, at |V|=200 / |F|≈1500 —
+# and is checked in, so the repository's performance trajectory is
+# reviewable history rather than folklore.
+#
+# Usage: scripts/bench.sh           rewrite BENCH_solver.json in place
+#        scripts/bench.sh -check    fail if allocs/op regressed beyond
+#                                   tolerance, or the benchmark set
+#                                   drifted from the snapshot (ns/op is
+#                                   machine-dependent: informational)
+#        make bench-snap / make bench-check   (aliases)
+#
+# Like check.sh this is offline and needs only the go toolchain; a
+# full run takes a few minutes of benchmarking.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+-check)
+    echo "==> benchsnap -check (allocs/op vs BENCH_solver.json)"
+    go run ./cmd/benchsnap -check
+    ;;
+'' | -update)
+    echo "==> benchsnap -update (rewriting BENCH_solver.json)"
+    go run ./cmd/benchsnap -update
+    echo "review the diff and commit BENCH_solver.json"
+    ;;
+*)
+    echo "usage: scripts/bench.sh [-check|-update]" >&2
+    exit 2
+    ;;
+esac

@@ -57,8 +57,8 @@ for f in $FUZZ_FILES; do
     done
 done
 
-echo "==> tdmdlint (full suite incl. solverpurity/detorder/goleak, baseline)"
-go run ./cmd/tdmdlint -baseline lint.baseline.json ./...
+echo "==> tdmdlint (full suite incl. solverpurity/detorder/goleak + escape diff, baselines)"
+go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.baseline.json ./...
 
 echo "==> observability (observer identity + exposition, race)"
 go test -race ./internal/obs/
