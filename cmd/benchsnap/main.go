@@ -36,16 +36,22 @@ import (
 	"strings"
 )
 
-// Suite is one `go test -bench` invocation to harvest.
+// Suite is one `go test -bench` invocation to harvest. A non-empty
+// Cpu is passed as -cpu and keeps the testing package's "-N" name
+// suffix in the recorded entries, so each GOMAXPROCS level is its own
+// snapshot row (the parallel-scan suites record -cpu 1,4 pairs).
 type Suite struct {
 	Pkg     string `json:"pkg"`
 	Pattern string `json:"pattern"`
+	Cpu     string `json:"cpu,omitempty"`
 }
 
 // suites is the snapshot's benchmark set.
 var suites = []Suite{
 	{Pkg: ".", Pattern: "BenchmarkFullVsIncremental"},
 	{Pkg: "./internal/netsim", Pattern: "BenchmarkSnapState"},
+	{Pkg: "./internal/netsim", Pattern: "BenchmarkNewInstance"},
+	{Pkg: "./internal/netsim", Pattern: "BenchmarkScanScores", Cpu: "1,4"},
 }
 
 // Entry is one benchmark's recorded metrics.
@@ -128,6 +134,9 @@ func collect(benchtime string, stderr io.Writer) (Snapshot, error) {
 		if benchtime != "" {
 			args = append(args, "-benchtime", benchtime)
 		}
+		if s.Cpu != "" {
+			args = append(args, "-cpu", s.Cpu)
+		}
 		args = append(args, s.Pkg)
 		cmd := exec.Command("go", args...)
 		var out bytes.Buffer
@@ -136,7 +145,7 @@ func collect(benchtime string, stderr io.Writer) (Snapshot, error) {
 		if err := cmd.Run(); err != nil {
 			return Snapshot{}, fmt.Errorf("go test -bench %s %s: %v", s.Pattern, s.Pkg, err)
 		}
-		entries, err := parseBench(s.Pkg, out.String())
+		entries, err := parseBench(s.Pkg, s.Cpu == "", out.String())
 		if err != nil {
 			return Snapshot{}, err
 		}
@@ -150,13 +159,17 @@ func collect(benchtime string, stderr io.Writer) (Snapshot, error) {
 }
 
 // gomaxprocsSuffix is the "-8" the testing package appends to
-// benchmark names; it varies with the machine and is stripped.
+// benchmark names; it varies with the machine and is stripped —
+// except for suites run with an explicit -cpu list, where the suffix
+// IS the row identity ("-1" vs "-4") and must be kept.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench extracts the metric pairs from `go test -bench` output:
 // each benchmark line is name, iteration count, then (value, unit)
-// pairs. Units not in the snapshot schema are ignored.
-func parseBench(pkg, output string) ([]Entry, error) {
+// pairs. Units not in the snapshot schema are ignored. stripSuffix
+// controls whether the machine-dependent GOMAXPROCS name suffix is
+// removed (see gomaxprocsSuffix).
+func parseBench(pkg string, stripSuffix bool, output string) ([]Entry, error) {
 	var out []Entry
 	for _, line := range strings.Split(output, "\n") {
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -166,7 +179,11 @@ func parseBench(pkg, output string) ([]Entry, error) {
 		if len(fields) < 4 || len(fields)%2 != 0 {
 			continue
 		}
-		e := Entry{Pkg: pkg, Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
+		name := fields[0]
+		if stripSuffix {
+			name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		}
+		e := Entry{Pkg: pkg, Name: name}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

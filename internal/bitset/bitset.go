@@ -21,6 +21,15 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// View returns a set of n bits backed by the caller's word slice,
+// which must hold at least (n+63)/64 words. The caller retains
+// ownership of the storage; mutations through the set are visible in
+// words and vice versa. This lets many sets share one backing arena
+// (netsim's per-vertex cover sets are views into a single allocation).
+func View(words []uint64, n int) Set {
+	return Set{words: words[:(n+63)/64], n: n}
+}
+
 // Len returns the capacity in bits.
 func (s *Set) Len() int { return s.n }
 
@@ -95,6 +104,9 @@ func (s *Set) ForEach(fn func(i int)) {
 		}
 	}
 }
+
+// Bytes returns the heap bytes retained by the set's word storage.
+func (s *Set) Bytes() int64 { return int64(cap(s.words)) * 8 }
 
 // Reset clears every bit.
 func (s *Set) Reset() {

@@ -381,3 +381,42 @@ func TestDownstreamQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// DuplicateNames surfaces labels carried by more than one vertex —
+// the AddNode contract's footgun detector for loaders whose labels
+// are identifiers.
+func TestDuplicateNames(t *testing.T) {
+	g := New()
+	if dups := g.DuplicateNames(); dups != nil {
+		t.Fatalf("empty graph reports duplicates %v", dups)
+	}
+	g.AddNode("a")
+	g.AddNode("b")
+	g.AddNode("a")
+	g.AddNode("c")
+	g.AddNode("b")
+	g.AddNode("a") // third occurrence: still listed once
+	got := g.DuplicateNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("DuplicateNames = %v, want [a b]", got)
+	}
+}
+
+// With duplicated labels, NodeByName resolves to the lowest ID — the
+// documented (and footgun-prone) half of the AddNode contract.
+func TestNodeByNameDuplicatePicksLowestID(t *testing.T) {
+	g := New()
+	first := g.AddNode("dup")
+	g.AddNode("dup")
+	if got := g.NodeByName("dup"); got != first {
+		t.Fatalf("NodeByName(dup) = %d, want lowest ID %d", got, first)
+	}
+	// Same answer when the index was built before the duplicate arrived.
+	g2 := New()
+	first2 := g2.AddNode("dup")
+	_ = g2.NodeByName("dup") // force index build
+	g2.AddNode("dup")
+	if got := g2.NodeByName("dup"); got != first2 {
+		t.Fatalf("NodeByName(dup) after lazy build = %d, want %d", got, first2)
+	}
+}

@@ -45,21 +45,22 @@ func (in *Instance) AllocateCapacitated(p Plan, capacity int) Allocation {
 		residual[v] = capacity
 	}
 	for _, i := range order {
-		f := in.Flows[i]
+		rate := in.Flows[i].Rate
+		path := in.FlowPath(i)
 		if in.Lambda <= 1 {
-			for _, v := range f.Path {
-				if p.Has(v) && residual[v] >= f.Rate {
+			for _, v := range path {
+				if p.Has(v) && residual[v] >= rate {
 					alloc[i] = v
-					residual[v] -= f.Rate
+					residual[v] -= rate
 					break
 				}
 			}
 		} else {
-			for j := len(f.Path) - 1; j >= 0; j-- {
-				v := f.Path[j]
-				if p.Has(v) && residual[v] >= f.Rate {
+			for j := len(path) - 1; j >= 0; j-- {
+				v := path[j]
+				if p.Has(v) && residual[v] >= rate {
 					alloc[i] = v
-					residual[v] -= f.Rate
+					residual[v] -= rate
 					break
 				}
 			}

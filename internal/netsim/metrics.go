@@ -28,6 +28,27 @@ var (
 		"incremental States constructed (one full allocation each)")
 )
 
+// Memory gauges for the arena layout: how many bytes the most recently
+// constructed (or cover-materialized) instance retains. Latest-instance
+// semantics — New and the lazy cover build overwrite the gauges, so a
+// process juggling several instances reports the newest one. That is
+// the right shape for the serve path (one live instance per request
+// burst) and keeps the hot path free of per-instance registries.
+var (
+	instanceBytesGauge = obs.NewGauge("tdmd_instance_bytes",
+		"bytes retained by the latest netsim instance (arenas + cover bitsets)")
+	arenaBytesGauge = obs.NewGauge("tdmd_arena_bytes",
+		"bytes retained by the latest instance's through/path arenas and offset tables")
+)
+
+// updateMemoryGauges publishes the instance's MemoryFootprint. Called
+// from New and from the one-time cover-bitset build.
+func updateMemoryGauges(in *Instance) {
+	inst, arena := in.MemoryFootprint()
+	instanceBytesGauge.Set(inst)
+	arenaBytesGauge.Set(arena)
+}
+
 // flushCacheHits drains the State's local hit batch into the shared
 // counter. Called on the mutation path only, per the State
 // concurrency contract (mutations are single-goroutine).

@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"tdmd/internal/obs"
 	"tdmd/internal/paperfix"
 )
 
@@ -44,5 +47,49 @@ func TestCacheCountersTrackHitsAndMisses(t *testing.T) {
 	_ = s.Plan()
 	if h, _ := CacheCounters(); h-h1 != 1 {
 		t.Fatalf("Plan() flushed +%d hits, want +1", h-h1)
+	}
+}
+
+// The memory gauges must track the latest instance's footprint and
+// appear in the Prometheus exposition with those exact values.
+func TestMemoryGaugesExposed(t *testing.T) {
+	in := fig1(t)
+	instBytes, arenaBytes := in.MemoryFootprint()
+	if arenaBytes <= 0 {
+		t.Fatal("arena footprint not positive")
+	}
+	if got := instanceBytesGauge.Value(); got != instBytes {
+		t.Fatalf("tdmd_instance_bytes = %d, want %d", got, instBytes)
+	}
+	if got := arenaBytesGauge.Value(); got != arenaBytes {
+		t.Fatalf("tdmd_arena_bytes = %d, want %d", got, arenaBytes)
+	}
+
+	// Materializing the cover bitsets grows the instance footprint and
+	// republishes the gauges; the arena share is unchanged.
+	in.CoverSet(0)
+	instAfter, arenaAfter := in.MemoryFootprint()
+	if instAfter <= instBytes || arenaAfter != arenaBytes {
+		t.Fatalf("cover build: footprint (%d,%d) -> (%d,%d), want larger instance, same arena",
+			instBytes, arenaBytes, instAfter, arenaAfter)
+	}
+	if got := instanceBytesGauge.Value(); got != instAfter {
+		t.Fatalf("tdmd_instance_bytes after cover build = %d, want %d", got, instAfter)
+	}
+
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE tdmd_instance_bytes gauge",
+		fmt.Sprintf("tdmd_instance_bytes %d", instAfter),
+		"# TYPE tdmd_arena_bytes gauge",
+		fmt.Sprintf("tdmd_arena_bytes %d", arenaAfter),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }

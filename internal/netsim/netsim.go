@@ -4,6 +4,14 @@
 // its marginals (Defs. 1-2), and feasibility checking. A separate
 // link-load simulator (linkload.go) recomputes consumption edge by
 // edge and is used by tests to validate the closed-form model.
+//
+// Memory layout (DESIGN.md "Memory layout"): the instance's hot-path
+// state lives in contiguous CSR-style arenas — one flat []FlowAt
+// through arena addressed by a per-vertex offset table, one shared
+// vertex-ID arena holding every flow path as a [start,end) span, and
+// one backing-word arena for the lazily built cover bitsets. Vertex
+// and flow IDs are dense, so every per-iteration lookup is a slice
+// index; no map is consulted anywhere on the solver fast path.
 package netsim
 
 import (
@@ -11,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"tdmd/internal/bitset"
 	"tdmd/internal/graph"
@@ -33,14 +42,27 @@ type Instance struct {
 	Flows  []traffic.Flow
 	Lambda float64
 
-	// through[v] lists, for every vertex v, the flows whose path
-	// visits v together with l_v(f), the downstream edge count.
-	through [][]FlowAt
+	// through is the flat per-vertex flow index: for every vertex v,
+	// through[throughOff[v]:throughOff[v+1]] lists the flows whose path
+	// visits v together with l_v(f), the downstream edge count. It is
+	// built by two-pass counting (no jagged append growth), so the
+	// whole index is one contiguous allocation.
+	through    []FlowAt
+	throughOff []int32 // len NumNodes+1; CSR row offsets into through
+
+	// pathArena interns every flow path into one shared vertex-ID
+	// arena; flow i's path is pathArena[pathOff[i]:pathOff[i+1]]. The
+	// hot path reads paths exclusively through FlowPath/PathSpan, never
+	// through the per-flow Path slices of the input workload.
+	pathArena []graph.NodeID
+	pathOff   []int32 // len(Flows)+1
+
 	// rawDemand caches Σ r_f·|p_f|.
 	rawDemand float64
 
-	coverOnce sync.Once
-	cover     []*bitset.Set // per-vertex covered-flow bitsets, built lazily
+	coverOnce  sync.Once
+	coverWords []uint64     // single backing arena for every cover bitset
+	cover      []bitset.Set // per-vertex views into coverWords, built lazily
 }
 
 // FlowAt records that a flow's path visits some vertex with the given
@@ -57,6 +79,12 @@ type FlowAt struct {
 // (e.g. encryption or tunneling overhead). The allocation rule adapts
 // automatically; the tree algorithms and GTP's guarantee require
 // λ ≤ 1 and enforce it themselves.
+//
+// Construction is two-pass: a counting pass sizes the through and
+// path arenas exactly, then a fill pass writes them — no slice ever
+// grows, and the per-vertex entries land in the same (flow, position)
+// order a per-vertex append would produce, so all downstream marginal
+// computations are bit-identical to the historical jagged layout.
 func New(g *graph.Graph, flows []traffic.Flow, lambda float64) (*Instance, error) {
 	if lambda < 0 {
 		return nil, fmt.Errorf("netsim: negative lambda %v", lambda)
@@ -65,14 +93,41 @@ func New(g *graph.Graph, flows []traffic.Flow, lambda float64) (*Instance, error
 		return nil, err
 	}
 	inst := &Instance{G: g, Flows: flows, Lambda: lambda}
-	inst.through = make([][]FlowAt, g.NumNodes())
+	n := g.NumNodes()
+
+	// Pass 1: count visits per vertex and total path length.
+	counts := make([]int32, n)
+	totalPath := 0
+	for _, f := range flows {
+		totalPath += len(f.Path)
+		for _, v := range f.Path {
+			counts[v]++
+		}
+	}
+	inst.throughOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		inst.throughOff[v+1] = inst.throughOff[v] + counts[v]
+	}
+	inst.through = make([]FlowAt, inst.throughOff[n])
+	inst.pathArena = make([]graph.NodeID, totalPath)
+	inst.pathOff = make([]int32, len(flows)+1)
+
+	// Pass 2: fill. counts is reused as the per-vertex write cursor.
+	copy(counts, inst.throughOff[:n])
+	at := 0
 	for i, f := range flows {
+		inst.pathOff[i] = int32(at)
 		hops := f.Hops()
 		for pos, v := range f.Path {
-			inst.through[v] = append(inst.through[v], FlowAt{Flow: i, Downstream: hops - pos})
+			inst.pathArena[at] = v
+			at++
+			inst.through[counts[v]] = FlowAt{Flow: i, Downstream: hops - pos}
+			counts[v]++
 		}
 		inst.rawDemand += float64(f.Rate) * float64(hops)
 	}
+	inst.pathOff[len(flows)] = int32(at)
+	updateMemoryGauges(inst)
 	return inst, nil
 }
 
@@ -86,69 +141,141 @@ func MustNew(g *graph.Graph, flows []traffic.Flow, lambda float64) *Instance {
 	return inst
 }
 
-// Through returns the flows visiting v with their downstream counts.
-// The slice is owned by the instance.
-func (in *Instance) Through(v graph.NodeID) []FlowAt { return in.through[v] }
+// Through returns the flows visiting v with their downstream counts —
+// one contiguous row of the CSR through arena, owned by the instance.
+//
+//tdmd:hot
+func (in *Instance) Through(v graph.NodeID) []FlowAt {
+	return in.through[in.throughOff[v]:in.throughOff[v+1]]
+}
+
+// FlowPath returns flow i's path as a span of the shared path arena.
+// The slice is owned by the instance and must not be mutated; it
+// compares equal element-for-element with Flows[i].Path.
+//
+//tdmd:hot
+func (in *Instance) FlowPath(i int) graph.Path {
+	return graph.Path(in.pathArena[in.pathOff[i]:in.pathOff[i+1]])
+}
+
+// PathSpan returns the [start, end) interval of flow i's path inside
+// the shared path arena — the compact per-flow encoding ROADMAP item 5
+// builds on (a flow costs two int32 offsets instead of a slice
+// header).
+func (in *Instance) PathSpan(i int) (start, end int32) {
+	return in.pathOff[i], in.pathOff[i+1]
+}
+
+// flowHops returns |p_f| for flow i from the span table.
+//
+//tdmd:hot
+func (in *Instance) flowHops(i int) int {
+	return int(in.pathOff[i+1]-in.pathOff[i]) - 1
+}
 
 // RawDemand returns Σ r_f·|p_f|, the consumption with no middlebox.
 func (in *Instance) RawDemand() float64 { return in.rawDemand }
 
 // Plan is a middlebox deployment: the set of vertices hosting a
 // middlebox (P in the paper). The zero value is an empty plan.
+//
+// A Plan is canonically flat: a sorted vertex list for ordered
+// iteration plus a membership bitset for O(1) tests — no map is
+// involved anywhere (maps survive only at JSON/API boundaries, which
+// go through Vertices and Add). Plans are value types backed by
+// slices: copy with Clone for an independent plan; mutating methods
+// use pointer receivers.
 type Plan struct {
-	set map[graph.NodeID]bool
+	vs   []graph.NodeID // deployed vertices, strictly increasing
+	bits []uint64       // membership bitset indexed by vertex ID
 }
 
 // NewPlan returns a plan containing the given vertices.
 func NewPlan(vs ...graph.NodeID) Plan {
-	p := Plan{set: make(map[graph.NodeID]bool, len(vs))}
+	var p Plan
 	for _, v := range vs {
-		p.set[v] = true
+		p.Add(v)
 	}
 	return p
 }
 
+// reserve grows the membership bitset to cover vertex IDs < n, so
+// subsequent Adds below n never reallocate it.
+func (p *Plan) reserve(n int) {
+	if words := (n + 63) / 64; words > len(p.bits) {
+		grown := make([]uint64, words)
+		copy(grown, p.bits)
+		p.bits = grown
+	}
+}
+
 // Add deploys a middlebox on v (idempotent).
 func (p *Plan) Add(v graph.NodeID) {
-	if p.set == nil {
-		p.set = make(map[graph.NodeID]bool)
+	if p.Has(v) {
+		return
 	}
-	p.set[v] = true
+	p.reserve(int(v) + 1)
+	p.bits[v>>6] |= 1 << (uint(v) & 63)
+	// Insert into the sorted vertex list. Plans are small relative to
+	// the workloads they serve; the memmove is cheap and keeps every
+	// ordered read (Vertices, AppendVertices, Covers) allocation- and
+	// sort-free.
+	i := sort.Search(len(p.vs), func(i int) bool { return p.vs[i] >= v })
+	p.vs = append(p.vs, 0)
+	copy(p.vs[i+1:], p.vs[i:])
+	p.vs[i] = v
 }
 
 // Remove deletes the middlebox on v if present.
-func (p *Plan) Remove(v graph.NodeID) { delete(p.set, v) }
+func (p *Plan) Remove(v graph.NodeID) {
+	if !p.Has(v) {
+		return
+	}
+	p.bits[v>>6] &^= 1 << (uint(v) & 63)
+	i := sort.Search(len(p.vs), func(i int) bool { return p.vs[i] >= v })
+	copy(p.vs[i:], p.vs[i+1:])
+	p.vs = p.vs[:len(p.vs)-1]
+}
 
-// Has reports whether v hosts a middlebox.
-func (p Plan) Has(v graph.NodeID) bool { return p.set[v] }
+// Has reports whether v hosts a middlebox — one bounds check and one
+// bit test, no hashing.
+//
+//tdmd:hot
+func (p Plan) Has(v graph.NodeID) bool {
+	w := int(v) >> 6
+	return w < len(p.bits) && p.bits[w]&(1<<(uint(v)&63)) != 0
+}
 
 // Size returns |P|, the number of deployed middleboxes.
-func (p Plan) Size() int { return len(p.set) }
+func (p Plan) Size() int { return len(p.vs) }
 
-// Vertices returns the deployed vertices in increasing order.
+// Vertices returns the deployed vertices in increasing order. The
+// returned slice is a copy and safe to mutate.
 func (p Plan) Vertices() []graph.NodeID {
-	vs := make([]graph.NodeID, 0, len(p.set))
-	for v := range p.set {
-		vs = append(vs, v)
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	return vs
+	return append([]graph.NodeID(nil), p.vs...)
+}
+
+// AppendVertices appends the deployed vertices to buf in increasing
+// order and returns the extended slice — the allocation-free
+// counterpart of Vertices for hot loops.
+//
+//tdmd:hot
+func (p Plan) AppendVertices(buf []graph.NodeID) []graph.NodeID {
+	return append(buf, p.vs...)
 }
 
 // Clone returns an independent copy.
 func (p Plan) Clone() Plan {
-	c := Plan{set: make(map[graph.NodeID]bool, len(p.set))}
-	for v := range p.set {
-		c.set[v] = true
+	return Plan{
+		vs:   append([]graph.NodeID(nil), p.vs...),
+		bits: append([]uint64(nil), p.bits...),
 	}
-	return c
 }
 
 // String renders "{v1, v5}" using vertex IDs.
 func (p Plan) String() string {
-	vs := p.Vertices()
-	parts := make([]string, len(vs))
-	for i, v := range vs {
+	parts := make([]string, len(p.vs))
+	for i, v := range p.vs {
 		parts[i] = fmt.Sprintf("%d", v)
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
@@ -171,19 +298,20 @@ type Allocation []graph.NodeID
 // consumption b(f) = r·(|p| − (1−λ)·l_v).
 func (in *Instance) Allocate(p Plan) Allocation {
 	alloc := make(Allocation, len(in.Flows))
-	for i, f := range in.Flows {
+	for i := range in.Flows {
 		alloc[i] = Unserved
+		path := in.FlowPath(i)
 		if in.Lambda <= 1 {
-			for _, v := range f.Path { // src -> dst: first hit is nearest the source
+			for _, v := range path { // src -> dst: first hit is nearest the source
 				if p.Has(v) {
 					alloc[i] = v
 					break
 				}
 			}
 		} else {
-			for j := len(f.Path) - 1; j >= 0; j-- { // last hit: nearest the destination
-				if p.Has(f.Path[j]) {
-					alloc[i] = f.Path[j]
+			for j := len(path) - 1; j >= 0; j-- { // last hit: nearest the destination
+				if p.Has(path[j]) {
+					alloc[i] = path[j]
 					break
 				}
 			}
@@ -227,7 +355,7 @@ func (in *Instance) Covers(p Plan) bool {
 		return true
 	}
 	acc := bitset.New(len(in.Flows))
-	for v := range p.set {
+	for _, v := range p.vs {
 		acc.Or(in.CoverSet(v))
 	}
 	return acc.Count() == len(in.Flows)
@@ -246,17 +374,19 @@ func (in *Instance) Feasible(p Plan) bool {
 // FlowBandwidth returns b(f) for flow index i when served at v
 // (Unserved means the flow keeps its initial rate on every hop):
 // b(f) = r_f·( |p_f| − (1−λ)·l_v(f) ).
+//
+//tdmd:hot
 func (in *Instance) FlowBandwidth(i int, v graph.NodeID) float64 {
-	f := in.Flows[i]
-	full := float64(f.Rate) * float64(f.Hops())
+	rate := float64(in.Flows[i].Rate)
+	full := rate * float64(in.flowHops(i))
 	if v == Unserved {
 		return full
 	}
-	l := f.Path.Downstream(v)
+	l := in.FlowPath(i).Downstream(v)
 	if l < 0 {
 		panic(fmt.Sprintf("netsim: vertex %d not on path of flow %d", v, i))
 	}
-	return full - float64(f.Rate)*(1-in.Lambda)*float64(l)
+	return full - rate*(1-in.Lambda)*float64(l)
 }
 
 // TotalBandwidth returns b(P): the sum of every flow's consumption
@@ -289,12 +419,12 @@ func (in *Instance) MarginalDecrement(p Plan, alloc Allocation, v graph.NodeID) 
 		return 0
 	}
 	var gain float64
-	for _, fa := range in.through[v] {
-		f := in.Flows[fa.Flow]
+	for _, fa := range in.Through(v) {
+		rate := float64(in.Flows[fa.Flow].Rate)
 		cur := 0 // downstream count at current serving vertex; 0 is the unserved baseline
 		served := alloc[fa.Flow] != Unserved
 		if served {
-			cur = f.Path.Downstream(alloc[fa.Flow])
+			cur = in.FlowPath(fa.Flow).Downstream(alloc[fa.Flow])
 		}
 		moves := false
 		if in.Lambda <= 1 {
@@ -303,7 +433,7 @@ func (in *Instance) MarginalDecrement(p Plan, alloc Allocation, v graph.NodeID) 
 			moves = !served || fa.Downstream < cur
 		}
 		if moves {
-			gain += float64(f.Rate) * (1 - in.Lambda) * float64(fa.Downstream-cur)
+			gain += rate * (1 - in.Lambda) * float64(fa.Downstream-cur)
 		}
 	}
 	return gain
@@ -315,8 +445,9 @@ func (in *Instance) MarginalDecrement(p Plan, alloc Allocation, v graph.NodeID) 
 func (in *Instance) CoveredBy() [][]int {
 	out := make([][]int, in.G.NumNodes())
 	for v := range out {
-		flows := make([]int, 0, len(in.through[v]))
-		for _, fa := range in.through[v] {
+		row := in.Through(graph.NodeID(v))
+		flows := make([]int, 0, len(row))
+		for _, fa := range row {
 			flows = append(flows, fa.Flow)
 		}
 		out[v] = flows
@@ -324,19 +455,41 @@ func (in *Instance) CoveredBy() [][]int {
 	return out
 }
 
+// MemoryFootprint reports the memory retained by the instance's
+// hot-path representation, in bytes: arenaBytes covers the through
+// arena, the interned path arena and both offset tables (the data
+// ROADMAP item 5's bytes/flow budget tracks); instanceBytes
+// additionally counts the cover-bitset word arena when built.
+func (in *Instance) MemoryFootprint() (instanceBytes, arenaBytes int64) {
+	const (
+		flowAtSize = int64(unsafe.Sizeof(FlowAt{}))
+		nodeIDSize = int64(unsafe.Sizeof(graph.NodeID(0)))
+	)
+	arenaBytes = int64(cap(in.through))*flowAtSize +
+		int64(cap(in.pathArena))*nodeIDSize +
+		int64(cap(in.throughOff)+cap(in.pathOff))*4
+	instanceBytes = arenaBytes + int64(cap(in.coverWords))*8
+	return instanceBytes, arenaBytes
+}
+
 // CoverSet returns the bitset of flow indices covered by v, built
 // lazily once per instance. The budget guard's greedy set cover runs
-// word-parallel over these.
+// word-parallel over these. All cover bitsets share one backing-word
+// arena; the returned set is a view into it, owned by the instance.
 func (in *Instance) CoverSet(v graph.NodeID) *bitset.Set {
 	in.coverOnce.Do(func() {
-		in.cover = make([]*bitset.Set, in.G.NumNodes())
-		for u := range in.cover {
-			s := bitset.New(len(in.Flows))
-			for _, fa := range in.through[u] {
+		n := in.G.NumNodes()
+		words := (len(in.Flows) + 63) / 64
+		in.coverWords = make([]uint64, n*words)
+		in.cover = make([]bitset.Set, n)
+		for u := 0; u < n; u++ {
+			s := bitset.View(in.coverWords[u*words:(u+1)*words], len(in.Flows))
+			for _, fa := range in.Through(graph.NodeID(u)) {
 				s.Set(fa.Flow)
 			}
 			in.cover[u] = s
 		}
+		updateMemoryGauges(in)
 	})
-	return in.cover[v]
+	return &in.cover[v]
 }

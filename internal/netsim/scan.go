@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"tdmd/internal/graph"
+)
+
+// Parallel marginal scan. One greedy round evaluates the scoring keys
+// of every candidate vertex; on the CSR layout each evaluation is an
+// independent read-only walk of one through-arena row, so the scan
+// parallelizes with no shared mutable state. Both entry points write
+// results into a caller-owned, index-addressed slice: workers own
+// disjoint index ranges, so the output is identical for any worker
+// count or scheduling — determinism lives in the index-keyed output
+// plus the caller's serial ascending-index reduction, not in the
+// execution order (DESIGN.md "Memory layout").
+
+// Score is one vertex's greedy scoring keys, as computed by
+// VertexScore: the marginal decrement d_P({v}) and the number of
+// currently unserved flows whose paths visit v.
+type Score struct {
+	Gain    float64
+	Covered int
+}
+
+// scanChunk is the contiguous index range a worker claims per atomic
+// fetch. Large enough to amortize the atomic add and keep false
+// sharing of dst cache lines rare, small enough to balance skewed
+// through-row lengths across workers.
+const scanChunk = 64
+
+// ScanScores fills dst[v] with VertexScore(v) for every vertex,
+// fanning the scan across at most workers goroutines (workers ≤ 1
+// means serial). dst must hold at least NumNodes entries.
+//
+// Workers claim contiguous index chunks from an atomic cursor and
+// write only their own chunk's entries, so dst's contents are
+// independent of scheduling. The scan is read-only on the State (it
+// bypasses the score cache), so it is safe while no mutation is in
+// flight — the State concurrency contract.
+//
+// Cancellation: workers poll ctx per chunk and stop claiming; entries
+// of unclaimed chunks keep their previous contents. Callers must
+// re-check ctx before acting on the results, as the greedy drivers do.
+func (s *State) ScanScores(ctx context.Context, dst []Score, workers int) {
+	n := s.in.G.NumNodes()
+	dst = dst[:n]
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v += scanChunk {
+			if ctx.Err() != nil {
+				return
+			}
+			end := v + scanChunk
+			if end > n {
+				end = n
+			}
+			scoreRange(s, dst, v, end)
+		}
+		return
+	}
+	// The chunk shrinks with the vertex count so every worker gets
+	// several claims even on mid-size graphs — with one fixed 64-vertex
+	// chunk per worker a 200-vertex scan degenerates to 4 uneven grabs.
+	chunk := int64(scanChunk)
+	if c := int64((n + workers*4 - 1) / (workers * 4)); c < chunk {
+		chunk = c
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	claim := func() {
+		for {
+			start := int(next.Add(chunk) - chunk)
+			if start >= n || ctx.Err() != nil {
+				return
+			}
+			end := start + int(chunk)
+			if end > n {
+				end = n
+			}
+			scoreRange(s, dst, start, end)
+		}
+	}
+	// The caller is worker zero: one fewer goroutine to spawn and its
+	// chunk claims overlap the others' startup latency.
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			claim()
+		}()
+	}
+	claim()
+	wg.Wait()
+}
+
+// scoreRange scores vertices [start, end) into dst — the shared
+// worker body of ScanScores.
+//
+//tdmd:hot
+func scoreRange(s *State, dst []Score, start, end int) {
+	for v := start; v < end; v++ {
+		gain, covered := s.VertexScore(graph.NodeID(v))
+		dst[v] = Score{Gain: gain, Covered: covered}
+	}
+}
+
+// ScoreVertices fills dst[i] with VertexScore(vs[i]) for every listed
+// vertex, with the same worker-pool, ownership, and cancellation
+// semantics as ScanScores. dst must be at least as long as vs. It is
+// the batch primitive behind the lazy greedy's parallel heap refresh:
+// the caller pops a wave of stale heap entries and rescores them in
+// one fan-out.
+func (s *State) ScoreVertices(ctx context.Context, vs []graph.NodeID, dst []Score, workers int) {
+	n := len(vs)
+	dst = dst[:n]
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i += scanChunk {
+			if ctx.Err() != nil {
+				return
+			}
+			end := i + scanChunk
+			if end > n {
+				end = n
+			}
+			scoreList(s, vs, dst, i, end)
+		}
+		return
+	}
+	// Refresh waves are often much shorter than a full vertex scan;
+	// shrink the chunk so a short list still spreads across the pool.
+	chunk := int64(scanChunk)
+	if c := int64((n + workers*4 - 1) / (workers * 4)); c < chunk {
+		chunk = c
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	claim := func() {
+		for {
+			start := int(next.Add(chunk) - chunk)
+			if start >= n || ctx.Err() != nil {
+				return
+			}
+			end := start + int(chunk)
+			if end > n {
+				end = n
+			}
+			scoreList(s, vs, dst, start, end)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			claim()
+		}()
+	}
+	claim()
+	wg.Wait()
+}
+
+// scoreList scores vs[start:end] into dst[start:end].
+//
+//tdmd:hot
+func scoreList(s *State, vs []graph.NodeID, dst []Score, start, end int) {
+	for i := start; i < end; i++ {
+		gain, covered := s.VertexScore(vs[i])
+		dst[i] = Score{Gain: gain, Covered: covered}
+	}
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+// scanInstance is a small deterministic instance with a few deployed
+// boxes, so scores mix served, unserved, and deployed vertices.
+func scanState(t *testing.T) *State {
+	t.Helper()
+	in := fig1(t)
+	s := NewState(in, NewPlan())
+	s.AddBox(2)
+	return s
+}
+
+// ScanScores must be bit-identical to a serial VertexScore sweep for
+// every worker count — the determinism contract the parallel greedy
+// rests on.
+func TestScanScoresMatchesVertexScore(t *testing.T) {
+	s := scanState(t)
+	n := s.Instance().G.NumNodes()
+	want := make([]Score, n)
+	for v := 0; v < n; v++ {
+		gain, covered := s.VertexScore(graph.NodeID(v))
+		want[v] = Score{Gain: gain, Covered: covered}
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got := make([]Score, n)
+		s.ScanScores(context.Background(), got, workers)
+		for v := range want {
+			if math.Float64bits(got[v].Gain) != math.Float64bits(want[v].Gain) || got[v].Covered != want[v].Covered {
+				t.Fatalf("workers=%d vertex %d: got %+v want %+v", workers, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// ScoreVertices must agree with VertexScore on arbitrary vertex lists
+// (including repeats), again for every worker count.
+func TestScoreVerticesMatchesVertexScore(t *testing.T) {
+	s := scanState(t)
+	n := s.Instance().G.NumNodes()
+	vs := make([]graph.NodeID, 0, 3*n)
+	for r := 0; r < 3; r++ {
+		for v := n - 1; v >= 0; v-- {
+			vs = append(vs, graph.NodeID(v))
+		}
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		got := make([]Score, len(vs))
+		s.ScoreVertices(context.Background(), vs, got, workers)
+		for i, v := range vs {
+			gain, covered := s.VertexScore(v)
+			if math.Float64bits(got[i].Gain) != math.Float64bits(gain) || got[i].Covered != covered {
+				t.Fatalf("workers=%d entry %d (vertex %d): got %+v want {%v %d}",
+					workers, i, v, got[i], gain, covered)
+			}
+		}
+	}
+}
+
+// A cancelled scan must return promptly and leave untouched entries
+// as they were (the caller re-checks ctx before using them).
+func TestScanScoresCancelled(t *testing.T) {
+	s := scanState(t)
+	n := s.Instance().G.NumNodes()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := make([]Score, n)
+	for i := range got {
+		got[i] = Score{Gain: -1, Covered: -1}
+	}
+	s.ScanScores(ctx, got, 4)
+	s.ScoreVertices(ctx, []graph.NodeID{0, 1, 2}, got[:3], 4)
+	// No assertion on which entries were written — only that the calls
+	// returned (no deadlock, no worker leak under -race/goleak).
+}
+
+// BenchmarkScanScores measures one full candidate-scan round on the
+// snapshot workload. Run with -cpu 1,4 (scripts/bench.sh): the workers
+// track GOMAXPROCS, so the two rows give the serial baseline and the
+// parallel speedup BENCH_solver.json records.
+func BenchmarkScanScores(b *testing.B) {
+	in := snapInstance(b)
+	s := NewState(in, NewPlan())
+	s.AddBox(0)
+	dst := make([]Score, in.G.NumNodes())
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanScores(ctx, dst, workers)
+	}
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// FuzzPathSpanRoundTrip checks the path-intern invariant: for every
+// flow, decoding the [start,end) span out of the shared arena must
+// reproduce the input path exactly, spans must tile the arena in flow
+// order, and the span-derived hop count must match the flow's.
+func FuzzPathSpanRoundTrip(f *testing.F) {
+	f.Add(int64(1), 8, 3)
+	f.Add(int64(7), 20, 1)
+	f.Add(int64(42), 5, 9)
+	f.Fuzz(func(t *testing.T, seed int64, size, srcs int) {
+		size = 5 + (size%26+26)%26
+		srcs = 1 + (srcs%4+4)%4
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.GeneralRandom(size, 0.7, rng.Int63())
+		sources := make([]graph.NodeID, srcs)
+		for i := range sources {
+			sources[i] = graph.NodeID(i % size)
+		}
+		flows := traffic.GeneralFlows(g, sources, traffic.GenConfig{
+			Density: 0.6, Seed: rng.Int63(), MaxFlows: 40})
+		if len(flows) == 0 {
+			t.Skip("no flows")
+		}
+		in := MustNew(g, flows, 0.5)
+		cursor := int32(0)
+		for i, fl := range flows {
+			start, end := in.PathSpan(i)
+			if start != cursor {
+				t.Fatalf("flow %d: span start %d, arena cursor %d (spans must tile)", i, start, cursor)
+			}
+			if int(end-start) != len(fl.Path) {
+				t.Fatalf("flow %d: span length %d, path length %d", i, end-start, len(fl.Path))
+			}
+			cursor = end
+			got := in.FlowPath(i)
+			for j, v := range fl.Path {
+				if got[j] != v {
+					t.Fatalf("flow %d hop %d: arena %d, input path %d", i, j, got[j], v)
+				}
+			}
+			if in.flowHops(i) != fl.Hops() {
+				t.Fatalf("flow %d: span hops %d, Flow.Hops %d", i, in.flowHops(i), fl.Hops())
+			}
+		}
+	})
+}
+
+// referenceAllocateCapacitated is the pre-arena implementation of the
+// first-fit-decreasing capacitated assignment, kept verbatim as a
+// metamorphic oracle: it reads the workload's own Path slices instead
+// of the instance's interned arena. AllocateCapacitated must match it
+// bit for bit on any instance.
+func referenceAllocateCapacitated(in *Instance, p Plan, capacity int) Allocation {
+	if capacity <= 0 {
+		return in.Allocate(p)
+	}
+	alloc := make(Allocation, len(in.Flows))
+	for i := range alloc {
+		alloc[i] = Unserved
+	}
+	order := make([]int, len(in.Flows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := in.Flows[order[a]], in.Flows[order[b]]
+		if fa.Rate != fb.Rate {
+			return fa.Rate > fb.Rate
+		}
+		return order[a] < order[b]
+	})
+	residual := map[graph.NodeID]int{}
+	for _, v := range p.Vertices() {
+		residual[v] = capacity
+	}
+	for _, i := range order {
+		f := in.Flows[i]
+		if in.Lambda <= 1 {
+			for _, v := range f.Path {
+				if p.Has(v) && residual[v] >= f.Rate {
+					alloc[i] = v
+					residual[v] -= f.Rate
+					break
+				}
+			}
+		} else {
+			for j := len(f.Path) - 1; j >= 0; j-- {
+				v := f.Path[j]
+				if p.Has(v) && residual[v] >= f.Rate {
+					alloc[i] = v
+					residual[v] -= f.Rate
+					break
+				}
+			}
+		}
+	}
+	return alloc
+}
+
+// Metamorphic check: the arena-backed AllocateCapacitated equals the
+// path-slice reference on random instances, plans, capacities, and
+// both middlebox regimes.
+func TestAllocateCapacitatedMatchesReferenceOnArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := topology.GeneralRandom(5+rng.Intn(20), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0, 1}, traffic.GenConfig{
+			Density: 0.5, Seed: rng.Int63(), MaxFlows: 30})
+		if len(flows) == 0 {
+			continue
+		}
+		lambda := []float64{0, 0.5, 1, 1.5}[trial%4]
+		in := MustNew(g, flows, lambda)
+		var p Plan
+		for v := 0; v < g.NumNodes(); v++ {
+			if rng.Intn(3) == 0 {
+				p.Add(graph.NodeID(v))
+			}
+		}
+		for _, capacity := range []int{0, 1, 5, 50} {
+			got := in.AllocateCapacitated(p, capacity)
+			want := referenceAllocateCapacitated(in, p, capacity)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d λ=%v cap=%d flow %d: arena alloc %d, reference %d",
+						trial, lambda, capacity, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

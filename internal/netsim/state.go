@@ -47,16 +47,14 @@ import (
 // TotalBandwidth recomputation, so any solver running on State is
 // self-verifying on every solve.
 type State struct {
-	in   *Instance
-	plan Plan
+	in *Instance
 
-	// has mirrors plan as a flat vertex-indexed slice: has[v] reports
-	// whether v hosts a middlebox. The mutation and scoring inner
-	// loops (AddBox/RemoveBox path scans, VertexScore, the greedy
-	// candidate scan via Has) read this instead of the plan's map, so
-	// the per-flow, per-vertex hot path performs no map lookups; the
-	// map stays the source of truth for Plan() snapshots only.
-	has []bool
+	// plan is the canonical deployment set. Its membership bitset is
+	// reserved to NumNodes at construction, so the mutation and scoring
+	// inner loops (AddBox/RemoveBox path scans, VertexScore, the greedy
+	// candidate scan via Has) are single bit tests with no reallocation
+	// — the Plan itself is the flat representation; there is no mirror.
+	plan Plan
 
 	serving      Allocation // serving[i] = vertex serving flow i, or Unserved
 	servDown     []int      // downstream count at serving[i]; -1 when unserved
@@ -82,7 +80,6 @@ func NewState(in *Instance, p Plan) *State {
 	s := &State{
 		in:           in,
 		plan:         p.Clone(),
-		has:          make([]bool, in.G.NumNodes()),
 		serving:      in.Allocate(p),
 		servDown:     make([]int, len(in.Flows)),
 		unservedBits: bitset.New(len(in.Flows)),
@@ -90,9 +87,7 @@ func NewState(in *Instance, p Plan) *State {
 		cov:          make([]int, in.G.NumNodes()),
 		fresh:        make([]bool, in.G.NumNodes()),
 	}
-	for v := range s.plan.set {
-		s.has[v] = true
-	}
+	s.plan.reserve(in.G.NumNodes())
 	for i := range in.Flows {
 		v := s.serving[i]
 		s.total += in.FlowBandwidth(i, v)
@@ -101,7 +96,7 @@ func NewState(in *Instance, p Plan) *State {
 			s.unserved++
 			s.unservedBits.Set(i)
 		} else {
-			s.servDown[i] = in.Flows[i].Path.Downstream(v)
+			s.servDown[i] = in.FlowPath(i).Downstream(v)
 		}
 	}
 	if invariant.Enabled {
@@ -148,25 +143,20 @@ func (s *State) Plan() Plan {
 	return s.plan.Clone()
 }
 
-// Has reports whether v currently hosts a middlebox (no copy, no map
-// lookup — a flat slice read).
+// Has reports whether v currently hosts a middlebox (a single bit
+// test on the plan's membership bitset).
 //
 //tdmd:hot
-func (s *State) Has(v graph.NodeID) bool { return s.has[v] }
+func (s *State) Has(v graph.NodeID) bool { return s.plan.Has(v) }
 
 // AppendVertices appends the deployed vertices to buf in increasing
 // order and returns the extended slice. It is the allocation-free
-// counterpart of Plan().Vertices() for hot loops: the flat mirror is
-// already vertex-ordered, so no map range and no sort.
+// counterpart of Plan().Vertices() for hot loops: the plan's vertex
+// list is already sorted, so this is one bulk copy.
 //
 //tdmd:hot
 func (s *State) AppendVertices(buf []graph.NodeID) []graph.NodeID {
-	for v := range s.has {
-		if s.has[v] {
-			buf = append(buf, graph.NodeID(v))
-		}
-	}
-	return buf
+	return s.plan.AppendVertices(buf)
 }
 
 // Size returns |P|.
@@ -185,11 +175,10 @@ func (s *State) Instance() *Instance { return s.in }
 //
 //tdmd:hot
 func (s *State) AddBox(v graph.NodeID) float64 {
-	if s.has[v] {
+	if s.plan.Has(v) {
 		return 0
 	}
 	s.plan.Add(v)
-	s.has[v] = true
 	stateMutations.Inc()
 	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
@@ -230,11 +219,10 @@ func (s *State) AddBox(v graph.NodeID) float64 {
 //
 //tdmd:hot
 func (s *State) RemoveBox(v graph.NodeID) float64 {
-	if !s.has[v] {
+	if !s.plan.Has(v) {
 		return 0
 	}
 	s.plan.Remove(v)
-	s.has[v] = false
 	stateMutations.Inc()
 	s.flushCacheHits()
 	expanding := s.in.Lambda > 1
@@ -246,17 +234,17 @@ func (s *State) RemoveBox(v graph.NodeID) float64 {
 		}
 		old := s.in.FlowBandwidth(i, v)
 		next := Unserved
-		path := s.in.Flows[i].Path
+		path := s.in.FlowPath(i)
 		if expanding {
 			for j := len(path) - 1; j >= 0; j-- { // last hit: nearest the destination
-				if s.has[path[j]] {
+				if s.plan.Has(path[j]) {
 					next = path[j]
 					break
 				}
 			}
 		} else {
 			for _, u := range path { // first hit: nearest the source
-				if s.has[u] {
+				if s.plan.Has(u) {
 					next = u
 					break
 				}
@@ -286,7 +274,7 @@ func (s *State) RemoveBox(v graph.NodeID) float64 {
 //
 //tdmd:hot
 func (s *State) invalidatePath(i int) {
-	for _, u := range s.in.Flows[i].Path {
+	for _, u := range s.in.FlowPath(i) {
 		s.fresh[u] = false
 	}
 }
@@ -299,7 +287,7 @@ func (s *State) invalidatePath(i int) {
 //
 //tdmd:hot
 func (s *State) MarginalGain(v graph.NodeID) float64 {
-	if s.has[v] {
+	if s.plan.Has(v) {
 		return 0
 	}
 	if s.fresh[v] {
@@ -371,7 +359,7 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 			gain += float64(f.Rate) * (1 - s.in.Lambda) * float64(fa.Downstream-cur)
 		}
 	}
-	if s.has[v] {
+	if s.plan.Has(v) {
 		gain = 0 // deployed vertices have no marginal; coverage still counts
 	}
 	return gain, covered
@@ -385,10 +373,6 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 func (s *State) verify(op string) {
 	alloc := s.in.Allocate(s.plan)
 	unserved := 0
-	for v := 0; v < s.in.G.NumNodes(); v++ {
-		invariant.Assert(s.has[v] == s.plan.Has(graph.NodeID(v)),
-			"netsim: %s left flat mirror has[%d]=%v disagreeing with the plan map", op, v, s.has[v])
-	}
 	for i := range s.in.Flows {
 		invariant.Assert(s.serving[i] == alloc[i],
 			"netsim: %s left flow %d served at %d, full allocation says %d", op, i, s.serving[i], alloc[i])
@@ -399,7 +383,7 @@ func (s *State) verify(op string) {
 			invariant.Assert(s.unservedBits.Test(i),
 				"netsim: %s lost flow %d from the unserved set", op, i)
 		} else {
-			invariant.Assert(s.servDown[i] == s.in.Flows[i].Path.Downstream(alloc[i]),
+			invariant.Assert(s.servDown[i] == s.in.FlowPath(i).Downstream(alloc[i]),
 				"netsim: %s cached stale downstream %d for flow %d", op, s.servDown[i], i)
 			invariant.Assert(!s.unservedBits.Test(i),
 				"netsim: %s kept served flow %d in the unserved set", op, i)

@@ -120,6 +120,7 @@ func TestObserverIdentityAcrossAllSolvers(t *testing.T) {
 		"capacitated":         {general, []Option{WithK(3), WithCapacity(100)}},
 		"multistart-ls":       {general, []Option{WithK(3), WithSeed(7), WithStarts(2)}},
 		"gtp-parallel":        {general, []Option{WithWorkers(2)}},
+		"gtp-lazy-parallel":   {general, []Option{WithWorkers(2)}},
 		"dp-parallel":         {treeIn, []Option{WithK(3), WithTree(tr), WithWorkers(2)}},
 		"exhaustive-parallel": {general, []Option{WithK(3), WithWorkers(2)}},
 	}

@@ -11,6 +11,7 @@ import (
 
 	"tdmd/internal/graph"
 	"tdmd/internal/netsim"
+	"tdmd/internal/pq"
 )
 
 // Parallel variants of the placement algorithms. The paper counts GTP
@@ -35,14 +36,18 @@ func (o ParallelOpts) workers() int {
 }
 
 // GTPParallel is GTP (Alg. 1, unbudgeted) with each round's candidate
-// scan fanned out across workers. Workers score candidates through the
-// state's read-only VertexScore (safe to share while no mutation is in
-// flight); the single AddBox between rounds stays on the owning
-// goroutine, per the State concurrency contract. The reduction keeps
-// GTP's exact tie-breaking (gain, then unserved flows covered, then
-// vertex ID), so the plan equals GTP's.
+// scan fanned out across workers. The round scans through the state's
+// ScanScores: workers fill disjoint index ranges of one shared Score
+// slice (read-only VertexScore evaluations, safe to share while no
+// mutation is in flight), then a single-threaded reduction walks the
+// slice in ascending vertex order with GTP's exact tie-breaking (gain,
+// then unserved flows covered, then vertex ID). The scored values and
+// the reduction order are both independent of worker count and
+// scheduling, so the plan equals GTP's bit for bit. The single AddBox
+// between rounds stays on the owning goroutine, per the State
+// concurrency contract.
 // GTPParallel is anytime: between rounds it polls ctx and, mid-round,
-// every worker polls it per stripe chunk, so cancellation stops the
+// every scan worker polls it per chunk, so cancellation stops the
 // portfolio promptly and returns the partial plan with Interrupted
 // set.
 func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Result {
@@ -54,13 +59,14 @@ func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Re
 		sc.phase("cover", coverStart)
 	}()
 	st := netsim.NewState(in, netsim.NewPlan())
+	scores := make([]netsim.Score, in.G.NumNodes()) // one scan buffer per solve
 	for !st.Feasible() {
 		if canceled(ctx) {
 			r := finish(in, st.Plan())
 			r.Interrupted = ctx.Err()
 			return r
 		}
-		v, ok := bestCandidateParallel(ctx, st, opts.workers())
+		v, ok := bestCandidateParallel(ctx, st, scores, opts.workers())
 		if !ok {
 			break
 		}
@@ -70,81 +76,173 @@ func GTPParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Re
 	return finish(in, st.Plan())
 }
 
-// candScore is one vertex's greedy key.
-type candScore struct {
-	v       graph.NodeID
-	gain    float64
-	covered int
-	valid   bool
-}
-
-// better reports whether a beats b under GTP's ordering.
-func (a candScore) better(b candScore) bool {
-	if !a.valid {
-		return false
-	}
-	if !b.valid {
-		return true
-	}
-	// Ordered comparisons instead of float ==: exact ties fall through
-	// to the next key (floateq analyzer discipline).
-	if a.gain > b.gain {
-		return true
-	}
-	if a.gain < b.gain {
-		return false
-	}
-	if a.covered != b.covered {
-		return a.covered > b.covered
-	}
-	return a.v < b.v
-}
-
-func bestCandidateParallel(ctx context.Context, st *netsim.State, workers int) (graph.NodeID, bool) {
-	n := st.Instance().G.NumNodes()
-	if workers > n {
-		workers = n
-	}
-	results := make([]candScore, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var best candScore
-			scanned := 0
-			for idx := w; idx < n; idx += workers {
-				// Per-chunk poll so a cancelled round drains quickly even
-				// on large graphs; an incomplete scan is safe because the
-				// caller re-checks ctx before using the answer.
-				scanned++
-				if scanned%256 == 0 && canceled(ctx) {
-					break
-				}
-				v := graph.NodeID(idx)
-				if st.Has(v) {
-					continue
-				}
-				gain, covered := st.VertexScore(v)
-				c := candScore{v: v, gain: gain, covered: covered, valid: true}
-				if c.better(best) {
-					best = c
-				}
-			}
-			results[w] = best
-		}(w)
-	}
-	wg.Wait()
-	var best candScore
-	for _, c := range results {
-		if c.better(best) {
-			best = c
+// bestCandidateParallel runs one parallel candidate round: fill the
+// caller's scores buffer with every vertex's greedy keys, then reduce
+// serially in ascending vertex order — the identical comparator and
+// visit order as the serial bestCandidate, so the winner is the same
+// vertex. A cancelled scan may leave the buffer partially stale; that
+// is safe because the caller re-checks ctx before using the answer.
+func bestCandidateParallel(ctx context.Context, st *netsim.State, scores []netsim.Score, workers int) (graph.NodeID, bool) {
+	st.ScanScores(ctx, scores, workers)
+	best := graph.Invalid
+	bestGain := math.Inf(-1)
+	bestCovered := -1
+	for idx := range scores {
+		v := graph.NodeID(idx)
+		if st.Has(v) {
+			continue
+		}
+		gain, covered := scores[idx].Gain, scores[idx].Covered
+		// Ordered comparison instead of float ==: strictly larger gain
+		// wins, strictly smaller loses, exact ties fall through to the
+		// coverage and vertex-ID keys (floateq analyzer discipline).
+		switch {
+		case gain > bestGain:
+			best, bestGain, bestCovered = v, gain, covered
+		case gain < bestGain:
+			// keep incumbent
+		case covered > bestCovered || (covered == bestCovered && v < best):
+			best, bestGain, bestCovered = v, gain, covered
 		}
 	}
-	if !best.valid || (best.gain <= 0 && best.covered == 0) {
+	if best == graph.Invalid || (bestGain <= 0 && bestCovered == 0) {
 		return graph.Invalid, false
 	}
-	return best.v, true
+	return best, true
+}
+
+// GTPLazyParallel is GTPLazy with the heap refreshes batched and
+// fanned out across workers: instead of popping and rescoring one
+// stale entry at a time, each iteration pops the whole wave of entries
+// whose stale priority could still beat the best refreshed value and
+// rescores the wave in one ScoreVertices fan-out.
+//
+// The plan is identical to GTPLazy's (and hence GTP's) for any worker
+// count: stale priorities upper-bound true marginals (submodularity,
+// Theorem 2), so every vertex whose refreshed gain could win — in
+// particular every vertex tied at the final maximum — has a stale
+// priority at least that maximum and is refreshed by both the serial
+// and the batch loop; any extra vertex the batch refreshes early has a
+// true gain strictly below the final maximum and cannot win or tie,
+// and re-inserting it with its refreshed (exact, still-upper-bound)
+// value does not change any later round's selection.
+func GTPLazyParallel(ctx context.Context, in *netsim.Instance, opts ParallelOpts) Result {
+	sc := observing(ctx)
+	coverStart := time.Now()
+	var deployed int64
+	defer func() {
+		sc.count("deployments", deployed)
+		sc.phase("cover", coverStart)
+	}()
+	st := netsim.NewState(in, netsim.NewPlan())
+	n := in.G.NumNodes()
+	workers := opts.workers()
+	// Seed the heap from one parallel scan; the values are bit-identical
+	// to the serial MarginalGain warm-up (VertexScore is the same
+	// computation) and the push order is the same ascending vertex walk.
+	scratch := &lazyScratch{
+		wave:   make([]graph.NodeID, 0, n),
+		scores: make([]netsim.Score, n),
+		cands:  make([]lazyCand, 0, n),
+	}
+	st.ScanScores(ctx, scratch.scores, workers)
+	if canceled(ctx) {
+		r := finish(in, st.Plan())
+		r.Interrupted = ctx.Err()
+		return r
+	}
+	heap := pq.NewMax[graph.NodeID]()
+	for idx := 0; idx < n; idx++ {
+		heap.Push(graph.NodeID(idx), scratch.scores[idx].Gain)
+	}
+	//tdmd:hot
+	for !st.Feasible() && heap.Len() > 0 {
+		if canceled(ctx) {
+			r := finish(in, st.Plan())
+			r.Interrupted = ctx.Err()
+			return r
+		}
+		v, ok := popBestLazyBatch(ctx, st, heap, scratch, workers)
+		if !ok {
+			break
+		}
+		st.AddBox(v)
+		deployed++
+	}
+	return finish(in, st.Plan())
+}
+
+// lazyScratch holds the per-solve buffers of the batch-lazy loop, all
+// sized to |V| once so no refresh wave grows a slice.
+type lazyScratch struct {
+	wave   []graph.NodeID // stale entries popped this wave
+	scores []netsim.Score // ScoreVertices output, parallel to wave
+	cands  []lazyCand     // all entries refreshed this round
+}
+
+// popBestLazyBatch is popBestLazy with the refresh loop restructured
+// into waves: pop heap entries whose stale priority is not below the
+// best refreshed gain so far (at most waveCap per wave, so the first
+// wave — whose bar is −∞ — stays a bounded batch rather than draining
+// the heap), rescore the wave in parallel, raise the bar, and repeat
+// until the heap's top is strictly below the bar. Capping a wave never
+// skips a refresh the serial loop performs: the outer loop re-enters
+// while the top still meets the bar, so every entry with stale
+// priority ≥ the final maximum is popped eventually. Selection and
+// re-insertion then mirror popBestLazy exactly.
+func popBestLazyBatch(ctx context.Context, st *netsim.State, heap *pq.Heap[graph.NodeID], scratch *lazyScratch, workers int) (graph.NodeID, bool) {
+	waveCap := workers * 16 // keep every worker busy without over-refreshing
+	if waveCap < 32 {
+		waveCap = 32
+	}
+	fresh := scratch.cands[:0]
+	best := math.Inf(-1)
+	for heap.Len() > 0 {
+		if canceled(ctx) {
+			break // partial refresh is safe: the caller re-checks ctx
+		}
+		wave := scratch.wave[:0]
+		for heap.Len() > 0 && len(wave) < waveCap {
+			_, stalePri, _ := heap.Peek()
+			if stalePri < best {
+				break
+			}
+			v, _, _ := heap.Pop()
+			wave = append(wave, v)
+		}
+		if len(wave) == 0 {
+			break
+		}
+		scores := scratch.scores[:len(wave)]
+		st.ScoreVertices(ctx, wave, scores, workers)
+		for i, v := range wave {
+			g := scores[i].Gain
+			fresh = append(fresh, lazyCand{v, g, scores[i].Covered})
+			if g > best {
+				best = g
+			}
+		}
+	}
+	chosen := lazyCand{v: graph.Invalid, covered: -1}
+	for _, c := range fresh {
+		if c.gain < best {
+			continue
+		}
+		if chosen.v == graph.Invalid || c.covered > chosen.covered ||
+			(c.covered == chosen.covered && c.v < chosen.v) {
+			chosen = c
+		}
+	}
+	// Re-insert the losers with their refreshed values.
+	for _, c := range fresh {
+		if c.v != chosen.v {
+			heap.Push(c.v, c.gain)
+		}
+	}
+	if chosen.v == graph.Invalid || (best <= 0 && chosen.covered == 0) {
+		return graph.Invalid, false
+	}
+	return chosen.v, true
 }
 
 // TreeDPParallel runs the tree DP with independent subtrees solved

@@ -46,6 +46,45 @@ func TestGTPParallelMatchesSerialRandom(t *testing.T) {
 	}
 }
 
+func TestGTPLazyParallelMatchesSerialFig1(t *testing.T) {
+	in := fig1Instance(t)
+	serial := GTP(context.Background(), in)
+	lazy := GTPLazy(context.Background(), in)
+	if lazy.Plan.String() != serial.Plan.String() {
+		t.Fatalf("lazy plan %v != serial %v", lazy.Plan, serial.Plan)
+	}
+	for _, workers := range []int{1, 2, 4, 13} {
+		par := GTPLazyParallel(context.Background(), in, ParallelOpts{Workers: workers})
+		if par.Plan.String() != serial.Plan.String() {
+			t.Fatalf("workers=%d: plan %v != serial %v", workers, par.Plan, serial.Plan)
+		}
+		if par.Bandwidth != serial.Bandwidth {
+			t.Fatalf("workers=%d: bandwidth %v != %v", workers, par.Bandwidth, serial.Bandwidth)
+		}
+	}
+}
+
+// Property: the batch-parallel lazy greedy produces bit-identical
+// plans to serial GTP on random general instances, for several worker
+// counts — the submodular wave-refresh argument made executable.
+func TestGTPLazyParallelMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 25; trial++ {
+		g := topology.GeneralRandom(5+rng.Intn(30), 0.7, rng.Int63())
+		flows := traffic.GeneralFlows(g, []graph.NodeID{0}, traffic.GenConfig{
+			Density: 0.4, Seed: rng.Int63(), MaxFlows: 40})
+		if len(flows) == 0 {
+			continue
+		}
+		in := netsim.MustNew(g, flows, 0.5)
+		serial := GTP(context.Background(), in)
+		par := GTPLazyParallel(context.Background(), in, ParallelOpts{Workers: 1 + rng.Intn(8)})
+		if par.Plan.String() != serial.Plan.String() {
+			t.Fatalf("trial %d: plan %v != serial %v", trial, par.Plan, serial.Plan)
+		}
+	}
+}
+
 func TestTreeDPParallelMatchesSerialFig5(t *testing.T) {
 	in, tree := fig5Instance(t)
 	for k := 1; k <= 4; k++ {

@@ -132,6 +132,15 @@ func init() {
 	})
 	Register(funcSolver{
 		traits: Traits{
+			Name: "gtp-lazy-parallel", Doc: "lazy greedy with heap refreshes batched across workers",
+			Consumes: OptWorkers, Anytime: true,
+		},
+		fn: func(ctx context.Context, in *netsim.Instance, o Options) (Result, error) {
+			return requireFeasible(ctx, GTPLazyParallel(ctx, in, ParallelOpts{Workers: o.Workers}))
+		},
+	})
+	Register(funcSolver{
+		traits: Traits{
 			Name: "dp-parallel", Doc: "tree DP with independent subtrees solved concurrently",
 			Consumes: OptK | OptTree | OptWorkers, Requires: OptK | OptTree, Exact: true,
 		},

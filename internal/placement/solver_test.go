@@ -16,8 +16,9 @@ import (
 // allSolverNames is the full registry wired by register.go, sorted.
 var allSolverNames = []string{
 	"best-effort", "bnb", "capacitated", "dp", "dp-parallel",
-	"exhaustive", "exhaustive-parallel", "gtp", "gtp-lazy", "gtp-ls",
-	"gtp-parallel", "hat", "min-boxes", "multistart-ls", "random",
+	"exhaustive", "exhaustive-parallel", "gtp", "gtp-lazy",
+	"gtp-lazy-parallel", "gtp-ls", "gtp-parallel", "hat", "min-boxes",
+	"multistart-ls", "random",
 }
 
 func TestRegistryNamesCompleteAndSorted(t *testing.T) {

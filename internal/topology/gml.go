@@ -47,6 +47,12 @@ func ReadGML(r io.Reader) (*graph.Graph, error) {
 		}
 		switch tok {
 		case "]":
+			// Labels are identifiers downstream (trace replay resolves
+			// flows by NodeByName), so duplicated labels would silently
+			// alias distinct routers — reject the file instead.
+			if dups := g.DuplicateNames(); len(dups) > 0 {
+				return nil, fmt.Errorf("topology: GML: duplicate node label(s) %q", dups)
+			}
 			for _, e := range edges {
 				s, okS := idMap[e.src]
 				d, okD := idMap[e.dst]

@@ -147,3 +147,19 @@ func TestGMLRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// ReadGML must reject files whose node labels collide: trace replay
+// resolves endpoints by label, so aliased labels would silently merge
+// distinct routers.
+func TestReadGMLRejectsDuplicateLabels(t *testing.T) {
+	src := `graph [
+  node [ id 0 label "Seattle" ]
+  node [ id 1 label "Seattle" ]
+  edge [ source 0 target 1 ]
+]`
+	if _, err := ReadGML(strings.NewReader(src)); err == nil {
+		t.Fatal("ReadGML accepted duplicate node labels")
+	} else if !strings.Contains(err.Error(), "Seattle") {
+		t.Fatalf("error does not name the duplicated label: %v", err)
+	}
+}

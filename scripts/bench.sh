@@ -3,9 +3,11 @@
 #
 # The snapshot (BENCH_solver.json) holds ns/op, B/op and allocs/op for
 # the paired solver benchmarks — the root package's FullVsIncremental
-# pair and the netsim SnapState primitives, at |V|=200 / |F|≈1500 —
-# and is checked in, so the repository's performance trajectory is
-# reviewable history rather than folklore.
+# pair, the netsim SnapState primitives, instance construction
+# (BenchmarkNewInstance), and the parallel marginal scan
+# (BenchmarkScanScores, recorded at -cpu 1 and 4 as separate rows) —
+# all at |V|=200 / |F|≈1500 — and is checked in, so the repository's
+# performance trajectory is reviewable history rather than folklore.
 #
 # Usage: scripts/bench.sh           rewrite BENCH_solver.json in place
 #        scripts/bench.sh -check    fail if allocs/op regressed beyond

@@ -41,6 +41,11 @@ go test -tags tdmdinvariant ./internal/invariant/ ./internal/netsim/ ./internal/
 echo "==> cancellation hammer (race, 5 repetitions)"
 go test -tags tdmdinvariant -run Cancel -race -count=5 ./internal/placement/
 
+echo "==> parallel-scan race hammer (race, 5 repetitions)"
+# The parallel marginal scan and every *Parallel solver must stay
+# deterministic and data-race-free under repeated scheduling shuffles.
+go test -race -run 'Parallel|Scan' -count=5 ./internal/netsim/ ./internal/placement/
+
 echo "==> fuzz smoke (5s per target, auto-discovered)"
 # Every Fuzz* function in the repo gets a short smoke run; new fuzz
 # targets join the gate by existing, not by being listed here.
