@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check cancelhammer obs
+.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check bench-ingest scale cancelhammer obs
 
 check:
 	scripts/check.sh
@@ -44,14 +44,25 @@ fuzz:
 bench:
 	go test -run='^$$' -bench=FullVsIncremental -benchmem .
 
-# Benchmark snapshot (BENCH_solver.json): bench-snap rewrites it from
-# a fresh run, bench-check gates allocs/op against it (DESIGN.md
-# "Allocation discipline").
+# Benchmark snapshots (BENCH_solver.json + BENCH_ingest.json):
+# bench-snap rewrites both from a fresh run, bench-check gates
+# allocs/op — and, for the ingest suite, bytes/flow — against them
+# (DESIGN.md "Allocation discipline" and "Streaming ingestion").
 bench-snap:
-	scripts/bench.sh -update
+	scripts/bench.sh -update all
 
 bench-check:
-	scripts/bench.sh -check
+	scripts/bench.sh -check all
+
+# The ingestion suite alone: the million-flow scale test plus the
+# BenchmarkIngest* rows gated against BENCH_ingest.json.
+bench-ingest:
+	scripts/bench.sh -check ingest
+
+# The million-flow end-to-end scale run (stream from disk, decode,
+# solve with the parallel lazy greedy) without any benchmarking.
+scale:
+	TDMD_SCALE=1 go test -run TestScaleMillionFlows -count=1 -v .
 
 # Observability: race-enabled observer/metrics tests plus the paired
 # off/counting/metrics overhead benchmark guarding the ≤2% hot-path

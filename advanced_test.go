@@ -69,7 +69,7 @@ func TestSolveScaledDP(t *testing.T) {
 func TestSimulateStaticMatchesEvaluate(t *testing.T) {
 	p := fig1Problem(t)
 	plan := NewPlan(paperfix.V(2), paperfix.V(5))
-	m, err := p.Simulate(plan, SimConfig{Horizon: 7, InitialFlows: p.Instance().Flows})
+	m, err := p.Simulate(plan, SimConfig{Horizon: 7, InitialFlows: p.Instance().Flows()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,21 @@
-// Command benchsnap records and checks the repository's solver
-// benchmark snapshots (BENCH_solver.json). It runs the paired solver
-// benchmarks — the root package's FullVsIncremental pair and the
-// netsim SnapState primitives, all at |V|=200 / |F|≈1500 — through
-// `go test -bench` and parses their ns/op, B/op and allocs/op.
+// Command benchsnap records and checks the repository's benchmark
+// snapshots. Two suites are registered: "solver" (BENCH_solver.json)
+// runs the paired solver benchmarks — the root package's
+// FullVsIncremental pair and the netsim SnapState primitives, all at
+// |V|=200 / |F|≈1500 — and "ingest" (BENCH_ingest.json) runs the
+// streaming-ingestion benchmarks including the million-flow scale
+// row. Each suite goes through `go test -bench` and its ns/op, B/op,
+// allocs/op and (for ingest) bytes/flow are parsed out.
 //
-//	benchsnap -update           rewrite the snapshot from a fresh run
-//	benchsnap -check            compare a fresh run against the snapshot
+//	benchsnap -update                 rewrite the snapshot from a fresh run
+//	benchsnap -check                  compare a fresh run against the snapshot
+//	benchsnap -check -suite ingest    same, for the ingestion suite
 //
-// Check mode gates allocs/op only: allocation counts are nearly
-// deterministic, so a genuine regression (a new escape, a lost
-// preallocation) shows up as a count increase far above the tolerance
-// (default 25% + 3 allocs, for b.N-amortized setup noise), while
+// Check mode gates allocs/op and bytes/flow only: allocation counts
+// are nearly deterministic, so a genuine regression (a new escape, a
+// lost preallocation) shows up as a count increase far above the
+// tolerance (default 25% + 3 allocs, for b.N-amortized setup noise),
+// and bytes/flow is a property of the wire format, not the machine.
 // ns/op depends on the machine and is reported for information only.
 // A benchmark missing from either side fails the check: the snapshot
 // is regenerated deliberately with -update, reviewed like any other
@@ -46,21 +51,39 @@ type Suite struct {
 	Cpu     string `json:"cpu,omitempty"`
 }
 
-// suites is the snapshot's benchmark set.
-var suites = []Suite{
-	{Pkg: ".", Pattern: "BenchmarkFullVsIncremental"},
-	{Pkg: "./internal/netsim", Pattern: "BenchmarkSnapState"},
-	{Pkg: "./internal/netsim", Pattern: "BenchmarkNewInstance"},
-	{Pkg: "./internal/netsim", Pattern: "BenchmarkScanScores", Cpu: "1,4"},
+// suiteSet names one snapshot file and the benchmark set that fills
+// it. benchsnap -suite selects one.
+type suiteSet struct {
+	file   string
+	suites []Suite
 }
 
-// Entry is one benchmark's recorded metrics.
+// suiteSets registers the repository's snapshots: "solver" is the
+// historical solver-core set; "ingest" is the streaming-ingestion set
+// (BenchmarkIngest* in the root package, including the million-flow
+// scale row), whose bytes/flow metric is gated alongside allocs/op.
+var suiteSets = map[string]suiteSet{
+	"solver": {file: "BENCH_solver.json", suites: []Suite{
+		{Pkg: ".", Pattern: "BenchmarkFullVsIncremental"},
+		{Pkg: "./internal/netsim", Pattern: "BenchmarkSnapState"},
+		{Pkg: "./internal/netsim", Pattern: "BenchmarkNewInstance"},
+		{Pkg: "./internal/netsim", Pattern: "BenchmarkScanScores", Cpu: "1,4"},
+	}},
+	"ingest": {file: "BENCH_ingest.json", suites: []Suite{
+		{Pkg: ".", Pattern: "BenchmarkIngest"},
+	}},
+}
+
+// Entry is one benchmark's recorded metrics. BytesFlow is the custom
+// bytes/flow metric the ingestion benchmarks report (on-disk bytes per
+// encoded flow); zero for benchmarks that don't emit it.
 type Entry struct {
-	Pkg      string  `json:"pkg"`
-	Name     string  `json:"name"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op"`
-	AllocsOp float64 `json:"allocs_op"`
+	Pkg       string  `json:"pkg"`
+	Name      string  `json:"name"`
+	NsOp      float64 `json:"ns_op"`
+	BOp       float64 `json:"b_op"`
+	AllocsOp  float64 `json:"allocs_op"`
+	BytesFlow float64 `json:"bytes_flow,omitempty"`
 }
 
 // Snapshot is the BENCH_solver.json document.
@@ -79,14 +102,15 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	file := fs.String("file", "BENCH_solver.json", "snapshot file")
+	suite := fs.String("suite", "solver", "benchmark suite: solver or ingest")
+	file := fs.String("file", "", "snapshot file (default: the suite's, e.g. BENCH_solver.json)")
 	update := fs.Bool("update", false, "rewrite the snapshot from a fresh run")
 	check := fs.Bool("check", false, "compare a fresh run against the snapshot")
 	benchtime := fs.String("benchtime", "", "passed to go test -benchtime (default: go's)")
 	tolRel := fs.Float64("tol", 0.25, "allowed relative allocs/op increase")
 	tolAbs := fs.Float64("tolabs", 3, "allowed absolute allocs/op increase on top of -tol")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchsnap -update|-check [-file BENCH_solver.json] [-benchtime d]")
+		fmt.Fprintln(stderr, "usage: benchsnap -update|-check [-suite solver|ingest] [-file F] [-benchtime d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,8 +120,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	set, ok := suiteSets[*suite]
+	if !ok {
+		fmt.Fprintf(stderr, "benchsnap: unknown suite %q\n", *suite)
+		return 2
+	}
+	if *file == "" {
+		*file = set.file
+	}
 
-	cur, err := collect(*benchtime, stderr)
+	cur, err := collect(set.suites, *benchtime, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchsnap: %v\n", err)
 		return 2
@@ -127,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // collect runs every suite and merges the parsed entries, sorted.
-func collect(benchtime string, stderr io.Writer) (Snapshot, error) {
+func collect(suites []Suite, benchtime string, stderr io.Writer) (Snapshot, error) {
 	snap := Snapshot{GoVersion: runtime.Version()}
 	for _, s := range suites {
 		args := []string{"test", "-run", "^$", "-bench", s.Pattern, "-benchmem"}
@@ -196,6 +228,8 @@ func parseBench(pkg string, stripSuffix bool, output string) ([]Entry, error) {
 				e.BOp = val
 			case "allocs/op":
 				e.AllocsOp = val
+			case "bytes/flow":
+				e.BytesFlow = val
 			}
 		}
 		out = append(out, e)
@@ -233,8 +267,20 @@ func compare(w io.Writer, cur, snap Snapshot, tolRel, tolAbs float64) int {
 			status = "ALLOC REGRESSION"
 			problems++
 		}
-		fmt.Fprintf(w, "%-16s %-55s allocs/op %8.0f -> %8.0f (limit %.0f)   ns/op %12.0f -> %12.0f (info)\n",
+		// bytes/flow is a property of the wire format, not the machine:
+		// the same generator seed produces the same stream, so any
+		// growth beyond the relative tolerance is an encoding
+		// regression.
+		if want.BytesFlow > 0 && got.BytesFlow > want.BytesFlow*(1+tolRel) {
+			status = "BYTES/FLOW REGRESSION"
+			problems++
+		}
+		fmt.Fprintf(w, "%-16s %-55s allocs/op %8.0f -> %8.0f (limit %.0f)   ns/op %12.0f -> %12.0f (info)",
 			status, got.Name, want.AllocsOp, got.AllocsOp, limit, want.NsOp, got.NsOp)
+		if want.BytesFlow > 0 || got.BytesFlow > 0 {
+			fmt.Fprintf(w, "   bytes/flow %6.1f -> %6.1f", want.BytesFlow, got.BytesFlow)
+		}
+		fmt.Fprintln(w)
 	}
 	// Anything left was benchmarked now but never recorded.
 	var fresh []Entry

@@ -167,20 +167,63 @@ func TestRunUsage(t *testing.T) {
 	}
 }
 
-// TestRepoSnapshotParses pins that the checked-in snapshot stays
-// readable and covers both suites.
-func TestRepoSnapshotParses(t *testing.T) {
-	snap, err := readSnapshot(filepath.Join("..", "..", "BENCH_solver.json"))
+// TestRepoSnapshotsParse pins that every registered suite's checked-in
+// snapshot stays readable and has entries for each suite package.
+func TestRepoSnapshotsParse(t *testing.T) {
+	for name, set := range suiteSets {
+		snap, err := readSnapshot(filepath.Join("..", "..", set.file))
+		if err != nil {
+			t.Fatalf("suite %s: %v", name, err)
+		}
+		pkgs := map[string]bool{}
+		for _, e := range snap.Entries {
+			pkgs[e.Pkg] = true
+		}
+		for _, s := range set.suites {
+			if !pkgs[s.Pkg] {
+				t.Errorf("suite %s: snapshot has no entries for %+v", name, s)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownSuite(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-check", "-suite", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown suite: run = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown suite") {
+		t.Fatalf("error should name the problem:\n%s", errOut.String())
+	}
+}
+
+// The ingest benchmarks report a custom bytes/flow metric; it must be
+// parsed into its own column, not dropped.
+func TestParseBenchBytesFlow(t *testing.T) {
+	const out = `BenchmarkIngestStream-8   	      42	  26913475 ns/op	        32.60 bytes/flow	 6460968 B/op	    3905 allocs/op
+`
+	got, err := parseBench(".", true, out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs := map[string]bool{}
-	for _, e := range snap.Entries {
-		pkgs[e.Pkg] = true
+	if len(got) != 1 || got[0].BytesFlow != 32.60 {
+		t.Fatalf("bytes/flow not parsed: %+v", got)
 	}
-	for _, s := range suites {
-		if !pkgs[s.Pkg] {
-			t.Errorf("snapshot has no entries for suite %+v", s)
-		}
+}
+
+func TestCompareGatesBytesFlow(t *testing.T) {
+	base := snapOf(Entry{Pkg: ".", Name: "B/ingest", AllocsOp: 10, BytesFlow: 30})
+	grown := snapOf(Entry{Pkg: ".", Name: "B/ingest", AllocsOp: 10, BytesFlow: 45})
+	var out strings.Builder
+	if problems := compare(&out, grown, base, 0.25, 0); problems != 1 {
+		t.Fatalf("bytes/flow growth not flagged (%d problems):\n%s", problems, out.String())
+	}
+	if !strings.Contains(out.String(), "BYTES/FLOW REGRESSION") {
+		t.Fatalf("output should name the regression:\n%s", out.String())
+	}
+	within := snapOf(Entry{Pkg: ".", Name: "B/ingest", AllocsOp: 10, BytesFlow: 33})
+	out.Reset()
+	if problems := compare(&out, within, base, 0.25, 0); problems != 0 {
+		t.Fatalf("within-tolerance bytes/flow flagged (%d problems):\n%s", problems, out.String())
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 func main() {
 	var (
 		specPath = flag.String("spec", "", "path to a JSON problem spec (default: stdin)")
+		stream   = flag.Bool("stream", false, "ingest the input with the streaming decoder (accepts spec documents and NDJSON flow streams; O(1) decoder memory)")
 		algName  = flag.String("alg", string(tdmd.AlgGTP), "algorithm: gtp, gtp-lazy, gtp-ls, dp, hat, random, best-effort, exhaustive")
 		k        = flag.Int("k", 10, "middlebox budget")
 		seed     = flag.Int64("seed", 1, "seed for randomized algorithms")
@@ -52,20 +54,21 @@ func main() {
 		}
 	})
 	var err error
+	load := func() (*tdmd.Problem, error) { return loadProblem(*specPath, *stream) }
 	switch {
 	case *compare:
-		err = runCompare(ctx, *specPath, *k, *seed, os.Stdout)
+		err = runCompare(ctx, load, *k, *seed, os.Stdout)
 	case *capacity > 0:
-		err = runCapacitated(ctx, *specPath, *k, *capacity, os.Stdout)
+		err = runCapacitated(ctx, load, *k, *capacity, os.Stdout)
 	case *evalPlan != "":
-		err = runEvalPlan(*specPath, *evalPlan, os.Stdout)
+		err = runEvalPlan(load, *evalPlan, os.Stdout)
 	default:
 		alg := tdmd.Algorithm(*algName)
 		solveK := *k
 		if !kExplicit && !alg.Budgeted() {
 			solveK = 0
 		}
-		err = run(ctx, *specPath, alg, solveK, *seed, *quiet, *savePlan, os.Stdout)
+		err = run(ctx, load, alg, solveK, *seed, *quiet, *savePlan, os.Stdout)
 	}
 	if *stats {
 		// Stats go to stderr so -q output stays pipeable; dumped even
@@ -84,15 +87,15 @@ func main() {
 // runCompare solves the instance with every algorithm that applies
 // (tree-only ones when the spec declares a root, exhaustive when the
 // instance is small) and prints one row per algorithm.
-func runCompare(ctx context.Context, specPath string, k int, seed int64, out io.Writer) error {
-	problem, err := loadProblem(specPath)
+func runCompare(ctx context.Context, load loadFunc, k int, seed int64, out io.Writer) error {
+	problem, err := load()
 	if err != nil {
 		return err
 	}
 	problem.WithSeed(seed)
 	inst := problem.Instance()
 	fmt.Fprintf(out, "network: %d vertices, %d links, %d flows, lambda=%g, k=%d (raw demand %g)\n",
-		inst.G.NumNodes(), inst.G.NumEdges(), len(inst.Flows), inst.Lambda, k, inst.RawDemand())
+		inst.G.NumNodes(), inst.G.NumEdges(), inst.NumFlows(), inst.Lambda, k, inst.RawDemand())
 	fmt.Fprintf(out, "%-14s %14s %10s %12s   %s\n", "algorithm", "bandwidth", "boxes", "time", "plan")
 	for _, alg := range tdmd.Algorithms() {
 		if alg.NeedsTree() && problem.Tree() == nil {
@@ -120,8 +123,8 @@ func runCompare(ctx context.Context, specPath string, k int, seed int64, out io.
 
 // runCapacitated solves with the capacitated greedy and prints the
 // per-box load report, which is the point of capacities.
-func runCapacitated(ctx context.Context, specPath string, k, capacity int, out io.Writer) error {
-	problem, err := loadProblem(specPath)
+func runCapacitated(ctx context.Context, load loadFunc, k, capacity int, out io.Writer) error {
+	problem, err := load()
 	if err != nil {
 		return err
 	}
@@ -134,20 +137,27 @@ func runCapacitated(ctx context.Context, specPath string, k, capacity int, out i
 	fmt.Fprintf(out, "bandwidth: %g\n", res.Bandwidth)
 	inst := problem.Instance()
 	alloc := inst.AllocateCapacitated(res.Plan, capacity)
-	load := map[tdmd.NodeID]int{}
+	boxLoad := map[tdmd.NodeID]int{}
 	for i, v := range alloc {
 		if v != tdmd.Unserved {
-			load[v] += inst.Flows[i].Rate
+			boxLoad[v] += inst.FlowRate(i)
 		}
 	}
 	for _, v := range res.Plan.Vertices() {
-		fmt.Fprintf(out, "  box @%s: load %d/%d\n", inst.G.Name(v), load[v], capacity)
+		fmt.Fprintf(out, "  box @%s: load %d/%d\n", inst.G.Name(v), boxLoad[v], capacity)
 	}
 	return nil
 }
 
-// loadProblem reads and builds a problem spec from a file or stdin.
-func loadProblem(specPath string) (*tdmd.Problem, error) {
+// loadFunc loads the problem named on the command line.
+type loadFunc func() (*tdmd.Problem, error)
+
+// loadProblem reads and builds a problem from a file or stdin. The
+// default path decodes a spec document strictly (unknown fields are
+// an error naming the field); -stream ingests through the streaming
+// decoder instead, which accepts both spec documents and NDJSON flow
+// streams in O(1) decoder working memory.
+func loadProblem(specPath string, stream bool) (*tdmd.Problem, error) {
 	var r io.Reader = os.Stdin
 	if specPath != "" {
 		f, err := os.Open(specPath)
@@ -155,9 +165,12 @@ func loadProblem(specPath string) (*tdmd.Problem, error) {
 			return nil, err
 		}
 		defer f.Close()
-		r = f
+		r = bufio.NewReaderSize(f, 1<<16)
 	}
-	spec, err := tdmd.DecodeSpec(r)
+	if stream {
+		return tdmd.DecodeStream(r)
+	}
+	spec, err := tdmd.DecodeSpecStrict(r)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +179,8 @@ func loadProblem(specPath string) (*tdmd.Problem, error) {
 
 // runEvalPlan scores an externally supplied plan against the spec's
 // instance and prints the deployment report.
-func runEvalPlan(specPath, planPath string, out io.Writer) error {
-	problem, err := loadProblem(specPath)
+func runEvalPlan(load loadFunc, planPath string, out io.Writer) error {
+	problem, err := load()
 	if err != nil {
 		return err
 	}
@@ -186,8 +199,8 @@ func runEvalPlan(specPath, planPath string, out io.Writer) error {
 	return nil
 }
 
-func run(ctx context.Context, specPath string, alg tdmd.Algorithm, k int, seed int64, quiet bool, savePlan string, out io.Writer) error {
-	problem, err := loadProblem(specPath)
+func run(ctx context.Context, load loadFunc, alg tdmd.Algorithm, k int, seed int64, quiet bool, savePlan string, out io.Writer) error {
+	problem, err := load()
 	if err != nil {
 		return err
 	}
@@ -209,7 +222,7 @@ func run(ctx context.Context, specPath string, alg tdmd.Algorithm, k int, seed i
 	inst := problem.Instance()
 	fmt.Fprintf(out, "algorithm:  %s (k=%d)\n", alg, k)
 	fmt.Fprintf(out, "network:    %d vertices, %d links, %d flows, lambda=%g\n",
-		inst.G.NumNodes(), inst.G.NumEdges(), len(inst.Flows), inst.Lambda)
+		inst.G.NumNodes(), inst.G.NumEdges(), inst.NumFlows(), inst.Lambda)
 	fmt.Fprintf(out, "plan:       %s (%d middleboxes)\n", res.Plan, res.Plan.Size())
 	for _, v := range res.Plan.Vertices() {
 		fmt.Fprintf(out, "  middlebox on %s (vertex %d)\n", inst.G.Name(v), v)

@@ -28,10 +28,15 @@ func writeFig1Spec(t *testing.T) string {
 	return path
 }
 
+// fileLoader adapts a spec path to the loadFunc the run helpers take.
+func fileLoader(path string) loadFunc {
+	return func() (*tdmd.Problem, error) { return loadProblem(path, false) }
+}
+
 func TestRunGTPOnFig1Spec(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, false, "", &out); err != nil {
+	if err := run(context.Background(), fileLoader(path), tdmd.AlgGTP, 3, 1, false, "", &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -45,7 +50,7 @@ func TestRunGTPOnFig1Spec(t *testing.T) {
 func TestRunQuietPrintsOnlyBandwidth(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, true, "", &out); err != nil {
+	if err := run(context.Background(), fileLoader(path), tdmd.AlgGTP, 3, 1, true, "", &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "8" {
@@ -56,7 +61,7 @@ func TestRunQuietPrintsOnlyBandwidth(t *testing.T) {
 func TestRunTreeAlgWithoutRootFails(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	err := run(context.Background(), path, tdmd.AlgDP, 3, 1, false, "", &out)
+	err := run(context.Background(), fileLoader(path), tdmd.AlgDP, 3, 1, false, "", &out)
 	if err == nil || !strings.Contains(err.Error(), "root") {
 		t.Fatalf("err = %v, want root hint", err)
 	}
@@ -64,7 +69,7 @@ func TestRunTreeAlgWithoutRootFails(t *testing.T) {
 
 func TestRunMissingSpecFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), "/nonexistent/spec.json", tdmd.AlgGTP, 3, 1, false, "", &out); err == nil {
+	if err := run(context.Background(), fileLoader("/nonexistent/spec.json"), tdmd.AlgGTP, 3, 1, false, "", &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -72,7 +77,7 @@ func TestRunMissingSpecFile(t *testing.T) {
 func TestRunCompareMode(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := runCompare(context.Background(), path, 3, 1, &out); err != nil {
+	if err := runCompare(context.Background(), fileLoader(path), 3, 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -90,7 +95,7 @@ func TestRunCompareMode(t *testing.T) {
 func TestRunInfeasibleBudget(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := run(context.Background(), path, tdmd.AlgGTP, 1, 1, false, "", &out); err == nil {
+	if err := run(context.Background(), fileLoader(path), tdmd.AlgGTP, 1, 1, false, "", &out); err == nil {
 		t.Fatal("k=1 on Fig. 1 should be infeasible")
 	}
 }
@@ -98,14 +103,14 @@ func TestRunInfeasibleBudget(t *testing.T) {
 func TestRunCapacitated(t *testing.T) {
 	path := writeFig1Spec(t)
 	var out bytes.Buffer
-	if err := runCapacitated(context.Background(), path, 3, 4, &out); err != nil {
+	if err := runCapacitated(context.Background(), fileLoader(path), 3, 4, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
 	if !strings.Contains(text, "capacity 4 per box") || !strings.Contains(text, "load") {
 		t.Fatalf("capacitated output wrong:\n%s", text)
 	}
-	if err := runCapacitated(context.Background(), path, 2, 4, &out); err == nil {
+	if err := runCapacitated(context.Background(), fileLoader(path), 2, 4, &out); err == nil {
 		t.Fatal("infeasible capacitated budget accepted")
 	}
 }
@@ -114,20 +119,20 @@ func TestRunSaveAndEvalPlan(t *testing.T) {
 	path := writeFig1Spec(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), path, tdmd.AlgGTP, 3, 1, false, planPath, &out); err != nil {
+	if err := run(context.Background(), fileLoader(path), tdmd.AlgGTP, 3, 1, false, planPath, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "plan saved to") {
 		t.Fatalf("missing save confirmation:\n%s", out.String())
 	}
 	out.Reset()
-	if err := runEvalPlan(path, planPath, &out); err != nil {
+	if err := runEvalPlan(fileLoader(path), planPath, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "bandwidth: 8 (feasible=true)") {
 		t.Fatalf("eval output wrong:\n%s", out.String())
 	}
-	if err := runEvalPlan(path, "/does/not/exist.json", &out); err == nil {
+	if err := runEvalPlan(fileLoader(path), "/does/not/exist.json", &out); err == nil {
 		t.Fatal("missing plan file accepted")
 	}
 }

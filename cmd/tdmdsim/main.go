@@ -67,7 +67,7 @@ func run(ctx context.Context, specPath string, alg tdmd.Algorithm, k int, horizo
 		Horizon:      horizon,
 		ArrivalRate:  rate,
 		MeanDuration: dur,
-		Templates:    inst.Flows,
+		Templates:    inst.Flows(),
 		Seed:         seed,
 	})
 	if err != nil {

@@ -32,7 +32,7 @@ func writeGMLFile(t *testing.T) string {
 func TestRunGMLProducesSolvableSpec(t *testing.T) {
 	path := writeGMLFile(t)
 	var out bytes.Buffer
-	if err := runGML(path, 0.3, 0.5, 1, false, &out); err != nil {
+	if err := runGML(path, 0.3, 0.5, 1, false, false, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	spec, err := tdmd.DecodeSpec(&out)
@@ -57,7 +57,7 @@ func TestRunGMLProducesSolvableSpec(t *testing.T) {
 func TestRunGMLDot(t *testing.T) {
 	path := writeGMLFile(t)
 	var out bytes.Buffer
-	if err := runGML(path, 0.3, 0.5, 1, true, &out); err != nil {
+	if err := runGML(path, 0.3, 0.5, 1, true, false, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "digraph G {") {
@@ -67,7 +67,7 @@ func TestRunGMLDot(t *testing.T) {
 
 func TestRunGMLMissingFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := runGML("/no/such.gml", 0.3, 0.5, 1, false, &out); err == nil {
+	if err := runGML("/no/such.gml", 0.3, 0.5, 1, false, false, 0, &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -86,5 +86,86 @@ func TestRunNewFabricKinds(t *testing.T) {
 		if len(spec.Nodes) == 0 {
 			t.Fatalf("%s: empty spec", kind)
 		}
+	}
+}
+
+func TestRunNDJSONStreamsSolvableProblem(t *testing.T) {
+	for _, kind := range []string{"tree", "general", "fattree"} {
+		var out bytes.Buffer
+		if err := runNDJSON(kind, 16, 0.5, 0.5, 1, 4, 1, 50, &out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		p, err := tdmd.DecodeStream(&out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		inst := p.Instance()
+		if inst.G.NumNodes() == 0 {
+			t.Fatalf("%s: empty topology", kind)
+		}
+		if inst.NumFlows() == 0 {
+			t.Fatalf("%s: no flows streamed", kind)
+		}
+		if _, err := p.Solve(context.Background(), tdmd.AlgGTP, 4); err != nil {
+			t.Fatalf("%s: NDJSON stream unsolvable: %v", kind, err)
+		}
+	}
+}
+
+// The tree kind's NDJSON stream declares its root, so tree algorithms
+// work straight off the wire.
+func TestRunNDJSONTreeDeclaresRoot(t *testing.T) {
+	var out bytes.Buffer
+	if err := runNDJSON("tree", 16, 0.5, 0.5, 1, 4, 1, 30, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tdmd.DecodeStream(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tree() == nil {
+		t.Fatal("tree stream did not declare a root")
+	}
+	if _, err := p.Solve(context.Background(), tdmd.AlgDP, 4); err != nil {
+		t.Fatalf("DP on streamed tree: %v", err)
+	}
+}
+
+func TestRunGMLNDJSON(t *testing.T) {
+	path := writeGMLFile(t)
+	var out bytes.Buffer
+	if err := runGML(path, 0.3, 0.5, 1, false, true, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tdmd.DecodeStream(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instance().G.NumNodes() != 3 || p.Instance().NumFlows() == 0 {
+		t.Fatalf("|V|=%d |F|=%d", p.Instance().G.NumNodes(), p.Instance().NumFlows())
+	}
+}
+
+// encodeSpec switches to the compact encoding above the threshold.
+func TestEncodeSpecCompactThreshold(t *testing.T) {
+	small := tdmd.ProblemSpec{Nodes: []string{"a", "b"}, Edges: [][2]int{{0, 1}}, Root: -1}
+	var out bytes.Buffer
+	if err := encodeSpec(&out, small); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\n  ") {
+		t.Fatal("small spec not indented")
+	}
+	big := small
+	big.Flows = make([]tdmd.FlowSpec, compactThreshold)
+	for i := range big.Flows {
+		big.Flows[i] = tdmd.FlowSpec{Rate: 1, Path: []int{0, 1}}
+	}
+	out.Reset()
+	if err := encodeSpec(&out, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(out.Bytes(), []byte{'\n'}); got != 1 {
+		t.Fatalf("big spec has %d newlines, want 1 (compact)", got)
 	}
 }

@@ -7,6 +7,13 @@
 //	topogen -kind tree -size 22 -density 0.5 -lambda 0.5 -seed 1
 //	topogen -kind general -size 30 | tdmd -alg gtp -k 10
 //	topogen -kind fattree -dot | dot -Tpng > fabric.png
+//	topogen -kind general -size 200 -maxflows 1000000 -ndjson | tdmd -stream -alg gtp-lazy
+//
+// Spec documents above 10000 flows switch to the compact (single-line)
+// encoding, which roughly halves the file; -ndjson instead emits the
+// streaming flow-stream format — header line plus one flow per line —
+// generating and writing each flow as it is drawn, so multi-million-
+// flow matrices are produced in O(1) working memory.
 package main
 
 import (
@@ -19,27 +26,35 @@ import (
 	"tdmd/internal/experiments"
 )
 
+// compactThreshold is the flow count above which spec documents are
+// written compact (single-line JSON) instead of indented.
+const compactThreshold = 10000
+
 func main() {
 	var (
-		kind    = flag.String("kind", "tree", "topology kind: tree, general, ark, fattree, bcube, binary, leafspine, jellyfish")
-		size    = flag.Int("size", 22, "vertex count (tree/general)")
-		density = flag.Float64("density", 0.5, "flow density")
-		lambda  = flag.Float64("lambda", 0.5, "traffic-changing ratio")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		dot     = flag.Bool("dot", false, "emit Graphviz DOT of the topology instead of a problem spec")
-		gml     = flag.String("gml", "", "read the topology from a GML file (Internet Topology Zoo format) instead of generating one")
-		kArg    = flag.Int("karg", 4, "fat-tree arity / BCube port count")
-		lArg    = flag.Int("larg", 1, "BCube level")
+		kind     = flag.String("kind", "tree", "topology kind: tree, general, ark, fattree, bcube, binary, leafspine, jellyfish")
+		size     = flag.Int("size", 22, "vertex count (tree/general)")
+		density  = flag.Float64("density", 0.5, "flow density")
+		lambda   = flag.Float64("lambda", 0.5, "traffic-changing ratio")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT of the topology instead of a problem spec")
+		gml      = flag.String("gml", "", "read the topology from a GML file (Internet Topology Zoo format) instead of generating one")
+		kArg     = flag.Int("karg", 4, "fat-tree arity / BCube port count")
+		lArg     = flag.Int("larg", 1, "BCube level")
+		ndjson   = flag.Bool("ndjson", false, "emit the NDJSON flow-stream format (header line + one flow per line) in O(1) working memory")
+		maxFlows = flag.Int("maxflows", 0, "bound the generated workload size (0 = 10x vertex count; NDJSON mode only)")
 	)
 	flag.Parse()
-	if *gml != "" {
-		if err := runGML(*gml, *density, *lambda, *seed, *dot, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "topogen:", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case *gml != "":
+		err = runGML(*gml, *density, *lambda, *seed, *dot, *ndjson, *maxFlows, os.Stdout)
+	case *ndjson:
+		err = runNDJSON(*kind, *size, *density, *lambda, *seed, *kArg, *lArg, *maxFlows, os.Stdout)
+	default:
+		err = run(*kind, *size, *density, *lambda, *seed, *dot, *kArg, *lArg, os.Stdout)
 	}
-	if err := run(*kind, *size, *density, *lambda, *seed, *dot, *kArg, *lArg, os.Stdout); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
@@ -50,11 +65,11 @@ func run(kind string, size int, density, lambda float64, seed int64, dot bool, k
 	switch kind {
 	case "tree":
 		trial := experiments.TreeTrial(size, density, lambda, 1, seed)
-		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows, lambda)
+		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows(), lambda)
 		spec.Root = int(trial.Tree.Root)
 	case "general":
 		trial := experiments.GeneralTrial(size, density, lambda, 1, seed)
-		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows, lambda)
+		spec = tdmd.SpecFromProblem(trial.Inst.G, trial.Inst.Flows(), lambda)
 	case "ark":
 		g := tdmd.ArkLike(tdmd.DefaultArkConfig(seed))
 		spec = tdmd.SpecFromProblem(g, nil, lambda)
@@ -85,13 +100,109 @@ func run(kind string, size int, density, lambda float64, seed int64, dot bool, k
 		_, err = io.WriteString(out, p.Instance().G.DOT())
 		return err
 	}
+	return encodeSpec(out, spec)
+}
+
+// encodeSpec picks the encoding by workload size: small specs stay
+// human-readable, big ones go compact.
+func encodeSpec(out io.Writer, spec tdmd.ProblemSpec) error {
+	if len(spec.Flows) >= compactThreshold {
+		return tdmd.EncodeSpecCompact(out, spec)
+	}
 	return tdmd.EncodeSpec(out, spec)
 }
 
-// runGML builds a problem spec from a real-world GML topology: flows
-// are routed toward the highest-degree vertex (the natural collector)
-// at the requested density.
-func runGML(path string, density, lambda float64, seed int64, dot bool, out io.Writer) error {
+// runNDJSON generates a topology, writes the stream header, and then
+// streams generated flows straight to the writer — no flow slice, no
+// spec document, O(1) working memory past the topology itself.
+func runNDJSON(kind string, size int, density, lambda float64, seed int64, kArg, lArg, maxFlows int, out io.Writer) error {
+	var (
+		g    *tdmd.Graph
+		root = -1
+	)
+	switch kind {
+	case "tree":
+		g = tdmd.RandomTree(size, 0, seed)
+		root = 0
+	case "binary":
+		g = tdmd.BinaryTree(size)
+		root = 0
+	case "general":
+		g = tdmd.GeneralRandom(size, 0.5, seed)
+	case "ark":
+		g = tdmd.ArkLike(tdmd.DefaultArkConfig(seed))
+	case "fattree":
+		g = tdmd.FatTree(kArg)
+	case "bcube":
+		g = tdmd.BCube(kArg, lArg)
+	case "leafspine":
+		g = tdmd.LeafSpine(kArg, size)
+	case "jellyfish":
+		g = tdmd.Jellyfish(size, kArg, seed)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return streamFlows(out, g, root, density, lambda, seed, maxFlows)
+}
+
+// streamFlows emits the NDJSON stream for g: tree flows to the root
+// when one is declared, otherwise shortest-path flows toward hub
+// destinations (the first vertices, or the best-connected one).
+func streamFlows(out io.Writer, g *tdmd.Graph, root int, density, lambda float64, seed int64, maxFlows int) error {
+	w, err := tdmd.NewFlowStreamWriter(out, streamHeader(g, lambda, root))
+	if err != nil {
+		return err
+	}
+	cfg := tdmd.GenConfig{Density: density, Seed: seed, MaxFlows: maxFlows}
+	yield := func(f tdmd.Flow) error { return w.Add(f.Rate, f.Path) }
+	if root >= 0 {
+		t, err := tdmd.NewTree(g, tdmd.NodeID(root))
+		if err != nil {
+			return fmt.Errorf("kind declares root %d but graph is not a tree: %w", root, err)
+		}
+		if _, err := tdmd.GenerateTreeFlows(t, cfg, yield); err != nil {
+			return err
+		}
+	} else {
+		if _, err := tdmd.GenerateGeneralFlows(g, hubs(g), cfg, yield); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// streamHeader snapshots the topology into a stream header.
+func streamHeader(g *tdmd.Graph, lambda float64, root int) tdmd.StreamHeader {
+	h := tdmd.StreamHeader{Lambda: lambda, Root: root}
+	for _, v := range g.Nodes() {
+		h.Nodes = append(h.Nodes, g.Name(v))
+	}
+	for _, e := range g.Edges() {
+		h.Edges = append(h.Edges, [2]int{int(e.From), int(e.To)})
+	}
+	return h
+}
+
+// hubs picks flow destinations for a general topology: the first
+// three vertices (matching the general-figure trials), or fewer on
+// tiny graphs.
+func hubs(g *tdmd.Graph) []tdmd.NodeID {
+	n := g.NumNodes()
+	if n > 3 {
+		n = 3
+	}
+	dsts := make([]tdmd.NodeID, n)
+	for i := range dsts {
+		dsts[i] = tdmd.NodeID(i)
+	}
+	return dsts
+}
+
+// runGML builds a problem from a real-world GML topology: flows are
+// routed toward the highest-degree vertex (the natural collector) at
+// the requested density. -ndjson streams the workload instead of
+// materializing a spec.
+func runGML(path string, density, lambda float64, seed int64, dot, ndjson bool, maxFlows int, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -112,9 +223,22 @@ func runGML(path string, density, lambda float64, seed int64, dot bool, out io.W
 			best = v
 		}
 	}
+	if ndjson {
+		w, err := tdmd.NewFlowStreamWriter(out, streamHeader(g, lambda, -1))
+		if err != nil {
+			return err
+		}
+		cfg := tdmd.GenConfig{Density: density, Seed: seed, MaxFlows: maxFlows}
+		if _, err := tdmd.GenerateGeneralFlows(g, []tdmd.NodeID{best}, cfg, func(f tdmd.Flow) error {
+			return w.Add(f.Rate, f.Path)
+		}); err != nil {
+			return err
+		}
+		return w.Close()
+	}
 	flows := tdmd.GeneralFlows(g, []tdmd.NodeID{best}, tdmd.GenConfig{
 		Density: density, Seed: seed,
 	})
 	spec := tdmd.SpecFromProblem(g, flows, lambda)
-	return tdmd.EncodeSpec(out, spec)
+	return encodeSpec(out, spec)
 }

@@ -32,7 +32,7 @@ func FuzzDecodeSpec(f *testing.F) {
 		}
 		// Any built problem must round-trip and be safely solvable.
 		var buf bytes.Buffer
-		if err := EncodeSpec(&buf, SpecFromProblem(p.Instance().G, p.Instance().Flows, p.Instance().Lambda)); err != nil {
+		if err := EncodeSpec(&buf, SpecFromProblem(p.Instance().G, p.Instance().Flows(), p.Instance().Lambda)); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
 		if _, err := p.Solve(context.Background(), AlgGTP, 4); err != nil && err != ErrInfeasible && !strings.Contains(err.Error(), "infeasible") {

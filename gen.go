@@ -88,6 +88,21 @@ func GeneralFlows(g *Graph, dsts []NodeID, cfg GenConfig) []Flow {
 	return traffic.GeneralFlows(g, dsts, cfg)
 }
 
+// GenerateTreeFlows streams the same workload TreeFlows returns, one
+// flow at a time through yield, without holding a []Flow — the O(1)
+// working-memory generator cmd/topogen's NDJSON mode is built on. It
+// returns the number of flows yielded; a non-nil error from yield
+// aborts generation and is returned.
+func GenerateTreeFlows(t *Tree, cfg GenConfig, yield func(Flow) error) (int, error) {
+	return traffic.GenerateTree(t, cfg, yield)
+}
+
+// GenerateGeneralFlows streams the same workload GeneralFlows
+// returns; see GenerateTreeFlows.
+func GenerateGeneralFlows(g *Graph, dsts []NodeID, cfg GenConfig, yield func(Flow) error) (int, error) {
+	return traffic.GenerateGeneral(g, dsts, cfg, yield)
+}
+
 // MergeSameSource coalesces flows sharing a full path, the reduction
 // the paper applies before the tree DP.
 func MergeSameSource(flows []Flow) []Flow { return traffic.MergeSameSource(flows) }

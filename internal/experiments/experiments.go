@@ -192,9 +192,9 @@ func seriesSolver(a AlgName, trial Trial, seed int64) (string, placement.Options
 		name = "capacitated"
 		capacity := 0
 		if trial.CapacityMultiple > 0 {
-			avg := float64(traffic.TotalRate(trial.Inst.Flows)) / float64(trial.K)
+			avg := float64(traffic.TotalRate(trial.Inst.Flows())) / float64(trial.K)
 			capacity = int(trial.CapacityMultiple*avg + 0.999)
-			if m := traffic.MaxRate(trial.Inst.Flows); capacity < m {
+			if m := traffic.MaxRate(trial.Inst.Flows()); capacity < m {
 				capacity = m // a box must at least fit the largest flow
 			}
 		}

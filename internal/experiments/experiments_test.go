@@ -19,10 +19,10 @@ func TestTreeTrialShape(t *testing.T) {
 	if tr.Inst.G.NumNodes() != DefaultTreeSize {
 		t.Fatalf("tree size = %d", tr.Inst.G.NumNodes())
 	}
-	if len(tr.Inst.Flows) == 0 {
+	if tr.Inst.NumFlows() == 0 {
 		t.Fatal("no flows")
 	}
-	for _, f := range tr.Inst.Flows {
+	for _, f := range tr.Inst.Flows() {
 		if f.Dst() != tr.Tree.Root {
 			t.Fatal("flow not rooted")
 		}
@@ -35,7 +35,7 @@ func TestTreeTrialShape(t *testing.T) {
 func TestTreeTrialDeterministic(t *testing.T) {
 	a := TreeTrial(22, 0.5, 0.5, 8, 7)
 	b := TreeTrial(22, 0.5, 0.5, 8, 7)
-	if len(a.Inst.Flows) != len(b.Inst.Flows) || a.Inst.RawDemand() != b.Inst.RawDemand() {
+	if a.Inst.NumFlows() != b.Inst.NumFlows() || a.Inst.RawDemand() != b.Inst.RawDemand() {
 		t.Fatal("same seed produced different trials")
 	}
 }
@@ -48,7 +48,7 @@ func TestGeneralTrialShape(t *testing.T) {
 	if tr.Inst.G.NumNodes() != DefaultGeneralSize {
 		t.Fatalf("size = %d", tr.Inst.G.NumNodes())
 	}
-	if len(tr.Inst.Flows) == 0 {
+	if tr.Inst.NumFlows() == 0 {
 		t.Fatal("no flows")
 	}
 }

@@ -1,0 +1,87 @@
+package graph
+
+import "testing"
+
+func adjFixture() *Graph {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddBiEdge(a, b)
+	g.AddEdge(b, c) // directed only
+	return g
+}
+
+func TestAdjSetHas(t *testing.T) {
+	g := adjFixture()
+	adj := NewAdjSet(g)
+	if adj.Len() != g.NumNodes() {
+		t.Fatalf("Len = %d, want %d", adj.Len(), g.NumNodes())
+	}
+	cases := []struct {
+		from, to NodeID
+		want     bool
+	}{
+		{0, 1, true},
+		{1, 0, true},
+		{1, 2, true},
+		{2, 1, false}, // directed edge has no reverse
+		{0, 2, false},
+		{0, 0, false},
+	}
+	for _, tc := range cases {
+		if got := adj.Has(tc.from, tc.to); got != tc.want {
+			t.Errorf("Has(%d, %d) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+// TestAdjSetMatchesHasEdge cross-checks the CSR index against the
+// graph's own adjacency over a denser random-ish fabric.
+func TestAdjSetMatchesHasEdge(t *testing.T) {
+	g := New()
+	const n = 25
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= 3; j++ {
+			g.AddBiEdge(NodeID(i), NodeID((i*7+j*11)%n))
+		}
+	}
+	adj := NewAdjSet(g)
+	for u := NodeID(0); u < n; u++ {
+		for v := NodeID(0); v < n; v++ {
+			if adj.Has(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("Has(%d, %d) = %v disagrees with HasEdge", u, v, adj.Has(u, v))
+			}
+		}
+	}
+}
+
+func TestAdjSetEmptyGraph(t *testing.T) {
+	adj := NewAdjSet(New())
+	if adj.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", adj.Len())
+	}
+}
+
+func TestInternNode(t *testing.T) {
+	g := New()
+	a := g.InternNode("a")
+	b := g.InternNode("b")
+	if a == b {
+		t.Fatal("distinct labels interned to one vertex")
+	}
+	if again := g.InternNode("a"); again != a {
+		t.Fatalf("label %q interned to %d then %d", "a", a, again)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	// Interning resolves names added the plain way too.
+	c := g.AddNode("c")
+	if got := g.InternNode("c"); got != c {
+		t.Fatalf("InternNode(%q) = %d, want %d", "c", got, c)
+	}
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/traffic"
+)
+
+// pathsEqual compares two paths hop by hop.
+func pathsEqual(a, b graph.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// arenaFixture returns a path graph a-b-c-d with two flows, both as a
+// []Flow (for New) and as the equivalent CSR arenas (for
+// NewFromArenas).
+func arenaFixture() (*graph.Graph, []traffic.Flow, []int32, []graph.NodeID, []int32) {
+	g := graph.New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddNode(n)
+	}
+	g.AddBiEdge(0, 1)
+	g.AddBiEdge(1, 2)
+	g.AddBiEdge(2, 3)
+	flows := []traffic.Flow{
+		{ID: 0, Rate: 2, Path: graph.Path{0, 1, 2, 3}},
+		{ID: 1, Rate: 5, Path: graph.Path{3, 2}},
+	}
+	rates := []int32{2, 5}
+	arena := []graph.NodeID{0, 1, 2, 3, 3, 2}
+	off := []int32{0, 4, 6}
+	return g, flows, rates, arena, off
+}
+
+// TestNewFromArenasMatchesNew: the arena constructor must produce an
+// instance indistinguishable from the slice-of-flows one.
+func TestNewFromArenasMatchesNew(t *testing.T) {
+	g, flows, rates, arena, off := arenaFixture()
+	ref, err := New(g, flows, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFromArenas(g, 0.5, rates, arena, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFlows() != ref.NumFlows() {
+		t.Fatalf("NumFlows: %d vs %d", got.NumFlows(), ref.NumFlows())
+	}
+	if got.RawDemand() != ref.RawDemand() {
+		t.Fatalf("RawDemand: %v vs %v", got.RawDemand(), ref.RawDemand())
+	}
+	for i := 0; i < ref.NumFlows(); i++ {
+		if got.FlowRate(i) != ref.FlowRate(i) {
+			t.Errorf("flow %d rate: %d vs %d", i, got.FlowRate(i), ref.FlowRate(i))
+		}
+		if !pathsEqual(got.FlowPath(i), ref.FlowPath(i)) {
+			t.Errorf("flow %d path: %v vs %v", i, got.FlowPath(i), ref.FlowPath(i))
+		}
+	}
+	plan := NewPlan()
+	plan.Add(2)
+	if a, b := got.Decrement(plan), ref.Decrement(plan); a != b {
+		t.Errorf("Decrement: %v vs %v", a, b)
+	}
+	allocGot, allocRef := got.Allocate(plan), ref.Allocate(plan)
+	for i := range allocRef {
+		if allocGot[i] != allocRef[i] {
+			t.Errorf("alloc[%d]: %v vs %v", i, allocGot[i], allocRef[i])
+		}
+	}
+}
+
+// TestNewFromArenasFlowsView: the lazy []Flow view over the arenas
+// must reproduce the flows without copying the paths.
+func TestNewFromArenasFlowsView(t *testing.T) {
+	g, flows, rates, arena, off := arenaFixture()
+	in, err := NewFromArenas(g, 0.5, rates, arena, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := in.Flows()
+	if len(view) != len(flows) {
+		t.Fatalf("view has %d flows, want %d", len(view), len(flows))
+	}
+	for i, f := range view {
+		if f.ID != i || f.Rate != flows[i].Rate || !pathsEqual(f.Path, flows[i].Path) {
+			t.Errorf("view[%d] = %+v, want %+v", i, f, flows[i])
+		}
+		if one := in.Flow(i); one.ID != f.ID || one.Rate != f.Rate || !pathsEqual(one.Path, f.Path) {
+			t.Errorf("Flow(%d) = %+v disagrees with Flows()[%d] = %+v", i, one, i, f)
+		}
+	}
+	// The view is built once and cached.
+	if &in.Flows()[0] != &view[0] {
+		t.Error("Flows() rebuilt the view")
+	}
+}
+
+func TestNewFromArenasRejectsMalformed(t *testing.T) {
+	g, _, rates, arena, off := arenaFixture()
+	cases := []struct {
+		name  string
+		rates []int32
+		arena []graph.NodeID
+		off   []int32
+	}{
+		{"empty offsets", rates, arena, nil},
+		{"first offset nonzero", rates, arena, []int32{1, 4, 6}},
+		{"rate/offset length mismatch", []int32{2}, arena, off},
+		{"non-monotone offsets", rates, arena, []int32{0, 6, 4}},
+		{"last offset short of arena", rates, arena, []int32{0, 4, 5}},
+		{"offset past arena", rates, arena, []int32{0, 4, 7}},
+	}
+	for _, tc := range cases {
+		if _, err := NewFromArenas(g, 0.5, tc.rates, tc.arena, tc.off); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestNewFromArenasValidatesFlows: per-flow validation must match the
+// []Flow path — typed PathErrors for bad spans.
+func TestNewFromArenasValidatesFlows(t *testing.T) {
+	g, _, _, _, _ := arenaFixture()
+	// 0 -> 2 is not an edge.
+	_, err := NewFromArenas(g, 0.5, []int32{1}, []graph.NodeID{0, 2}, []int32{0, 2})
+	if err == nil {
+		t.Fatal("non-adjacent hop accepted")
+	}
+	if !errors.Is(err, traffic.ErrInvalidPath) {
+		t.Fatalf("not ErrInvalidPath: %v", err)
+	}
+	var pe *traffic.PathError
+	if !errors.As(err, &pe) || pe.Flow != 0 {
+		t.Fatalf("bad PathError: %v", err)
+	}
+	// Zero-length span.
+	if _, err := NewFromArenas(g, 0.5, []int32{1}, nil, []int32{0, 0}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+}

@@ -25,18 +25,18 @@ func (in *Instance) AllocateCapacitated(p Plan, capacity int) Allocation {
 	if capacity <= 0 {
 		return in.Allocate(p)
 	}
-	alloc := make(Allocation, len(in.Flows))
+	alloc := make(Allocation, in.NumFlows())
 	for i := range alloc {
 		alloc[i] = Unserved
 	}
-	order := make([]int, len(in.Flows))
+	order := make([]int, in.NumFlows())
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		fa, fb := in.Flows[order[a]], in.Flows[order[b]]
-		if fa.Rate != fb.Rate {
-			return fa.Rate > fb.Rate
+		ra, rb := in.FlowRate(order[a]), in.FlowRate(order[b])
+		if ra != rb {
+			return ra > rb
 		}
 		return order[a] < order[b]
 	})
@@ -45,7 +45,7 @@ func (in *Instance) AllocateCapacitated(p Plan, capacity int) Allocation {
 		residual[v] = capacity
 	}
 	for _, i := range order {
-		rate := in.Flows[i].Rate
+		rate := in.FlowRate(i)
 		path := in.FlowPath(i)
 		if in.Lambda <= 1 {
 			for _, v := range path {
@@ -87,7 +87,7 @@ func (in *Instance) FeasibleCapacitated(p Plan, capacity int) bool {
 func (in *Instance) TotalBandwidthCapacitated(p Plan, capacity int) float64 {
 	alloc := in.AllocateCapacitated(p, capacity)
 	var total float64
-	for i := range in.Flows {
+	for i := range alloc {
 		total += in.FlowBandwidth(i, alloc[i])
 	}
 	return total

@@ -47,7 +47,7 @@ func TestTotalBandwidthCapacitatedConsistent(t *testing.T) {
 	for _, capacity := range []int{0, 4, 5, 100} {
 		alloc := in.AllocateCapacitated(p, capacity)
 		var want float64
-		for i := range in.Flows {
+		for i := range alloc {
 			want += in.FlowBandwidth(i, alloc[i])
 		}
 		if got := in.TotalBandwidthCapacitated(p, capacity); math.Abs(got-want) > 1e-12 {

@@ -19,11 +19,12 @@ type LinkKey struct {
 func (in *Instance) LinkLoads(p Plan) map[LinkKey]float64 {
 	loads := make(map[LinkKey]float64)
 	alloc := in.Allocate(p)
-	for i, f := range in.Flows {
-		rate := float64(f.Rate)
+	for i := range alloc {
+		rate := float64(in.rates[i])
+		path := in.FlowPath(i)
 		processed := false
-		for hop := 0; hop+1 < len(f.Path); hop++ {
-			u, w := f.Path[hop], f.Path[hop+1]
+		for hop := 0; hop+1 < len(path); hop++ {
+			u, w := path[hop], path[hop+1]
 			if !processed && alloc[i] == u {
 				rate *= in.Lambda
 				processed = true

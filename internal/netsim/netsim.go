@@ -16,6 +16,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -28,19 +29,31 @@ import (
 )
 
 // Instance is one TDMD problem instance: a network, a workload, and
-// the middlebox's traffic-changing ratio λ. Build it with New, which
-// validates inputs and precomputes the per-vertex flow index used by
-// all algorithms.
+// the middlebox's traffic-changing ratio λ. Build it with New (from a
+// []traffic.Flow workload) or NewFromArenas (from pre-filled rate and
+// path arenas, the streaming-ingestion path that never materializes a
+// flow slice); both validate inputs and precompute the per-vertex flow
+// index used by all algorithms.
 //
 // An Instance is read-only after construction — the only internal
-// mutation is the lazily built cover bitsets, guarded by a sync.Once —
-// so one Instance may be shared by any number of concurrent solver
-// calls (see placement's concurrency tests). Callers must not mutate
-// G, Flows, or the flows' paths after New.
+// mutations are the lazily built cover bitsets and the lazily
+// materialized legacy flow slice, each guarded by a sync.Once — so one
+// Instance may be shared by any number of concurrent solver calls (see
+// placement's concurrency tests). Callers must not mutate G or any
+// slice reachable from the instance after construction.
+//
+// The workload is addressed by dense flow index 0..NumFlows()-1:
+// FlowRate, FlowPath and PathSpan are the hot-path accessors; Flows()
+// materializes the []traffic.Flow view for cold paths that want the
+// struct form.
 type Instance struct {
 	G      *graph.Graph
-	Flows  []traffic.Flow
 	Lambda float64
+
+	// rates is the flat per-flow initial-rate arena (r_f). Together
+	// with pathArena/pathOff it is the entire workload: an arena-built
+	// instance carries no []traffic.Flow at all.
+	rates []int32
 
 	// through is the flat per-vertex flow index: for every vertex v,
 	// through[throughOff[v]:throughOff[v+1]] lists the flows whose path
@@ -53,12 +66,21 @@ type Instance struct {
 	// pathArena interns every flow path into one shared vertex-ID
 	// arena; flow i's path is pathArena[pathOff[i]:pathOff[i+1]]. The
 	// hot path reads paths exclusively through FlowPath/PathSpan, never
-	// through the per-flow Path slices of the input workload.
+	// through per-flow Path slices.
 	pathArena []graph.NodeID
-	pathOff   []int32 // len(Flows)+1
+	pathOff   []int32 // len NumFlows()+1
 
 	// rawDemand caches Σ r_f·|p_f|.
 	rawDemand float64
+
+	// flows is the caller's workload slice when built with New
+	// (original IDs preserved; immutable after construction) and nil
+	// for arena-built instances, whose Flows() view materializes
+	// lazily into flowsView under flowsOnce (ID = index, Path = arena
+	// span).
+	flows     []traffic.Flow
+	flowsOnce sync.Once
+	flowsView []traffic.Flow
 
 	coverOnce  sync.Once
 	coverWords []uint64     // single backing arena for every cover bitset
@@ -68,7 +90,7 @@ type Instance struct {
 // FlowAt records that a flow's path visits some vertex with the given
 // number of downstream edges.
 type FlowAt struct {
-	Flow       int // index into Instance.Flows
+	Flow       int // dense flow index (0..NumFlows()-1)
 	Downstream int // l_v(f): edges from the vertex to dst_f
 }
 
@@ -80,11 +102,9 @@ type FlowAt struct {
 // automatically; the tree algorithms and GTP's guarantee require
 // λ ≤ 1 and enforce it themselves.
 //
-// Construction is two-pass: a counting pass sizes the through and
-// path arenas exactly, then a fill pass writes them — no slice ever
-// grows, and the per-vertex entries land in the same (flow, position)
-// order a per-vertex append would produce, so all downstream marginal
-// computations are bit-identical to the historical jagged layout.
+// The caller's flows slice is retained and served back by Flows()
+// (original IDs preserved); the hot path reads only the arenas built
+// here.
 func New(g *graph.Graph, flows []traffic.Flow, lambda float64) (*Instance, error) {
 	if lambda < 0 {
 		return nil, fmt.Errorf("netsim: negative lambda %v", lambda)
@@ -92,43 +112,109 @@ func New(g *graph.Graph, flows []traffic.Flow, lambda float64) (*Instance, error
 	if err := traffic.Validate(g, flows); err != nil {
 		return nil, err
 	}
-	inst := &Instance{G: g, Flows: flows, Lambda: lambda}
-	n := g.NumNodes()
+	inst := &Instance{G: g, flows: flows, Lambda: lambda}
 
-	// Pass 1: count visits per vertex and total path length.
-	counts := make([]int32, n)
+	// Copy the workload into the rate and path arenas (exact-sized, no
+	// append growth), then build the through index over them.
 	totalPath := 0
 	for _, f := range flows {
 		totalPath += len(f.Path)
-		for _, v := range f.Path {
-			counts[v]++
-		}
 	}
-	inst.throughOff = make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		inst.throughOff[v+1] = inst.throughOff[v] + counts[v]
-	}
-	inst.through = make([]FlowAt, inst.throughOff[n])
-	inst.pathArena = make([]graph.NodeID, totalPath)
+	inst.rates = make([]int32, len(flows))
+	inst.pathArena = make([]graph.NodeID, 0, totalPath)
 	inst.pathOff = make([]int32, len(flows)+1)
-
-	// Pass 2: fill. counts is reused as the per-vertex write cursor.
-	copy(counts, inst.throughOff[:n])
-	at := 0
 	for i, f := range flows {
-		inst.pathOff[i] = int32(at)
-		hops := f.Hops()
-		for pos, v := range f.Path {
-			inst.pathArena[at] = v
-			at++
-			inst.through[counts[v]] = FlowAt{Flow: i, Downstream: hops - pos}
-			counts[v]++
+		if f.Rate > math.MaxInt32 {
+			return nil, fmt.Errorf("netsim: flow %d rate %d overflows the rate arena", f.ID, f.Rate)
 		}
-		inst.rawDemand += float64(f.Rate) * float64(hops)
+		inst.rates[i] = int32(f.Rate)
+		inst.pathArena = append(inst.pathArena, f.Path...)
+		inst.pathOff[i+1] = int32(len(inst.pathArena))
 	}
-	inst.pathOff[len(flows)] = int32(at)
+	inst.buildThrough()
 	updateMemoryGauges(inst)
 	return inst, nil
+}
+
+// NewFromArenas validates and indexes a problem instance directly from
+// pre-filled arenas — the streaming-ingestion constructor: flow i has
+// rate rates[i] and path pathArena[pathOff[i]:pathOff[i+1]]. No
+// []traffic.Flow is ever materialized (Flows() builds one lazily only
+// if some cold path asks). The instance takes ownership of all three
+// slices; the caller must not touch them afterwards.
+//
+// Structural validation (offset monotonicity, slice-length agreement)
+// is always performed; per-flow path validation (adjacency, simple
+// paths, positive rates) matches traffic.Validate and returns the same
+// typed *traffic.PathError values.
+func NewFromArenas(g *graph.Graph, lambda float64, rates []int32, pathArena []graph.NodeID, pathOff []int32) (*Instance, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("netsim: negative lambda %v", lambda)
+	}
+	if len(pathOff) == 0 || pathOff[0] != 0 {
+		return nil, fmt.Errorf("netsim: path offset table must start at 0")
+	}
+	nf := len(pathOff) - 1
+	if len(rates) != nf {
+		return nil, fmt.Errorf("netsim: %d rates for %d flows", len(rates), nf)
+	}
+	if int(pathOff[nf]) != len(pathArena) {
+		return nil, fmt.Errorf("netsim: path offsets end at %d, arena holds %d", pathOff[nf], len(pathArena))
+	}
+	for i := 0; i < nf; i++ {
+		if pathOff[i+1] < pathOff[i] {
+			return nil, fmt.Errorf("netsim: path offsets not monotone at flow %d", i)
+		}
+	}
+	adj := graph.NewAdjSet(g)
+	for i := 0; i < nf; i++ {
+		path := graph.Path(pathArena[pathOff[i]:pathOff[i+1]])
+		if err := traffic.ValidateFlow(adj, i, int(rates[i]), path); err != nil {
+			return nil, err
+		}
+	}
+	inst := &Instance{
+		G: g, Lambda: lambda,
+		rates: rates, pathArena: pathArena, pathOff: pathOff,
+	}
+	inst.buildThrough()
+	updateMemoryGauges(inst)
+	return inst, nil
+}
+
+// buildThrough builds the CSR through index and the raw-demand cache
+// from the rate/path arenas. Construction is two-pass: a counting pass
+// sizes the through arena exactly, then a fill pass writes it — no
+// slice ever grows, and the per-vertex entries land in the same
+// (flow, position) order a per-vertex append would produce, so all
+// downstream marginal computations are bit-identical to the historical
+// jagged layout.
+func (in *Instance) buildThrough() {
+	n := in.G.NumNodes()
+	counts := make([]int32, n)
+	//tdmd:hot
+	for _, v := range in.pathArena {
+		counts[v]++
+	}
+	in.throughOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		in.throughOff[v+1] = in.throughOff[v] + counts[v]
+	}
+	in.through = make([]FlowAt, in.throughOff[n])
+
+	// Fill pass: counts is reused as the per-vertex write cursor.
+	copy(counts, in.throughOff[:n])
+	nf := in.NumFlows()
+	for i := 0; i < nf; i++ {
+		path := in.pathArena[in.pathOff[i]:in.pathOff[i+1]]
+		hops := len(path) - 1
+		//tdmd:hot
+		for pos, v := range path {
+			in.through[counts[v]] = FlowAt{Flow: i, Downstream: hops - pos}
+			counts[v]++
+		}
+		in.rawDemand += float64(in.rates[i]) * float64(hops)
+	}
 }
 
 // MustNew is New that panics on error; used by tests and examples
@@ -139,6 +225,51 @@ func MustNew(g *graph.Graph, flows []traffic.Flow, lambda float64) *Instance {
 		panic(err)
 	}
 	return inst
+}
+
+// NumFlows reports the workload size |F|.
+//
+//tdmd:hot
+func (in *Instance) NumFlows() int {
+	if len(in.pathOff) == 0 {
+		return 0
+	}
+	return len(in.pathOff) - 1
+}
+
+// FlowRate returns r_f for flow index i, read from the rate arena.
+//
+//tdmd:hot
+func (in *Instance) FlowRate(i int) int { return int(in.rates[i]) }
+
+// Flow returns the struct view of flow i: its rate and its path as a
+// span of the shared arena (never a copy). For arena-built instances
+// the ID is the index; New-built instances preserve the caller's IDs.
+func (in *Instance) Flow(i int) traffic.Flow {
+	if in.flows != nil {
+		return in.flows[i]
+	}
+	return traffic.Flow{ID: i, Rate: int(in.rates[i]), Path: in.FlowPath(i)}
+}
+
+// Flows returns the workload as a []traffic.Flow: the caller's slice
+// for New-built instances, otherwise a lazily materialized arena view
+// (paths alias the arena; one slice header per flow, no path copies).
+// Cold paths (spec round-trips, simulation templates, scaling) use
+// this; hot paths stay on NumFlows/FlowRate/FlowPath. The returned
+// slice is owned by the instance and must not be mutated.
+func (in *Instance) Flows() []traffic.Flow {
+	if in.flows != nil {
+		return in.flows
+	}
+	in.flowsOnce.Do(func() {
+		view := make([]traffic.Flow, in.NumFlows())
+		for i := range view {
+			view[i] = traffic.Flow{ID: i, Rate: int(in.rates[i]), Path: in.FlowPath(i)}
+		}
+		in.flowsView = view
+	})
+	return in.flowsView
 }
 
 // Through returns the flows visiting v with their downstream counts —
@@ -297,8 +428,8 @@ type Allocation []graph.NodeID
 // count (nearest the destination). Both minimize the flow's
 // consumption b(f) = r·(|p| − (1−λ)·l_v).
 func (in *Instance) Allocate(p Plan) Allocation {
-	alloc := make(Allocation, len(in.Flows))
-	for i := range in.Flows {
+	alloc := make(Allocation, in.NumFlows())
+	for i := range alloc {
 		alloc[i] = Unserved
 		path := in.FlowPath(i)
 		if in.Lambda <= 1 {
@@ -328,20 +459,21 @@ func (in *Instance) Allocate(p Plan) Allocation {
 // on the flow's path, and a flow is unserved only when no deployed
 // vertex lies on its path. Runs only with invariants enabled.
 func (in *Instance) assertAllocation(p Plan, alloc Allocation) {
-	invariant.Assert(len(alloc) == len(in.Flows),
-		"netsim: allocation has %d entries for %d flows", len(alloc), len(in.Flows))
-	for i, f := range in.Flows {
+	invariant.Assert(len(alloc) == in.NumFlows(),
+		"netsim: allocation has %d entries for %d flows", len(alloc), in.NumFlows())
+	for i := range alloc {
 		v := alloc[i]
+		path := in.FlowPath(i)
 		if v == Unserved {
-			for _, u := range f.Path {
+			for _, u := range path {
 				invariant.Assert(!p.Has(u),
-					"netsim: flow %d unserved although deployed vertex %d is on its path", f.ID, u)
+					"netsim: flow %d unserved although deployed vertex %d is on its path", in.Flow(i).ID, u)
 			}
 			continue
 		}
-		invariant.Assert(p.Has(v), "netsim: flow %d allocated to undeployed vertex %d", f.ID, v)
-		invariant.Assert(f.Path.Downstream(v) >= 0,
-			"netsim: flow %d allocated to off-path vertex %d", f.ID, v)
+		invariant.Assert(p.Has(v), "netsim: flow %d allocated to undeployed vertex %d", in.Flow(i).ID, v)
+		invariant.Assert(path.Downstream(v) >= 0,
+			"netsim: flow %d allocated to off-path vertex %d", in.Flow(i).ID, v)
 	}
 }
 
@@ -351,14 +483,15 @@ func (in *Instance) assertAllocation(p Plan, alloc Allocation) {
 // union is far cheaper than a full Allocate — the random-placement
 // sampler rejection-tests candidate plans with it.
 func (in *Instance) Covers(p Plan) bool {
-	if len(in.Flows) == 0 {
+	nf := in.NumFlows()
+	if nf == 0 {
 		return true
 	}
-	acc := bitset.New(len(in.Flows))
+	acc := bitset.New(nf)
 	for _, v := range p.vs {
 		acc.Or(in.CoverSet(v))
 	}
-	return acc.Count() == len(in.Flows)
+	return acc.Count() == nf
 }
 
 // Feasible reports whether every flow has a middlebox on its path.
@@ -377,7 +510,7 @@ func (in *Instance) Feasible(p Plan) bool {
 //
 //tdmd:hot
 func (in *Instance) FlowBandwidth(i int, v graph.NodeID) float64 {
-	rate := float64(in.Flows[i].Rate)
+	rate := float64(in.rates[i])
 	full := rate * float64(in.flowHops(i))
 	if v == Unserved {
 		return full
@@ -395,7 +528,7 @@ func (in *Instance) FlowBandwidth(i int, v graph.NodeID) float64 {
 func (in *Instance) TotalBandwidth(p Plan) float64 {
 	alloc := in.Allocate(p)
 	var total float64
-	for i := range in.Flows {
+	for i := range alloc {
 		total += in.FlowBandwidth(i, alloc[i])
 	}
 	return total
@@ -420,7 +553,7 @@ func (in *Instance) MarginalDecrement(p Plan, alloc Allocation, v graph.NodeID) 
 	}
 	var gain float64
 	for _, fa := range in.Through(v) {
-		rate := float64(in.Flows[fa.Flow].Rate)
+		rate := float64(in.rates[fa.Flow])
 		cur := 0 // downstream count at current serving vertex; 0 is the unserved baseline
 		served := alloc[fa.Flow] != Unserved
 		if served {
@@ -467,6 +600,7 @@ func (in *Instance) MemoryFootprint() (instanceBytes, arenaBytes int64) {
 	)
 	arenaBytes = int64(cap(in.through))*flowAtSize +
 		int64(cap(in.pathArena))*nodeIDSize +
+		int64(cap(in.rates))*4 +
 		int64(cap(in.throughOff)+cap(in.pathOff))*4
 	instanceBytes = arenaBytes + int64(cap(in.coverWords))*8
 	return instanceBytes, arenaBytes
@@ -479,11 +613,12 @@ func (in *Instance) MemoryFootprint() (instanceBytes, arenaBytes int64) {
 func (in *Instance) CoverSet(v graph.NodeID) *bitset.Set {
 	in.coverOnce.Do(func() {
 		n := in.G.NumNodes()
-		words := (len(in.Flows) + 63) / 64
+		nf := in.NumFlows()
+		words := (nf + 63) / 64
 		in.coverWords = make([]uint64, n*words)
 		in.cover = make([]bitset.Set, n)
 		for u := 0; u < n; u++ {
-			s := bitset.View(in.coverWords[u*words:(u+1)*words], len(in.Flows))
+			s := bitset.View(in.coverWords[u*words:(u+1)*words], nf)
 			for _, fa := range in.Through(graph.NodeID(u)) {
 				s.Set(fa.Flow)
 			}

@@ -69,7 +69,7 @@ func (in *Instance) Report(p Plan) Report {
 	}
 	var depthSum float64
 	served := 0
-	for i, f := range in.Flows {
+	for i := range alloc {
 		v := alloc[i]
 		if v == Unserved {
 			rep.Feasible = false
@@ -78,10 +78,10 @@ func (in *Instance) Report(p Plan) Report {
 		}
 		bs := perBox[v]
 		bs.Flows++
-		bs.Rate += f.Rate
+		bs.Rate += in.FlowRate(i)
 		bs.Idle = false
 		served++
-		depthSum += float64(f.Path.Index(v)) / float64(f.Hops())
+		depthSum += float64(in.FlowPath(i).Index(v)) / float64(in.flowHops(i))
 	}
 	if served > 0 {
 		rep.MeanProcessingDepth = depthSum / float64(served)

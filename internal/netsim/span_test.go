@@ -65,16 +65,17 @@ func referenceAllocateCapacitated(in *Instance, p Plan, capacity int) Allocation
 	if capacity <= 0 {
 		return in.Allocate(p)
 	}
-	alloc := make(Allocation, len(in.Flows))
+	flows := in.Flows()
+	alloc := make(Allocation, len(flows))
 	for i := range alloc {
 		alloc[i] = Unserved
 	}
-	order := make([]int, len(in.Flows))
+	order := make([]int, len(flows))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		fa, fb := in.Flows[order[a]], in.Flows[order[b]]
+		fa, fb := flows[order[a]], flows[order[b]]
 		if fa.Rate != fb.Rate {
 			return fa.Rate > fb.Rate
 		}
@@ -85,7 +86,7 @@ func referenceAllocateCapacitated(in *Instance, p Plan, capacity int) Allocation
 		residual[v] = capacity
 	}
 	for _, i := range order {
-		f := in.Flows[i]
+		f := flows[i]
 		if in.Lambda <= 1 {
 			for _, v := range f.Path {
 				if p.Has(v) && residual[v] >= f.Rate {

@@ -81,14 +81,14 @@ func NewState(in *Instance, p Plan) *State {
 		in:           in,
 		plan:         p.Clone(),
 		serving:      in.Allocate(p),
-		servDown:     make([]int, len(in.Flows)),
-		unservedBits: bitset.New(len(in.Flows)),
+		servDown:     make([]int, in.NumFlows()),
+		unservedBits: bitset.New(in.NumFlows()),
 		gain:         make([]float64, in.G.NumNodes()),
 		cov:          make([]int, in.G.NumNodes()),
 		fresh:        make([]bool, in.G.NumNodes()),
 	}
 	s.plan.reserve(in.G.NumNodes())
-	for i := range in.Flows {
+	for i := range s.serving {
 		v := s.serving[i]
 		s.total += in.FlowBandwidth(i, v)
 		if v == Unserved {
@@ -119,7 +119,7 @@ func (s *State) Bandwidth() float64 { return s.total }
 //tdmd:hot
 func (s *State) ExactBandwidth() float64 {
 	var total float64
-	for i := range s.in.Flows {
+	for i := range s.serving {
 		total += s.in.FlowBandwidth(i, s.serving[i])
 	}
 	return total
@@ -341,7 +341,7 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 	expanding := s.in.Lambda > 1
 	for _, fa := range s.in.Through(v) {
 		i := fa.Flow
-		f := s.in.Flows[i]
+		rate := s.in.rates[i]
 		served := s.serving[i] != Unserved
 		cur := 0 // gain baseline: 0 for unserved (Def. 2)
 		if served {
@@ -356,7 +356,7 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 			moves = fa.Downstream > cur
 		}
 		if moves {
-			gain += float64(f.Rate) * (1 - s.in.Lambda) * float64(fa.Downstream-cur)
+			gain += float64(rate) * (1 - s.in.Lambda) * float64(fa.Downstream-cur)
 		}
 	}
 	if s.plan.Has(v) {
@@ -373,7 +373,7 @@ func (s *State) VertexScore(v graph.NodeID) (gain float64, covered int) {
 func (s *State) verify(op string) {
 	alloc := s.in.Allocate(s.plan)
 	unserved := 0
-	for i := range s.in.Flows {
+	for i := range alloc {
 		invariant.Assert(s.serving[i] == alloc[i],
 			"netsim: %s left flow %d served at %d, full allocation says %d", op, i, s.serving[i], alloc[i])
 		if alloc[i] == Unserved {

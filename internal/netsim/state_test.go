@@ -86,7 +86,7 @@ func checkStateAgainstModel(t *testing.T, in *Instance, s *State) {
 	}
 	wantAlloc := in.Allocate(p)
 	unserved := 0
-	for i := range in.Flows {
+	for i := range wantAlloc {
 		if s.Serving(i) != wantAlloc[i] {
 			t.Fatalf("flow %d served at %v, model says %v (plan %v)", i, s.Serving(i), wantAlloc[i], p)
 		}

@@ -233,7 +233,7 @@ func TestAlgorithmOrderingOnTrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	for trial := 0; trial < 20; trial++ {
 		in, tree := randomTreeInstance(rng, 4+rng.Intn(14))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		k := 2 + rng.Intn(3)
@@ -266,7 +266,7 @@ func TestBandwidthWithinLemma1Bounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 20; trial++ {
 		in, tree := randomTreeInstance(rng, 4+rng.Intn(10))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		lo := in.Lambda * in.RawDemand()

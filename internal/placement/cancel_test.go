@@ -219,14 +219,14 @@ func TestCancelOnlineAddFlowLeavesControllerUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range in.Flows[:2] {
+	for _, f := range in.Flows()[:2] {
 		if _, err := o.AddFlow(context.Background(), f); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := o.Plan()
 	flowsBefore := len(o.Flows())
-	if _, err := o.AddFlow(cancelledCtx(), in.Flows[2]); err == nil {
+	if _, err := o.AddFlow(cancelledCtx(), in.Flows()[2]); err == nil {
 		// The fast path (already covered, or a greedy pick before the
 		// first poll) may legitimately succeed; only a failed add must
 		// leave state untouched.

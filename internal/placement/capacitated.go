@@ -32,10 +32,10 @@ func GTPCapacitated(ctx context.Context, in *netsim.Instance, k, capacity int) (
 		r, err := GTPBudget(ctx, in, k)
 		return r, err
 	}
-	if traffic.MaxRate(in.Flows) > capacity {
+	if traffic.MaxRate(in.Flows()) > capacity {
 		return Result{}, ErrInfeasible // some flow fits no box at all
 	}
-	if k*capacity < traffic.TotalRate(in.Flows) {
+	if k*capacity < traffic.TotalRate(in.Flows()) {
 		return Result{}, ErrInfeasible // aggregate capacity short
 	}
 	// Phase 1: gain-first greedy (matches GTP's behaviour when the
@@ -90,7 +90,7 @@ func runCapacitatedGreedy(ctx context.Context, in *netsim.Instance, k, capacity 
 		return Result{}, false, nil
 	}
 	var total float64
-	for i := range in.Flows {
+	for i := range alloc {
 		total += in.FlowBandwidth(i, alloc[i])
 	}
 	return Result{Plan: p, Bandwidth: total, Feasible: true}, true, nil
@@ -102,7 +102,7 @@ func bestCapacitatedCandidate(in *netsim.Instance, p netsim.Plan, capacity, n in
 	baseAlloc := in.AllocateCapacitated(p, capacity)
 	baseServed := 0
 	var baseBW float64
-	for i := range in.Flows {
+	for i := range baseAlloc {
 		if baseAlloc[i] != netsim.Unserved {
 			baseServed++
 		}
@@ -120,7 +120,7 @@ func bestCapacitatedCandidate(in *netsim.Instance, p netsim.Plan, capacity, n in
 		alloc := in.AllocateCapacitated(cand, capacity)
 		served := -baseServed
 		var bw float64
-		for i := range in.Flows {
+		for i := range alloc {
 			if alloc[i] != netsim.Unserved {
 				served++
 			}

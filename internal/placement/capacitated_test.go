@@ -66,7 +66,7 @@ func TestCapacitatedForcesSpreading(t *testing.T) {
 		if v == netsim.Unserved {
 			t.Fatalf("flow %d unserved", i)
 		}
-		load[v] += in.Flows[i].Rate
+		load[v] += in.FlowRate(i)
 	}
 	for v, l := range load {
 		if l > 4 {

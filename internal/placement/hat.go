@@ -73,7 +73,7 @@ func hat(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int, wantTra
 	// Initial plan: a middlebox on every leaf that sources traffic.
 	// (Leaves without flows would only waste budget; see DESIGN.md.)
 	served := make(map[graph.NodeID]float64) // aggregate served rate per deployed vertex
-	for _, f := range in.Flows {
+	for _, f := range in.Flows() {
 		served[f.Src()] += float64(f.Rate)
 	}
 	plan := netsim.NewPlan()

@@ -96,7 +96,7 @@ func TestHATHeapMatchesBruteForceTrace(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 25; trial++ {
 		in, tree := randomTreeInstance(rng, 3+rng.Intn(15))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		for k := 1; k <= 4; k++ {
@@ -122,7 +122,7 @@ func TestHATFeasibleAndBoundedByDP(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	for trial := 0; trial < 25; trial++ {
 		in, tree := randomTreeInstance(rng, 3+rng.Intn(12))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		for k := 1; k <= 4; k++ {

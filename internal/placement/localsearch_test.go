@@ -84,7 +84,7 @@ func TestLocalSearchClosesGapOnTrees(t *testing.T) {
 	runs := 0
 	for trial := 0; trial < 25; trial++ {
 		in, tree := randomTreeInstance(rng, 5+rng.Intn(10))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		k := 2 + rng.Intn(3)

@@ -35,8 +35,8 @@ func relabel(in *netsim.Instance, rng *rand.Rand) (*netsim.Instance, []graph.Nod
 	for _, e := range in.G.Edges() {
 		g2.AddEdge(perm[e.From], perm[e.To])
 	}
-	flows2 := make([]traffic.Flow, len(in.Flows))
-	for i, f := range in.Flows {
+	flows2 := make([]traffic.Flow, in.NumFlows())
+	for i, f := range in.Flows() {
 		p2 := make(graph.Path, len(f.Path))
 		for j, v := range f.Path {
 			p2[j] = perm[v]

@@ -24,7 +24,7 @@ func MinBoxes(ctx context.Context, in *netsim.Instance) (Result, error) {
 	}
 	cover := setcover.FromTDMD(in)
 	chosen := setcover.Greedy(cover)
-	if chosen == nil && len(in.Flows) > 0 {
+	if chosen == nil && in.NumFlows() > 0 {
 		return Result{}, ErrInfeasible
 	}
 	observing(ctx).count("deployments", int64(len(chosen)))

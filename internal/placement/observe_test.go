@@ -99,7 +99,7 @@ func TestObserverIdentityAcrossAllSolvers(t *testing.T) {
 	general := fig1Instance(t)
 	// Tree-only solvers get a proper root-destination tree workload.
 	treeIn, tr := randomTreeInstance(rand.New(rand.NewSource(17)), 9)
-	if len(treeIn.Flows) == 0 {
+	if treeIn.NumFlows() == 0 {
 		t.Fatal("tree fixture generated no flows")
 	}
 	type fixture struct {

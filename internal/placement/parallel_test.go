@@ -111,7 +111,7 @@ func TestTreeDPParallelMatchesSerialRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	for trial := 0; trial < 20; trial++ {
 		in, tree := randomTreeInstance(rng, 3+rng.Intn(20))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		k := 1 + rng.Intn(5)

@@ -48,14 +48,14 @@ func ScaledTreeDP(ctx context.Context, in *netsim.Instance, t *graph.Tree, k int
 		if limit <= 0 {
 			limit = 256
 		}
-		total := traffic.TotalRate(in.Flows)
+		total := traffic.TotalRate(in.Flows())
 		scale = 1
-		for scaledTotal(in.Flows, scale) > limit && scale < total {
+		for scaledTotal(in.Flows(), scale) > limit && scale < total {
 			scale *= 2
 		}
 	}
-	scaledFlows := make([]traffic.Flow, len(in.Flows))
-	for i, f := range in.Flows {
+	scaledFlows := make([]traffic.Flow, in.NumFlows())
+	for i, f := range in.Flows() {
 		scaledFlows[i] = traffic.Flow{ID: f.ID, Rate: ceilDiv(f.Rate, scale), Path: f.Path}
 	}
 	scaledInst, err := netsim.New(in.G, scaledFlows, in.Lambda)
@@ -91,7 +91,7 @@ func ScaledErrorBound(in *netsim.Instance, t *graph.Tree, scale int) float64 {
 		return 0
 	}
 	var depthSum float64
-	for _, f := range in.Flows {
+	for _, f := range in.Flows() {
 		depthSum += float64(t.Depth(f.Src()))
 	}
 	return (1 - in.Lambda) * float64(scale-1) * depthSum

@@ -115,7 +115,7 @@ func checkTreeWorkload(in *netsim.Instance, t *graph.Tree) error {
 	if in.Lambda > 1 {
 		return fmt.Errorf("placement: tree algorithms require a traffic-diminishing middlebox (λ ≤ 1), got λ=%v", in.Lambda)
 	}
-	for _, f := range in.Flows {
+	for _, f := range in.Flows() {
 		if f.Dst() != t.Root {
 			return fmt.Errorf("placement: flow %d ends at %d, not the root %d", f.ID, f.Dst(), t.Root)
 		}
@@ -199,7 +199,7 @@ func newDPRun(in *netsim.Instance, t *graph.Tree, k int) *dpRun {
 		subSize: make([]int, n),
 		memo:    make([]*dpTable, n),
 	}
-	for _, f := range in.Flows {
+	for _, f := range in.Flows() {
 		d.ownRate[f.Src()] += f.Rate
 	}
 	for _, v := range t.PostOrder() {

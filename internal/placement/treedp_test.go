@@ -212,7 +212,7 @@ func TestTreeDPOptimalOnRandomTrees(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		n := 3 + rng.Intn(9)
 		in, tree := randomTreeInstance(rng, n)
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		for k := 1; k <= 4; k++ {
@@ -244,7 +244,7 @@ func TestTreeDPMonotoneInBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 10; trial++ {
 		in, tree := randomTreeInstance(rng, 4+rng.Intn(12))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		prev := math.Inf(1)
@@ -267,11 +267,11 @@ func TestTreeDPReachesLambdaBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(321))
 	for trial := 0; trial < 10; trial++ {
 		in, tree := randomTreeInstance(rng, 4+rng.Intn(10))
-		if len(in.Flows) == 0 {
+		if in.NumFlows() == 0 {
 			continue
 		}
 		sources := map[graph.NodeID]bool{}
-		for _, f := range in.Flows {
+		for _, f := range in.Flows() {
 			sources[f.Src()] = true
 		}
 		r, err := TreeDP(context.Background(), in, tree, len(sources))

@@ -63,7 +63,7 @@ func LinkFailure(in *netsim.Instance, p netsim.Plan, a, b graph.NodeID) (LinkImp
 	var survivors []traffic.Flow
 	var oldSurvivorBW float64
 	oldAlloc := in.Allocate(p)
-	for i, f := range in.Flows {
+	for i, f := range in.Flows() {
 		if !usesLink(f.Path) {
 			survivors = append(survivors, f)
 			oldSurvivorBW += in.FlowBandwidth(i, oldAlloc[i])

@@ -183,5 +183,5 @@ func FromTDMD(in *netsim.Instance) Instance {
 	for v, flows := range cov {
 		sets[v] = append([]int(nil), flows...)
 	}
-	return Instance{N: len(in.Flows), Sets: sets}
+	return Instance{N: in.NumFlows(), Sets: sets}
 }

@@ -25,39 +25,45 @@ import (
 // WAN topologies enter the library in place of the synthetic
 // generators.
 func ReadGML(r io.Reader) (*graph.Graph, error) {
-	toks, err := tokenizeGML(r)
-	if err != nil {
+	g := graph.New()
+	if err := ReadGMLInto(r, g); err != nil {
 		return nil, err
 	}
-	p := &gmlParser{toks: toks}
+	return g, nil
+}
+
+// ReadGMLInto is the bulk loader behind ReadGML: it streams the file
+// into an existing graph — labels are interned via graph.InternNode,
+// so feeding a pre-populated builder graph resolves repeated labels to
+// their existing vertices — with working memory bounded by one input
+// line plus the id remap table, never the token list of the whole
+// file. Duplicate labels within one file are rejected (labels are
+// identifiers downstream: trace replay resolves flows by NodeByName,
+// so aliased routers would corrupt workloads silently).
+func ReadGMLInto(r io.Reader, g *graph.Graph) error {
+	p := &gmlParser{lex: newGMLLexer(r)}
 	if err := p.expect("graph"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := p.expect("["); err != nil {
-		return nil, err
+		return err
 	}
-	g := graph.New()
 	idMap := map[int]graph.NodeID{}
+	seen := map[string]bool{}
 	type pendingEdge struct{ src, dst int }
 	var edges []pendingEdge
 	for {
 		tok, ok := p.next()
 		if !ok {
-			return nil, fmt.Errorf("topology: GML: unexpected end of input")
+			return p.atEOF("unexpected end of input")
 		}
 		switch tok {
 		case "]":
-			// Labels are identifiers downstream (trace replay resolves
-			// flows by NodeByName), so duplicated labels would silently
-			// alias distinct routers — reject the file instead.
-			if dups := g.DuplicateNames(); len(dups) > 0 {
-				return nil, fmt.Errorf("topology: GML: duplicate node label(s) %q", dups)
-			}
 			for _, e := range edges {
 				s, okS := idMap[e.src]
 				d, okD := idMap[e.dst]
 				if !okS || !okD {
-					return nil, fmt.Errorf("topology: GML: edge references unknown node (%d -> %d)", e.src, e.dst)
+					return fmt.Errorf("topology: GML: edge references unknown node (%d -> %d)", e.src, e.dst)
 				}
 				if s == d {
 					continue // drop self-loops; the model has none
@@ -66,29 +72,33 @@ func ReadGML(r io.Reader) (*graph.Graph, error) {
 					g.AddBiEdge(s, d)
 				}
 			}
-			return g, nil
+			return nil
 		case "node":
 			id, label, err := p.parseNode()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if _, dup := idMap[id]; dup {
-				return nil, fmt.Errorf("topology: GML: duplicate node id %d", id)
+				return fmt.Errorf("topology: GML: duplicate node id %d", id)
 			}
 			if label == "" {
 				label = fmt.Sprintf("n%d", id)
 			}
-			idMap[id] = g.AddNode(label)
+			if seen[label] {
+				return fmt.Errorf("topology: GML: duplicate node label(s) %q", []string{label})
+			}
+			seen[label] = true
+			idMap[id] = g.InternNode(label)
 		case "edge":
 			src, dst, err := p.parseEdge()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			edges = append(edges, pendingEdge{src, dst})
 		default:
 			// Top-level scalar attribute like `directed 0`: skip value.
 			if err := p.skipValue(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
@@ -119,70 +129,96 @@ func WriteGML(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// tokenizeGML splits GML into tokens, keeping quoted strings intact.
-func tokenizeGML(r io.Reader) ([]string, error) {
-	var toks []string
+// gmlLexer produces GML tokens one at a time — quoted strings intact,
+// comments stripped — pulling input line by line. Unlike the
+// historical tokenizer it never materializes the file's token list;
+// working memory is a single line regardless of topology size.
+type gmlLexer struct {
+	sc   *bufio.Scanner
+	line string // unconsumed remainder of the current line
+	err  error  // first I/O or lexical error; sticky
+	done bool
+}
+
+func newGMLLexer(r io.Reader) *gmlLexer {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if i := strings.Index(line, "#"); i >= 0 {
-			line = line[:i]
+	return &gmlLexer{sc: sc}
+}
+
+// next returns the next token, or ok=false at end of input or on
+// error (check err).
+func (l *gmlLexer) next() (string, bool) {
+	for {
+		l.line = strings.TrimLeft(l.line, " \t\r")
+		if l.line == "" {
+			if l.done || l.err != nil {
+				return "", false
+			}
+			if !l.sc.Scan() {
+				l.done = true
+				if err := l.sc.Err(); err != nil {
+					l.err = fmt.Errorf("topology: reading GML: %w", err)
+				}
+				return "", false
+			}
+			line := l.sc.Text()
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			l.line = line
+			continue
 		}
-		for len(line) > 0 {
-			line = strings.TrimLeft(line, " \t\r")
-			if line == "" {
-				break
+		switch {
+		case l.line[0] == '"':
+			end := strings.IndexByte(l.line[1:], '"')
+			if end < 0 {
+				l.err = fmt.Errorf("topology: GML: unterminated string in %q", l.line)
+				return "", false
 			}
-			switch {
-			case line[0] == '"':
-				end := strings.IndexByte(line[1:], '"')
-				if end < 0 {
-					return nil, fmt.Errorf("topology: GML: unterminated string in %q", line)
-				}
-				toks = append(toks, line[:end+2])
-				line = line[end+2:]
-			case line[0] == '[' || line[0] == ']':
-				toks = append(toks, string(line[0]))
-				line = line[1:]
-			default:
-				end := strings.IndexAny(line, " \t\r[]")
-				if end < 0 {
-					toks = append(toks, line)
-					line = ""
-				} else if end == 0 {
-					// '[' or ']' handled above; only separators remain.
-					line = line[1:]
-				} else {
-					toks = append(toks, line[:end])
-					line = line[end:]
-				}
+			tok := l.line[:end+2]
+			l.line = l.line[end+2:]
+			return tok, true
+		case l.line[0] == '[' || l.line[0] == ']':
+			tok := string(l.line[0])
+			l.line = l.line[1:]
+			return tok, true
+		default:
+			end := strings.IndexAny(l.line, " \t\r[]")
+			if end < 0 {
+				tok := l.line
+				l.line = ""
+				return tok, true
 			}
+			// end > 0: brackets and leading separators are handled above.
+			tok := l.line[:end]
+			l.line = l.line[end:]
+			return tok, true
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("topology: reading GML: %w", err)
-	}
-	return toks, nil
 }
 
 type gmlParser struct {
-	toks []string
-	pos  int
+	lex *gmlLexer
 }
 
-func (p *gmlParser) next() (string, bool) {
-	if p.pos >= len(p.toks) {
-		return "", false
+func (p *gmlParser) next() (string, bool) { return p.lex.next() }
+
+// atEOF wraps an end-of-input condition, surfacing the lexer's own
+// error (I/O failure, unterminated string) over the generic message.
+func (p *gmlParser) atEOF(msg string) error {
+	if p.lex.err != nil {
+		return p.lex.err
 	}
-	t := p.toks[p.pos]
-	p.pos++
-	return t, true
+	return fmt.Errorf("topology: GML: %s", msg)
 }
 
 func (p *gmlParser) expect(want string) error {
 	tok, ok := p.next()
-	if !ok || tok != want {
+	if !ok {
+		return p.atEOF(fmt.Sprintf("expected %q, got end of input", want))
+	}
+	if tok != want {
 		return fmt.Errorf("topology: GML: expected %q, got %q", want, tok)
 	}
 	return nil
@@ -193,7 +229,7 @@ func (p *gmlParser) expect(want string) error {
 func (p *gmlParser) skipValue() error {
 	tok, ok := p.next()
 	if !ok {
-		return fmt.Errorf("topology: GML: missing value")
+		return p.atEOF("missing value")
 	}
 	if tok != "[" {
 		return nil
@@ -202,7 +238,7 @@ func (p *gmlParser) skipValue() error {
 	for depth > 0 {
 		tok, ok = p.next()
 		if !ok {
-			return fmt.Errorf("topology: GML: unterminated block")
+			return p.atEOF("unterminated block")
 		}
 		switch tok {
 		case "[":
@@ -223,7 +259,7 @@ func (p *gmlParser) parseNode() (id int, label string, err error) {
 	for {
 		tok, ok := p.next()
 		if !ok {
-			return 0, "", fmt.Errorf("topology: GML: unterminated node block")
+			return 0, "", p.atEOF("unterminated node block")
 		}
 		if tok == "]" {
 			break
@@ -232,7 +268,7 @@ func (p *gmlParser) parseNode() (id int, label string, err error) {
 		case "id":
 			v, ok := p.next()
 			if !ok {
-				return 0, "", fmt.Errorf("topology: GML: node id missing value")
+				return 0, "", p.atEOF("node id missing value")
 			}
 			id, err = strconv.Atoi(v)
 			if err != nil {
@@ -241,7 +277,7 @@ func (p *gmlParser) parseNode() (id int, label string, err error) {
 		case "label":
 			v, ok := p.next()
 			if !ok {
-				return 0, "", fmt.Errorf("topology: GML: node label missing value")
+				return 0, "", p.atEOF("node label missing value")
 			}
 			label = strings.Trim(v, `"`)
 		default:
@@ -265,14 +301,14 @@ func (p *gmlParser) parseEdge() (src, dst int, err error) {
 	readInt := func() (int, error) {
 		v, ok := p.next()
 		if !ok {
-			return 0, fmt.Errorf("topology: GML: edge endpoint missing value")
+			return 0, p.atEOF("edge endpoint missing value")
 		}
 		return strconv.Atoi(v)
 	}
 	for {
 		tok, ok := p.next()
 		if !ok {
-			return 0, 0, fmt.Errorf("topology: GML: unterminated edge block")
+			return 0, 0, p.atEOF("unterminated edge block")
 		}
 		if tok == "]" {
 			break

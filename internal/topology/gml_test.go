@@ -163,3 +163,44 @@ func TestReadGMLRejectsDuplicateLabels(t *testing.T) {
 		t.Fatalf("error does not name the duplicated label: %v", err)
 	}
 }
+
+// ReadGMLInto interns labels against the destination graph: loading
+// into a pre-populated graph resolves repeated labels to the existing
+// vertices instead of duplicating them.
+func TestReadGMLIntoInternsAgainstExisting(t *testing.T) {
+	g := graph.New()
+	hub := g.InternNode("hub")
+	src := `graph [
+  node [ id 0 label "hub" ]
+  node [ id 1 label "leaf" ]
+  edge [ source 0 target 1 ]
+]`
+	if err := ReadGMLInto(strings.NewReader(src), g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("|V| = %d, want 2 (hub resolved, leaf added)", g.NumNodes())
+	}
+	if got := g.InternNode("hub"); got != hub {
+		t.Fatalf("hub re-interned to %d, want %d", got, hub)
+	}
+	if !g.HasEdge(hub, g.InternNode("leaf")) {
+		t.Fatal("edge not attached to the pre-existing vertex")
+	}
+}
+
+// The streaming lexer strips # comments and tolerates arbitrary
+// interleaving of blank lines — Topology Zoo files carry both.
+func TestReadGMLCommentsAndBlankLines(t *testing.T) {
+	src := "# exported from Topology Zoo\n\ngraph [\n" +
+		"  node [ id 0 label \"a\" ] # inline comment\n\n" +
+		"  node [ id 1 label \"b\" ]\n" +
+		"  edge [ source 0 target 1 ]\n]\n# trailing\n"
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+}

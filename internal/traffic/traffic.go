@@ -11,6 +11,7 @@
 package traffic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -71,18 +72,80 @@ func RawDemand(flows []Flow) float64 {
 	return d
 }
 
-// Validate checks that every flow's path is a valid walk of g with at
-// least one edge and a positive rate.
+// ErrInvalidPath is the sentinel wrapped by every PathError; test with
+// errors.Is to classify ingestion failures without string matching.
+var ErrInvalidPath = errors.New("traffic: invalid flow path")
+
+// PathError is the typed rejection every workload validator returns
+// for a malformed flow: which flow, which hop, and why. It wraps
+// ErrInvalidPath.
+type PathError struct {
+	Flow     int          // flow ID (or stream index) being validated
+	Hop      int          // offending hop index into the path, -1 if structural
+	From, To graph.NodeID // offending hop pair (zero values if structural)
+	Reason   string       // human-readable cause
+}
+
+// Error implements error.
+func (e *PathError) Error() string {
+	if e.Hop >= 0 {
+		return fmt.Sprintf("traffic: flow %d: invalid path at hop %d (%d -> %d): %s",
+			e.Flow, e.Hop, e.From, e.To, e.Reason)
+	}
+	return fmt.Sprintf("traffic: flow %d: invalid path: %s", e.Flow, e.Reason)
+}
+
+// Unwrap ties the typed error to the ErrInvalidPath sentinel.
+func (e *PathError) Unwrap() error { return ErrInvalidPath }
+
+// ValidateFlow checks one flow against the adjacency index: positive
+// rate, at least one edge, every consecutive hop pair an actual edge,
+// and no vertex visited twice (the model's through index counts one
+// visit per occurrence, so a revisiting walk would double-count the
+// flow's marginal — such paths are rejected, not silently mis-scored).
+// id names the flow in the returned *PathError.
+func ValidateFlow(adj graph.AdjSet, id, rate int, path graph.Path) error {
+	if rate < 1 {
+		return &PathError{Flow: id, Hop: -1, Reason: fmt.Sprintf("non-positive rate %d", rate)}
+	}
+	switch len(path) {
+	case 0:
+		return &PathError{Flow: id, Hop: -1, Reason: "empty path"}
+	case 1:
+		return &PathError{Flow: id, Hop: -1, Reason: "single-vertex path has no edges"}
+	}
+	n := graph.NodeID(adj.Len())
+	for i, v := range path {
+		if v < 0 || v >= n {
+			return &PathError{Flow: id, Hop: i, From: v, To: v,
+				Reason: fmt.Sprintf("vertex %d outside graph (n=%d)", v, n)}
+		}
+		// Paths are short (network diameters), so the quadratic
+		// repeated-vertex scan beats any per-flow set allocation.
+		for j := 0; j < i; j++ {
+			if path[j] == v {
+				return &PathError{Flow: id, Hop: i, From: v, To: v,
+					Reason: fmt.Sprintf("vertex %d visited twice (positions %d and %d)", v, j, i)}
+			}
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !adj.Has(path[i], path[i+1]) {
+			return &PathError{Flow: id, Hop: i, From: path[i], To: path[i+1],
+				Reason: "consecutive hops are not joined by an edge"}
+		}
+	}
+	return nil
+}
+
+// Validate checks that every flow's path is a simple directed path of
+// g with at least one edge and a positive rate. Failures are typed
+// *PathError values wrapping ErrInvalidPath.
 func Validate(g *graph.Graph, flows []Flow) error {
+	adj := graph.NewAdjSet(g)
 	for _, f := range flows {
-		if f.Rate < 1 {
-			return fmt.Errorf("traffic: flow %d has non-positive rate %d", f.ID, f.Rate)
-		}
-		if len(f.Path) < 2 {
-			return fmt.Errorf("traffic: flow %d has a path with no edges", f.ID)
-		}
-		if !f.Path.Valid(g) {
-			return fmt.Errorf("traffic: flow %d has an invalid path %v", f.ID, f.Path)
+		if err := ValidateFlow(adj, f.ID, f.Rate, f.Path); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -204,15 +267,21 @@ func (cfg GenConfig) withDefaults(g *graph.Graph) GenConfig {
 	return cfg
 }
 
-// TreeFlows generates leaf-to-root flows on t until the target density
-// is reached: sources drawn uniformly from the leaves, destination the
-// root, path the unique tree path — the workload shape of Sec. 5.
-func TreeFlows(t *graph.Tree, cfg GenConfig) []Flow {
+// GenerateTree streams leaf-to-root flows on t to yield, one at a
+// time, until the target density is reached: sources drawn uniformly
+// from the leaves, destination the root, path the unique tree path —
+// the workload shape of Sec. 5. The yielded Flow (including its path
+// slice) is only valid for the duration of the call unless yield
+// retains it; the generator itself accumulates nothing, so a
+// multi-million-flow matrix is produced in O(1) working memory.
+// Generation stops early, returning yield's error, if yield fails.
+// It returns the number of flows yielded.
+func GenerateTree(t *graph.Tree, cfg GenConfig, yield func(Flow) error) (int, error) {
 	cfg = cfg.withDefaults(t.G)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	leaves := t.Leaves()
 	if len(leaves) == 1 && leaves[0] == t.Root {
-		return nil // single-vertex tree carries no flows
+		return 0, nil // single-vertex tree carries no flows
 	}
 	// A leaf that IS the root can't source a flow.
 	var sources []graph.NodeID
@@ -222,25 +291,43 @@ func TreeFlows(t *graph.Tree, cfg GenConfig) []Flow {
 		}
 	}
 	capacity := cfg.LinkCapacity * float64(t.G.NumEdges())
-	var flows []Flow
+	count := 0
 	var load float64
-	for len(flows) < cfg.MaxFlows && load < cfg.Density*capacity {
+	for count < cfg.MaxFlows && load < cfg.Density*capacity {
 		src := sources[rng.Intn(len(sources))]
 		p := t.PathToRoot(src)
 		r := cfg.Dist.Sample(rng)
-		flows = append(flows, Flow{ID: len(flows), Rate: r, Path: p})
+		if err := yield(Flow{ID: count, Rate: r, Path: p}); err != nil {
+			return count, err
+		}
+		count++
 		load += float64(r) * float64(p.Len())
+	}
+	return count, nil
+}
+
+// TreeFlows collects GenerateTree's stream into a slice.
+func TreeFlows(t *graph.Tree, cfg GenConfig) []Flow {
+	var flows []Flow
+	if _, err := GenerateTree(t, cfg, func(f Flow) error {
+		flows = append(flows, f)
+		return nil
+	}); err != nil {
+		panic(err) // the yield never errors
 	}
 	return flows
 }
 
-// GeneralFlows generates flows on a general graph: sources uniform
-// over non-destination vertices, destinations uniform over dsts,
-// shortest-path (minimum-hop) routing, until the target density is
-// reached. dsts plays the role of the paper's red destination nodes.
-func GeneralFlows(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig) []Flow {
+// GenerateGeneral streams flows on a general graph to yield: sources
+// uniform over non-destination vertices, destinations uniform over
+// dsts, shortest-path (minimum-hop) routing, until the target density
+// is reached. dsts plays the role of the paper's red destination
+// nodes. Same streaming contract as GenerateTree: nothing accumulates,
+// the yielded path is only valid during the call, and yield's error
+// stops generation.
+func GenerateGeneral(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig, yield func(Flow) error) (int, error) {
 	if len(dsts) == 0 {
-		panic("traffic: GeneralFlows needs at least one destination")
+		panic("traffic: GenerateGeneral needs at least one destination")
 	}
 	cfg = cfg.withDefaults(g)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -258,10 +345,10 @@ func GeneralFlows(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig) []Flow {
 		panic("traffic: every vertex is a destination")
 	}
 	capacity := cfg.LinkCapacity * float64(g.NumEdges())
-	var flows []Flow
+	count := 0
 	var load float64
 	attempts := 0
-	for len(flows) < cfg.MaxFlows && load < cfg.Density*capacity {
+	for count < cfg.MaxFlows && load < cfg.Density*capacity {
 		attempts++
 		if attempts > 100*cfg.MaxFlows {
 			break // pathological topology: avoid spinning forever
@@ -278,7 +365,7 @@ func GeneralFlows(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig) []Flow {
 			if err != nil || len(candidates) == 0 {
 				continue
 			}
-			p = routing.HashSelect(candidates, len(flows))
+			p = routing.HashSelect(candidates, count)
 		} else {
 			sp, err := g.ShortestPath(src, dst)
 			if err != nil {
@@ -290,8 +377,23 @@ func GeneralFlows(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig) []Flow {
 			continue
 		}
 		r := cfg.Dist.Sample(rng)
-		flows = append(flows, Flow{ID: len(flows), Rate: r, Path: p})
+		if err := yield(Flow{ID: count, Rate: r, Path: p}); err != nil {
+			return count, err
+		}
+		count++
 		load += float64(r) * float64(p.Len())
+	}
+	return count, nil
+}
+
+// GeneralFlows collects GenerateGeneral's stream into a slice.
+func GeneralFlows(g *graph.Graph, dsts []graph.NodeID, cfg GenConfig) []Flow {
+	var flows []Flow
+	if _, err := GenerateGeneral(g, dsts, cfg, func(f Flow) error {
+		flows = append(flows, f)
+		return nil
+	}); err != nil {
+		panic(err) // the yield never errors
 	}
 	return flows
 }

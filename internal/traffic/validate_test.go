@@ -1,0 +1,144 @@
+package traffic
+
+import (
+	"errors"
+	"testing"
+
+	"tdmd/internal/graph"
+)
+
+func validateFixture() graph.AdjSet {
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.AddNode("")
+	}
+	g.AddBiEdge(0, 1)
+	g.AddBiEdge(1, 2)
+	g.AddBiEdge(2, 3)
+	return graph.NewAdjSet(g)
+}
+
+// TestValidateFlowTypedErrors pins the typed rejection contract at the
+// traffic layer: every malformed flow yields a *PathError wrapping
+// ErrInvalidPath with the flow, hop and reason filled in.
+func TestValidateFlowTypedErrors(t *testing.T) {
+	adj := validateFixture()
+	cases := []struct {
+		name string
+		rate int
+		path graph.Path
+		hop  int
+	}{
+		{"empty path", 1, nil, -1},
+		{"single vertex", 1, graph.Path{2}, -1},
+		{"non-positive rate", 0, graph.Path{0, 1}, -1},
+		{"negative rate", -2, graph.Path{0, 1}, -1},
+		{"vertex out of range", 1, graph.Path{0, 9}, 1},
+		{"negative vertex", 1, graph.Path{-1, 0}, 0},
+		{"repeated vertex", 1, graph.Path{0, 1, 0}, 2},
+		{"non-adjacent hop", 1, graph.Path{0, 2}, 0},
+	}
+	for _, tc := range cases {
+		err := ValidateFlow(adj, 7, tc.rate, tc.path)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, ErrInvalidPath) {
+			t.Fatalf("%s: not ErrInvalidPath: %v", tc.name, err)
+		}
+		var pe *PathError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: not a *PathError: %v", tc.name, err)
+		}
+		if pe.Flow != 7 || pe.Hop != tc.hop {
+			t.Errorf("%s: flow %d hop %d, want flow 7 hop %d (%v)", tc.name, pe.Flow, pe.Hop, tc.hop, err)
+		}
+	}
+	if err := ValidateFlow(adj, 7, 3, graph.Path{0, 1, 2, 3}); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
+}
+
+// TestGenerateMatchesSliceVariants: the streaming generators must
+// yield exactly the workload their slice-returning wrappers build —
+// same flows, same order, same RNG draws.
+func TestGenerateMatchesSliceVariants(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 20; i++ {
+		g.AddNode("")
+	}
+	for i := 1; i < 20; i++ {
+		g.AddBiEdge(graph.NodeID(i/2), graph.NodeID(i))
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GenConfig{Density: 0.5, Seed: 5}
+
+	want := TreeFlows(tr, cfg)
+	var got []Flow
+	n, err := GenerateTree(tr, cfg, func(f Flow) error {
+		f.Path = append(graph.Path(nil), f.Path...)
+		got = append(got, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("streamed %d flows, slice variant built %d", n, len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Rate != want[i].Rate || got[i].Path.String() != want[i].Path.String() {
+			t.Fatalf("flow %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	dsts := []graph.NodeID{0, 1}
+	wantG := GeneralFlows(g, dsts, cfg)
+	var gotG []Flow
+	if _, err := GenerateGeneral(g, dsts, cfg, func(f Flow) error {
+		f.Path = append(graph.Path(nil), f.Path...)
+		gotG = append(gotG, f)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotG) != len(wantG) {
+		t.Fatalf("streamed %d general flows, slice variant built %d", len(gotG), len(wantG))
+	}
+	for i := range wantG {
+		if gotG[i].Rate != wantG[i].Rate || gotG[i].Path.String() != wantG[i].Path.String() {
+			t.Fatalf("general flow %d differs: %v vs %v", i, gotG[i], wantG[i])
+		}
+	}
+}
+
+// TestGenerateYieldErrorAborts: a yield error stops generation
+// immediately and surfaces unchanged.
+func TestGenerateYieldErrorAborts(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddNode("")
+	}
+	for i := 1; i < 10; i++ {
+		g.AddBiEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	sentinel := errors.New("stop here")
+	calls := 0
+	_, err := GenerateGeneral(g, []graph.NodeID{0}, GenConfig{Density: 1e12, Seed: 1, MaxFlows: 50},
+		func(Flow) error {
+			calls++
+			if calls == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("yield error not surfaced: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("generation continued after the error: %d calls", calls)
+	}
+}

@@ -1,19 +1,30 @@
 #!/usr/bin/env sh
-# bench.sh — record or check the solver benchmark snapshot.
+# bench.sh — record or check the repository's benchmark snapshots.
 #
-# The snapshot (BENCH_solver.json) holds ns/op, B/op and allocs/op for
-# the paired solver benchmarks — the root package's FullVsIncremental
-# pair, the netsim SnapState primitives, instance construction
-# (BenchmarkNewInstance), and the parallel marginal scan
-# (BenchmarkScanScores, recorded at -cpu 1 and 4 as separate rows) —
-# all at |V|=200 / |F|≈1500 — and is checked in, so the repository's
-# performance trajectory is reviewable history rather than folklore.
+# Two suites are registered (cmd/benchsnap):
 #
-# Usage: scripts/bench.sh           rewrite BENCH_solver.json in place
-#        scripts/bench.sh -check    fail if allocs/op regressed beyond
-#                                   tolerance, or the benchmark set
-#                                   drifted from the snapshot (ns/op is
-#                                   machine-dependent: informational)
+#   solver  BENCH_solver.json  ns/op, B/op and allocs/op for the paired
+#           solver benchmarks — the root package's FullVsIncremental
+#           pair, the netsim SnapState primitives, instance
+#           construction (BenchmarkNewInstance), and the parallel
+#           marginal scan (BenchmarkScanScores, -cpu 1 and 4 as
+#           separate rows) — all at |V|=200 / |F|≈1500.
+#   ingest  BENCH_ingest.json  the streaming-ingestion benchmarks
+#           (BenchmarkIngest*), including the million-flow scale row;
+#           bytes/flow (the wire format's per-flow cost) is gated
+#           alongside allocs/op. The ingest check also runs the
+#           million-flow end-to-end scale test (TDMD_SCALE=1) first.
+#
+# Both snapshots are checked in, so the repository's performance
+# trajectory is reviewable history rather than folklore.
+#
+# Usage: scripts/bench.sh [suite]           rewrite the snapshot(s)
+#        scripts/bench.sh -check [suite]    fail if allocs/op (or
+#                                           bytes/flow) regressed, or
+#                                           the benchmark set drifted
+#                                           (ns/op is machine-
+#                                           dependent: informational)
+#        suite: solver, ingest, or all (default all)
 #        make bench-snap / make bench-check   (aliases)
 #
 # Like check.sh this is offline and needs only the go toolchain; a
@@ -23,18 +34,45 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+mode=-update
 case "${1:-}" in
 -check)
-    echo "==> benchsnap -check (allocs/op vs BENCH_solver.json)"
-    go run ./cmd/benchsnap -check
+    mode=-check
+    shift
     ;;
-'' | -update)
-    echo "==> benchsnap -update (rewriting BENCH_solver.json)"
-    go run ./cmd/benchsnap -update
-    echo "review the diff and commit BENCH_solver.json"
+-update)
+    shift
     ;;
-*)
-    echo "usage: scripts/bench.sh [-check|-update]" >&2
+-*)
+    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|all]" >&2
     exit 2
     ;;
 esac
+
+suite="${1:-all}"
+case "$suite" in
+solver | ingest | all) ;;
+*)
+    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|all]" >&2
+    exit 2
+    ;;
+esac
+
+run_suite() {
+    if [ "$1" = ingest ]; then
+        echo "==> million-flow scale test (TDMD_SCALE=1)"
+        TDMD_SCALE=1 go test -run TestScaleMillionFlows -count=1 .
+    fi
+    echo "==> benchsnap $mode -suite $1"
+    go run ./cmd/benchsnap "$mode" -suite "$1"
+    if [ "$mode" = -update ]; then
+        echo "review the diff and commit the snapshot"
+    fi
+}
+
+if [ "$suite" = all ]; then
+    run_suite solver
+    run_suite ingest
+else
+    run_suite "$suite"
+fi

@@ -1,0 +1,523 @@
+package tdmd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"tdmd/internal/graph"
+	"tdmd/internal/netsim"
+	"tdmd/internal/obs"
+	"tdmd/internal/topology"
+	"tdmd/internal/traffic"
+)
+
+// Streaming ingestion (DESIGN.md §11). A ProblemBuilder accepts a
+// topology declaration followed by any number of flows and assembles
+// the netsim arenas directly: every AddFlow appends its hops to the
+// shared path arena, so no []Flow, no per-flow Path slices and no
+// intermediate ProblemSpec ever exist. The streaming decoders
+// (ReadStream, DecodeStream) drive a builder from an io.Reader one
+// JSON token at a time, which keeps decoder working memory independent
+// of the flow count — a million-flow problem ingests in the same few
+// kilobytes of transient state as a ten-flow one, with the arenas the
+// only O(|F|) allocations.
+
+// Ingest metrics, on the default obs registry next to the solver and
+// netsim series. Totals accumulate across ingests; the bytes/flow
+// gauge reports the most recent stream (latest-ingest semantics,
+// matching tdmd_instance_bytes).
+var (
+	ingestBytesTotal = obs.NewCounter("tdmd_ingest_bytes_total",
+		"input bytes consumed by the streaming problem decoders")
+	ingestFlowsTotal = obs.NewCounter("tdmd_ingest_flows_total",
+		"flows ingested by the streaming problem decoders")
+	ingestBytesPerFlow = obs.NewGauge("tdmd_ingest_bytes_per_flow",
+		"input bytes per flow of the most recent streaming ingest")
+)
+
+// ProblemBuilder assembles a Problem incrementally: declare the
+// topology (AddNode/AddEdge or LoadGML), then stream flows in with
+// AddFlow, then Build. The first AddFlow freezes the topology into a
+// binary-searchable adjacency index; adding nodes or edges after that
+// point is an error, and every flow is validated against the frozen
+// index as it arrives, so a bad input line fails at that line.
+//
+// The builder writes rates and path hops straight into the arenas the
+// netsim.Instance will own. Build hands them over without copying;
+// the builder is spent afterwards and every subsequent call errors.
+//
+// A zero-value-ish builder from NewProblemBuilder has λ = 0 and no
+// tree root, matching ProblemSpec defaults; both are settable until
+// Build.
+type ProblemBuilder struct {
+	g      *Graph
+	lambda float64
+	root   int
+
+	adj    graph.AdjSet // frozen adjacency; valid once frozen
+	frozen bool
+	built  bool
+
+	rates     []int32
+	pathArena []graph.NodeID
+	pathOff   []int32
+}
+
+// NewProblemBuilder returns an empty builder (λ = 0, no root).
+func NewProblemBuilder() *ProblemBuilder {
+	return &ProblemBuilder{g: NewGraph(), root: -1, pathOff: []int32{0}}
+}
+
+// AddNode interns a vertex label and returns its dense id: a repeated
+// label resolves to the existing vertex instead of adding a new one.
+// (The spec decoder bypasses interning — spec node identity is
+// positional, see ReadStream.)
+func (b *ProblemBuilder) AddNode(name string) (int, error) {
+	if err := b.mutable("AddNode"); err != nil {
+		return 0, err
+	}
+	return int(b.g.InternNode(name)), nil
+}
+
+// AddEdge adds the directed link from -> to by vertex id.
+func (b *ProblemBuilder) AddEdge(from, to int) error {
+	if err := b.mutable("AddEdge"); err != nil {
+		return err
+	}
+	if !b.g.Valid(NodeID(from)) || !b.g.Valid(NodeID(to)) {
+		return fmt.Errorf("tdmd: builder edge [%d %d] out of range (%d nodes)", from, to, b.g.NumNodes())
+	}
+	b.g.AddEdge(NodeID(from), NodeID(to))
+	return nil
+}
+
+// AddBiEdge adds the bidirectional link pair a <-> b by vertex id.
+func (b *ProblemBuilder) AddBiEdge(a, c int) error {
+	if err := b.AddEdge(a, c); err != nil {
+		return err
+	}
+	return b.AddEdge(c, a)
+}
+
+// LoadGML streams an Internet-Topology-Zoo-style GML topology into the
+// builder's graph (labels interned, every edge a bidirectional pair).
+// Must precede the first AddFlow.
+func (b *ProblemBuilder) LoadGML(r io.Reader) error {
+	if err := b.mutable("LoadGML"); err != nil {
+		return err
+	}
+	return topology.ReadGMLInto(r, b.g)
+}
+
+// SetLambda sets the middlebox's traffic-changing ratio.
+func (b *ProblemBuilder) SetLambda(lambda float64) error {
+	if lambda < 0 {
+		return fmt.Errorf("tdmd: negative lambda %v", lambda)
+	}
+	b.lambda = lambda
+	return nil
+}
+
+// SetRoot declares the tree root (enabling tree algorithms); a
+// negative root clears it.
+func (b *ProblemBuilder) SetRoot(root int) { b.root = root }
+
+// Reserve pre-sizes the arenas for the given flow and total-hop
+// counts, so a bulk fill of known size never regrows them. Optional:
+// without it the arenas grow by the usual doubling.
+func (b *ProblemBuilder) Reserve(flows, pathEntries int) {
+	if cap(b.rates)-len(b.rates) < flows {
+		grown := make([]int32, len(b.rates), len(b.rates)+flows)
+		copy(grown, b.rates)
+		b.rates = grown
+	}
+	if cap(b.pathOff)-len(b.pathOff) < flows {
+		grown := make([]int32, len(b.pathOff), len(b.pathOff)+flows)
+		copy(grown, b.pathOff)
+		b.pathOff = grown
+	}
+	if cap(b.pathArena)-len(b.pathArena) < pathEntries {
+		grown := make([]graph.NodeID, len(b.pathArena), len(b.pathArena)+pathEntries)
+		copy(grown, b.pathArena)
+		b.pathArena = grown
+	}
+}
+
+// NumFlows reports how many flows the builder holds so far.
+func (b *ProblemBuilder) NumFlows() int { return len(b.pathOff) - 1 }
+
+// AddFlow appends one flow given its rate and vertex-id path. The
+// first call freezes the topology. The hops land directly in the
+// shared path arena; on a validation error the arena is rolled back
+// and the builder stays usable, so a decoder can report the bad flow
+// and continue or abort as it likes. The returned validation errors
+// are traffic.PathError values (errors.As-able via the facade's
+// ErrInvalidPath).
+//
+//tdmd:hot
+func (b *ProblemBuilder) AddFlow(rate int, path []int) error {
+	if err := b.freeze(); err != nil {
+		return err
+	}
+	start := len(b.pathArena)
+	for _, v := range path {
+		b.pathArena = append(b.pathArena, NodeID(v))
+	}
+	return b.finishFlow(rate, start)
+}
+
+// AddFlowPath is AddFlow for callers already holding a NodeID path.
+//
+//tdmd:hot
+func (b *ProblemBuilder) AddFlowPath(rate int, path Path) error {
+	if err := b.freeze(); err != nil {
+		return err
+	}
+	start := len(b.pathArena)
+	b.pathArena = append(b.pathArena, path...)
+	return b.finishFlow(rate, start)
+}
+
+// finishFlow validates the hops appended at [start:] as the next flow
+// and commits them, or rolls the arena back.
+func (b *ProblemBuilder) finishFlow(rate int, start int) error {
+	id := b.NumFlows()
+	span := graph.Path(b.pathArena[start:])
+	if err := traffic.ValidateFlow(b.adj, id, rate, span); err != nil {
+		b.pathArena = b.pathArena[:start]
+		return err
+	}
+	if rate > maxRate {
+		b.pathArena = b.pathArena[:start]
+		return fmt.Errorf("tdmd: flow %d rate %d overflows the rate arena", id, rate)
+	}
+	b.rates = append(b.rates, int32(rate))
+	b.pathOff = append(b.pathOff, int32(len(b.pathArena)))
+	return nil
+}
+
+const maxRate = 1<<31 - 1
+
+// freeze locks the topology and builds the adjacency index on the
+// first flow.
+func (b *ProblemBuilder) freeze() error {
+	if b.built {
+		return errBuilderSpent
+	}
+	if !b.frozen {
+		b.adj = graph.NewAdjSet(b.g)
+		b.frozen = true
+	}
+	return nil
+}
+
+// mutable rejects topology mutation after the freeze point.
+func (b *ProblemBuilder) mutable(op string) error {
+	if b.built {
+		return errBuilderSpent
+	}
+	if b.frozen {
+		return fmt.Errorf("tdmd: %s after the first AddFlow: the topology is frozen", op)
+	}
+	return nil
+}
+
+var errBuilderSpent = errors.New("tdmd: builder already built; create a new one")
+
+// Build hands the arenas to a netsim instance (no copy; the builder is
+// spent) and wraps it as a Problem, attaching the tree view when a
+// root was declared — exactly what ProblemSpec.Build produces, so a
+// builder-fed Problem is bit-identical to the spec path on the same
+// input (plans, bandwidths, RNG draws).
+func (b *ProblemBuilder) Build() (*Problem, error) {
+	if b.built {
+		return nil, errBuilderSpent
+	}
+	b.built = true
+	inst, err := netsim.NewFromArenas(b.g, b.lambda, b.rates, b.pathArena, b.pathOff)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{inst: inst, seed: 1}
+	if b.root >= 0 && b.root < b.g.NumNodes() {
+		t, err := NewTree(b.g, NodeID(b.root))
+		if err != nil {
+			return nil, fmt.Errorf("tdmd: builder declares root %d but graph is not a tree: %w", b.root, err)
+		}
+		p.WithTree(t)
+	}
+	return p, nil
+}
+
+// ErrInvalidPath is the sentinel wrapped by every flow-path validation
+// error (empty path, repeated vertex, non-adjacent hops); test with
+// errors.Is, extract the flow and hop with errors.As on
+// *tdmd.PathError.
+var ErrInvalidPath = traffic.ErrInvalidPath
+
+// PathError pinpoints an invalid flow path: which flow, which hop,
+// and why.
+type PathError = traffic.PathError
+
+// StreamFormat identifies the NDJSON flow-stream wire format: a
+// header object on the first line carrying the topology, then one
+// flow object per line. See DESIGN.md §11 for the grammar.
+const StreamFormat = "tdmd-flows/1"
+
+// StreamHeader is the first line of an NDJSON flow stream: the
+// topology and scalars, everything except the flows. The header is
+// O(|V|+|E|); the flows that follow are never held together in
+// memory.
+type StreamHeader struct {
+	Format string   `json:"format"`
+	Nodes  []string `json:"nodes"`
+	Edges  [][2]int `json:"edges"`
+	Lambda float64  `json:"lambda"`
+	Root   int      `json:"root"`
+}
+
+// FlowStreamWriter emits the NDJSON flow-stream format: the header on
+// creation, one compact flow line per Add, buffered. Close flushes;
+// dropping a writer without Close loses the tail of the buffer.
+type FlowStreamWriter struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	buf   []int
+	flows int
+}
+
+// NewFlowStreamWriter writes the stream header and returns a writer
+// for the flow lines. The Format field is set by the writer.
+func NewFlowStreamWriter(w io.Writer, h StreamHeader) (*FlowStreamWriter, error) {
+	h.Format = StreamFormat
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return nil, fmt.Errorf("tdmd: encoding stream header: %w", err)
+	}
+	return &FlowStreamWriter{bw: bw, enc: enc}, nil
+}
+
+// Add writes one flow line. The path is copied into an internal
+// scratch buffer, so callers may reuse theirs; the writer allocates
+// nothing per flow once the scratch has grown to the longest path.
+func (w *FlowStreamWriter) Add(rate int, path Path) error {
+	w.buf = w.buf[:0]
+	for _, v := range path {
+		w.buf = append(w.buf, int(v))
+	}
+	if err := w.enc.Encode(FlowSpec{Rate: rate, Path: w.buf}); err != nil {
+		return fmt.Errorf("tdmd: encoding flow %d: %w", w.flows, err)
+	}
+	w.flows++
+	return nil
+}
+
+// Flows reports how many flow lines have been written.
+func (w *FlowStreamWriter) Flows() int { return w.flows }
+
+// Close flushes the buffered tail.
+func (w *FlowStreamWriter) Close() error { return w.bw.Flush() }
+
+// countingReader counts the bytes the decoder actually pulls from the
+// source, feeding the ingest metrics.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// DecodeStream reads a problem from r in O(1) decoder working memory
+// and returns it built. Both wire formats are accepted and
+// distinguished by their leading object: a ProblemSpec document
+// (flows decoded one at a time, never as a []FlowSpec) or an NDJSON
+// flow stream (StreamHeader line, then one flow per line). Unknown
+// fields are rejected with an error naming the field.
+func DecodeStream(r io.Reader) (*Problem, error) {
+	b := NewProblemBuilder()
+	if err := b.ReadStream(r); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ReadStream feeds the builder from a spec document or NDJSON flow
+// stream (see DecodeStream). In the spec format, "nodes" and "edges"
+// must precede "flows" — the builder freezes the topology at the
+// first flow; our encoders always emit that order. Scalars ("lambda",
+// "root") may appear anywhere.
+func (b *ProblemBuilder) ReadStream(r io.Reader) error {
+	cr := &countingReader{r: r}
+	dec := json.NewDecoder(cr)
+	dec.DisallowUnknownFields()
+	flows, err := b.readStream(dec)
+	if err != nil {
+		return err
+	}
+	ingestBytesTotal.Add(cr.n)
+	ingestFlowsTotal.Add(int64(flows))
+	if flows > 0 {
+		ingestBytesPerFlow.Set(cr.n / int64(flows))
+	}
+	return nil
+}
+
+func (b *ProblemBuilder) readStream(dec *json.Decoder) (flows int, err error) {
+	if err := expectDelim(dec, '{'); err != nil {
+		return 0, fmt.Errorf("tdmd: stream: %w", err)
+	}
+	var format string
+	var fs FlowSpec
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return flows, fmt.Errorf("tdmd: stream: %w", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return flows, fmt.Errorf("tdmd: stream: object key expected, got %v", tok)
+		}
+		switch key {
+		case "format":
+			if err := decodeScalar(dec, &format); err != nil {
+				return flows, err
+			}
+		case "nodes":
+			// Positional, like ProblemSpec.Build: vertex i is the i-th
+			// name, even under duplicate labels (edges are index pairs).
+			err := decodeArray(dec, func() error {
+				var name string
+				if err := decodeScalar(dec, &name); err != nil {
+					return err
+				}
+				if err := b.mutable("nodes"); err != nil {
+					return err
+				}
+				b.g.AddNode(name)
+				return nil
+			})
+			if err != nil {
+				return flows, err
+			}
+		case "edges":
+			err := decodeArray(dec, func() error {
+				var e [2]int
+				if err := dec.Decode(&e); err != nil {
+					return fmt.Errorf("tdmd: stream: decoding edge: %w", err)
+				}
+				return b.AddEdge(e[0], e[1])
+			})
+			if err != nil {
+				return flows, err
+			}
+		case "flows":
+			err := decodeArray(dec, func() error {
+				fs.Rate, fs.Path = 0, fs.Path[:0]
+				if err := dec.Decode(&fs); err != nil {
+					return fmt.Errorf("tdmd: stream: decoding flow %d: %w", flows, err)
+				}
+				if err := b.AddFlow(fs.Rate, fs.Path); err != nil {
+					return err
+				}
+				flows++
+				return nil
+			})
+			if err != nil {
+				return flows, err
+			}
+		case "lambda":
+			var l float64
+			if err := decodeScalar(dec, &l); err != nil {
+				return flows, err
+			}
+			if err := b.SetLambda(l); err != nil {
+				return flows, err
+			}
+		case "root":
+			var root int
+			if err := decodeScalar(dec, &root); err != nil {
+				return flows, err
+			}
+			b.SetRoot(root)
+		default:
+			return flows, fmt.Errorf("tdmd: stream: unknown field %q", key)
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return flows, fmt.Errorf("tdmd: stream: %w", err)
+	}
+	if format == "" {
+		return flows, nil // spec document: done
+	}
+	if format != StreamFormat {
+		return flows, fmt.Errorf("tdmd: stream: unsupported format %q (want %q)", format, StreamFormat)
+	}
+	// NDJSON tail: one flow object per line until EOF, decoded into a
+	// reused FlowSpec so working memory stays O(longest path).
+	for {
+		fs.Rate, fs.Path = 0, fs.Path[:0]
+		if err := dec.Decode(&fs); err != nil {
+			if errors.Is(err, io.EOF) {
+				return flows, nil
+			}
+			return flows, fmt.Errorf("tdmd: stream: decoding flow %d: %w", flows, err)
+		}
+		if err := b.AddFlow(fs.Rate, fs.Path); err != nil {
+			return flows, err
+		}
+		flows++
+	}
+}
+
+// expectDelim consumes one token and requires it to be the delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("expected %q, got %v", want.String(), tok)
+	}
+	return nil
+}
+
+// decodeArray consumes a JSON array (or null, treated as empty),
+// invoking elem once per element. elem must consume exactly one value
+// from the decoder.
+func decodeArray(dec *json.Decoder, elem func() error) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("tdmd: stream: %w", err)
+	}
+	if tok == nil {
+		return nil // JSON null: empty list
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("tdmd: stream: expected array, got %v", tok)
+	}
+	for dec.More() {
+		if err := elem(); err != nil {
+			return err
+		}
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return fmt.Errorf("tdmd: stream: %w", err)
+	}
+	return nil
+}
+
+// decodeScalar decodes one scalar value into v.
+func decodeScalar[T any](dec *json.Decoder, v *T) error {
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("tdmd: stream: %w", err)
+	}
+	return nil
+}
