@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check bench-ingest scale cancelhammer obs
+.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check bench-ingest scale cancelhammer servehammer obs
 
 check:
 	scripts/check.sh
@@ -44,10 +44,12 @@ fuzz:
 bench:
 	go test -run='^$$' -bench=FullVsIncremental -benchmem .
 
-# Benchmark snapshots (BENCH_solver.json + BENCH_ingest.json):
-# bench-snap rewrites both from a fresh run, bench-check gates
-# allocs/op — and, for the ingest suite, bytes/flow — against them
-# (DESIGN.md "Allocation discipline" and "Streaming ingestion").
+# Benchmark snapshots (BENCH_solver.json + BENCH_ingest.json +
+# BENCH_serve.json): bench-snap rewrites all three from a fresh run,
+# bench-check gates allocs/op — and, for the ingest suite, bytes/flow —
+# against them; the serve suite's latency quantiles and rejection rate
+# are recorded informationally (DESIGN.md "Allocation discipline",
+# "Streaming ingestion" and "Service architecture").
 bench-snap:
 	scripts/bench.sh -update all
 
@@ -69,5 +71,11 @@ scale:
 # budget (DESIGN.md "Observability").
 obs:
 	go test -race ./internal/obs/
-	go test -race -run 'Observer|Metrics|Cache' ./internal/placement/ ./internal/netsim/ ./cmd/tdmdserve/
+	go test -race -run 'Observer|Metrics|Cache' ./internal/placement/ ./internal/netsim/ ./internal/serve/
 	go test -run='^$$' -bench=ObserverOverhead -benchmem ./internal/placement/
+
+# Repeated race-enabled run of the service admission tests (worker
+# pool saturation, coalescing, cache replay, jobs, drain) — identical
+# to the serve hammer step in scripts/check.sh.
+servehammer:
+	go test -run Serve -race -count=5 ./internal/serve/ ./cmd/tdmdserve/

@@ -1,11 +1,15 @@
 // Command benchsnap records and checks the repository's benchmark
-// snapshots. Two suites are registered: "solver" (BENCH_solver.json)
+// snapshots. Three suites are registered: "solver" (BENCH_solver.json)
 // runs the paired solver benchmarks — the root package's
 // FullVsIncremental pair and the netsim SnapState primitives, all at
-// |V|=200 / |F|≈1500 — and "ingest" (BENCH_ingest.json) runs the
+// |V|=200 / |F|≈1500 — "ingest" (BENCH_ingest.json) runs the
 // streaming-ingestion benchmarks including the million-flow scale
-// row. Each suite goes through `go test -bench` and its ns/op, B/op,
-// allocs/op and (for ingest) bytes/flow are parsed out.
+// row, and "serve" (BENCH_serve.json) drives an in-process placement
+// service through the full HTTP stack (cmd/tdmdload's
+// BenchmarkServeLoad) and records its latency quantiles and rejection
+// rate. Each suite goes through `go test -bench` and its ns/op, B/op,
+// allocs/op and any custom metrics (bytes/flow, p50_ms/p99_ms/
+// reject_rate) are parsed out.
 //
 //	benchsnap -update                 rewrite the snapshot from a fresh run
 //	benchsnap -check                  compare a fresh run against the snapshot
@@ -16,7 +20,9 @@
 // lost preallocation) shows up as a count increase far above the
 // tolerance (default 25% + 3 allocs, for b.N-amortized setup noise),
 // and bytes/flow is a property of the wire format, not the machine.
-// ns/op depends on the machine and is reported for information only.
+// ns/op depends on the machine and is reported for information only,
+// as are the serve suite's latency quantiles and rejection rate —
+// wall-clock service latency on a shared box is too noisy to gate.
 // A benchmark missing from either side fails the check: the snapshot
 // is regenerated deliberately with -update, reviewed like any other
 // checked-in change (the same policy as the lint and escape
@@ -61,7 +67,9 @@ type suiteSet struct {
 // suiteSets registers the repository's snapshots: "solver" is the
 // historical solver-core set; "ingest" is the streaming-ingestion set
 // (BenchmarkIngest* in the root package, including the million-flow
-// scale row), whose bytes/flow metric is gated alongside allocs/op.
+// scale row), whose bytes/flow metric is gated alongside allocs/op;
+// "serve" is the end-to-end service load benchmark, whose latency
+// quantiles and rejection rate are recorded informationally.
 var suiteSets = map[string]suiteSet{
 	"solver": {file: "BENCH_solver.json", suites: []Suite{
 		{Pkg: ".", Pattern: "BenchmarkFullVsIncremental"},
@@ -72,18 +80,27 @@ var suiteSets = map[string]suiteSet{
 	"ingest": {file: "BENCH_ingest.json", suites: []Suite{
 		{Pkg: ".", Pattern: "BenchmarkIngest"},
 	}},
+	"serve": {file: "BENCH_serve.json", suites: []Suite{
+		{Pkg: "./cmd/tdmdload", Pattern: "BenchmarkServeLoad"},
+	}},
 }
 
 // Entry is one benchmark's recorded metrics. BytesFlow is the custom
 // bytes/flow metric the ingestion benchmarks report (on-disk bytes per
-// encoded flow); zero for benchmarks that don't emit it.
+// encoded flow); P50MS/P99MS/RejectRate are the serve load suite's
+// latency quantiles and 429 rate (informational, never gated — see the
+// package comment); all custom metrics are zero for benchmarks that
+// don't emit them.
 type Entry struct {
-	Pkg       string  `json:"pkg"`
-	Name      string  `json:"name"`
-	NsOp      float64 `json:"ns_op"`
-	BOp       float64 `json:"b_op"`
-	AllocsOp  float64 `json:"allocs_op"`
-	BytesFlow float64 `json:"bytes_flow,omitempty"`
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        float64 `json:"b_op"`
+	AllocsOp   float64 `json:"allocs_op"`
+	BytesFlow  float64 `json:"bytes_flow,omitempty"`
+	P50MS      float64 `json:"p50_ms,omitempty"`
+	P99MS      float64 `json:"p99_ms,omitempty"`
+	RejectRate float64 `json:"reject_rate,omitempty"`
 }
 
 // Snapshot is the BENCH_solver.json document.
@@ -102,7 +119,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	suite := fs.String("suite", "solver", "benchmark suite: solver or ingest")
+	suite := fs.String("suite", "solver", "benchmark suite: solver, ingest or serve")
 	file := fs.String("file", "", "snapshot file (default: the suite's, e.g. BENCH_solver.json)")
 	update := fs.Bool("update", false, "rewrite the snapshot from a fresh run")
 	check := fs.Bool("check", false, "compare a fresh run against the snapshot")
@@ -110,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tolRel := fs.Float64("tol", 0.25, "allowed relative allocs/op increase")
 	tolAbs := fs.Float64("tolabs", 3, "allowed absolute allocs/op increase on top of -tol")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchsnap -update|-check [-suite solver|ingest] [-file F] [-benchtime d]")
+		fmt.Fprintln(stderr, "usage: benchsnap -update|-check [-suite solver|ingest|serve] [-file F] [-benchtime d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -230,6 +247,12 @@ func parseBench(pkg string, stripSuffix bool, output string) ([]Entry, error) {
 				e.AllocsOp = val
 			case "bytes/flow":
 				e.BytesFlow = val
+			case "p50_ms":
+				e.P50MS = val
+			case "p99_ms":
+				e.P99MS = val
+			case "reject_rate":
+				e.RejectRate = val
 			}
 		}
 		out = append(out, e)
@@ -279,6 +302,12 @@ func compare(w io.Writer, cur, snap Snapshot, tolRel, tolAbs float64) int {
 			status, got.Name, want.AllocsOp, got.AllocsOp, limit, want.NsOp, got.NsOp)
 		if want.BytesFlow > 0 || got.BytesFlow > 0 {
 			fmt.Fprintf(w, "   bytes/flow %6.1f -> %6.1f", want.BytesFlow, got.BytesFlow)
+		}
+		// Service latency and rejection rate are machine- and
+		// load-dependent: shown for the record, never gated.
+		if want.P99MS > 0 || got.P99MS > 0 {
+			fmt.Fprintf(w, "   p50/p99 ms %.2f/%.2f -> %.2f/%.2f (info)   reject %.3f -> %.3f (info)",
+				want.P50MS, want.P99MS, got.P50MS, got.P99MS, want.RejectRate, got.RejectRate)
 		}
 		fmt.Fprintln(w)
 	}

@@ -211,6 +211,32 @@ func TestParseBenchBytesFlow(t *testing.T) {
 	}
 }
 
+// The serve load benchmark reports latency quantiles and a rejection
+// rate; they must land in their own informational columns.
+func TestParseBenchServeMetrics(t *testing.T) {
+	const out = `BenchmarkServeLoad-8   	     266	   4164962 ns/op	         4.100 p50_ms	        12.70 p99_ms	         0.1950 reject_rate	  105619 B/op	     690 allocs/op
+`
+	got, err := parseBench("./cmd/tdmdload", true, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d entries, want 1: %v", len(got), got)
+	}
+	e := got[0]
+	if e.P50MS != 4.1 || e.P99MS != 12.7 || e.RejectRate != 0.195 {
+		t.Fatalf("serve metrics not parsed: %+v", e)
+	}
+	// Informational only: a latency or rejection shift alone must not
+	// fail the check.
+	base := snapOf(Entry{Pkg: e.Pkg, Name: e.Name, AllocsOp: e.AllocsOp,
+		P50MS: 0.5, P99MS: 1.0, RejectRate: 0.01})
+	var outBuf strings.Builder
+	if problems := compare(&outBuf, snapOf(e), base, 0.25, 3); problems != 0 {
+		t.Fatalf("latency shift gated (%d problems):\n%s", problems, outBuf.String())
+	}
+}
+
 func TestCompareGatesBytesFlow(t *testing.T) {
 	base := snapOf(Entry{Pkg: ".", Name: "B/ingest", AllocsOp: 10, BytesFlow: 30})
 	grown := snapOf(Entry{Pkg: ".", Name: "B/ingest", AllocsOp: 10, BytesFlow: 45})

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tdmd/internal/serve"
+)
+
+// BenchmarkServeLoad drives an in-process service through the full
+// HTTP stack with more concurrency than the pool admits, so the run
+// exercises the whole admission spectrum: fresh solves, queue waits
+// and 429 rejections. Reported metrics (p50_ms, p99_ms, reject_rate)
+// land in BENCH_serve.json via benchsnap; they are informational —
+// wall-clock latency on shared CI boxes is too noisy to gate on.
+func BenchmarkServeLoad(b *testing.B) {
+	s := serve.New(serve.Config{
+		Workers: 2,
+		Queue:   4,
+		// Distinct bodies exceed the cache so hits stay incidental.
+		CacheSize: 8,
+	}, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	}()
+
+	bodies := serve.SyntheticSolveBodies(32, 32, 64)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	b.ResetTimer()
+	rep, err := serve.RunLoad(context.Background(), client, srv.URL, serve.LoadConfig{
+		Clients:  16,
+		Requests: b.N,
+		Bodies:   bodies,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		b.Fatalf("%d requests failed outright", rep.Failed)
+	}
+	b.ReportMetric(float64(rep.P50.Microseconds())/1000, "p50_ms")
+	b.ReportMetric(float64(rep.P99.Microseconds())/1000, "p99_ms")
+	b.ReportMetric(rep.RejectRate(), "reject_rate")
+}

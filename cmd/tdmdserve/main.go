@@ -1,96 +1,97 @@
-// Command tdmdserve exposes the solver as a small HTTP service, the
-// shape in which an NFV orchestrator would consume this library: POST
-// a problem spec, get a deployment plan back.
+// Command tdmdserve exposes the solver as an HTTP service, the shape
+// in which an NFV orchestrator would consume this library: POST a
+// problem spec, get a deployment plan back.
 //
 // Endpoints:
 //
-//	POST /api/solve    {"spec": <ProblemSpec>, "algorithm": "gtp", "k": 10}
-//	                   -> {"plan": [...], "bandwidth": ..., "feasible": ...}
-//	POST /api/evaluate {"spec": <ProblemSpec>, "plan": [...]}
-//	                   -> deployment report
-//	GET  /healthz      -> 200 while the process lives (liveness)
-//	GET  /readyz       -> 200 while accepting work, 503 once draining
-//	GET  /metrics      -> Prometheus text exposition (solver + HTTP series)
+//	POST   /api/solve     {"spec": <ProblemSpec>, "algorithm": "gtp", "k": 10}
+//	                      -> {"plan": [...], "bandwidth": ..., "feasible": ...}
+//	POST   /api/evaluate  {"spec": <ProblemSpec>, "plan": [...]}
+//	                      -> deployment report
+//	POST   /v1/jobs       async solve; JSON body as /api/solve, or a
+//	                      tdmd-flows/1 NDJSON stream (Content-Type
+//	                      application/x-ndjson, algorithm/k/seed as query
+//	                      parameters) -> 202 {"id": ..., "state": ...}
+//	GET    /v1/jobs/{id}  job status; carries the best-so-far incumbent
+//	                      while an anytime solve runs, the result once done
+//	DELETE /v1/jobs/{id}  cancel the job (cancels the solve if it was the
+//	                      last interested party)
+//	GET    /healthz       -> 200 while the process lives (liveness)
+//	GET    /readyz        -> 200 while accepting work, 503 once draining
+//	GET    /metrics       -> Prometheus text exposition (solver + serve series)
 //
-// Every solve runs under the request's context plus the -solve-timeout
-// budget: a client that disconnects cancels its solve, and a solve that
-// outlives the budget is cut off (503, or a plan tagged "interrupted"
-// when the algorithm had a feasible best-so-far). SIGINT/SIGTERM flip
-// /readyz to 503 (so load balancers stop routing), stop accepting
-// connections and drain in-flight requests before exiting.
+// Solves are executed by a bounded worker pool (-workers) behind a
+// bounded admission queue (-queue): when the queue is full the server
+// answers 429 with a Retry-After hint instead of stacking goroutines.
+// Identical concurrent submissions coalesce onto one solve, and
+// completed plans are replayed from an LRU fingerprint cache
+// (-cache-size) bit-identically to a fresh solve. Every solve runs
+// under the -solve-timeout budget; a synchronous client that
+// disconnects cancels its solve (logged as 499, not a server error).
+// SIGINT/SIGTERM flip /readyz to 503, stop accepting connections and
+// drain in-flight work before exiting.
 //
-// Each API request emits one structured log line (method, route,
-// algorithm, k, status, elapsed_ms, interrupted) and lands in the
-// request counters and latency histograms served on /metrics. With
-// -pprof-addr set, net/http/pprof and expvar (/debug/pprof,
-// /debug/vars) are served on that separate address so profiling is
-// never exposed on the public port.
+// Each API request emits one structured log line and lands in the
+// tdmd_http_* / tdmd_serve_* series on /metrics. With -pprof-addr set,
+// net/http/pprof and expvar are served on that separate address so
+// profiling is never exposed on the public port.
 //
 // Errors come back as a JSON envelope:
 //
 //	{"error": "...", "elapsed_ms": 1.2, "deadline_ms": 1000}
 //
 // with deadline_ms present only when a solve budget applied. Bad
-// options (unknown algorithm, a budget the algorithm does not consume,
-// a missing seed) are 400; infeasible instances 422; solves cut off
-// before any feasible plan 503.
+// options are 400; infeasible instances 422; solves cut off before any
+// feasible plan 503; a saturated queue 429.
 //
 // Usage:
 //
-//	tdmdserve -addr :8080 -solve-timeout 30s -pprof-addr localhost:6060
+//	tdmdserve -addr :8080 -solve-timeout 30s -workers 8 -queue 32
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log/slog"
-	"mime"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
-	"strconv"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tdmd"
-)
-
-// maxRequestBytes bounds every POST body; problem specs at the
-// evaluation's scale are a few hundred KB at most.
-const maxRequestBytes = 4 << 20
-
-// Request-level metrics, on the same default registry as the solver
-// and netsim series so one /metrics scrape carries the whole story.
-var (
-	httpInflight = tdmd.Metrics().NewGauge(
-		"tdmd_http_requests_in_flight", "API requests currently being served")
-	httpRequests = tdmd.Metrics().NewCounterVec(
-		"tdmd_http_requests_total", "API requests served, by route and status code", "route", "code")
-	httpErrors = tdmd.Metrics().NewCounterVec(
-		"tdmd_http_request_errors_total", "API requests answered with a 4xx/5xx status", "route")
-	httpDuration = tdmd.Metrics().NewHistogramVec(
-		"tdmd_http_request_duration_seconds", "API request wall time", nil, "route")
+	"tdmd/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve budget (0 = none)")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight requests")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-solve budget (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight work")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this separate address (empty = off)")
+	workers := flag.Int("workers", 0, "solve worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue length (0 = 4×workers)")
+	cacheSize := flag.Int("cache-size", 0, "plan cache entries (0 = 128)")
+	maxJobs := flag.Int("max-jobs", 0, "async job store capacity (0 = 1024)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+	maxStreamBytes := flag.Int64("max-stream-bytes", 0, "NDJSON job body cap in bytes (0 = 256 MiB)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	tdmd.PublishExpvarMetrics()
 
-	s := newServer(*solveTimeout, logger)
+	s := serve.New(serve.Config{
+		SolveTimeout:   *solveTimeout,
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cacheSize,
+		MaxJobs:        *maxJobs,
+		RetryAfter:     *retryAfter,
+		MaxStreamBytes: *maxStreamBytes,
+	}, logger)
 	hsrv := &http.Server{
-		Handler:           s.mux(),
+		Handler:           s.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ln, err := listen("tdmdserve", *addr, logger)
@@ -120,12 +121,17 @@ func main() {
 	case <-ctx.Done():
 		// Flip readiness first so health-checked load balancers stop
 		// routing to us while in-flight requests drain.
-		s.ready.Store(false)
+		s.Drain()
 		logger.Info("shutting down, draining in-flight requests")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hsrv.Shutdown(shutCtx); err != nil {
 			logger.Error("drain incomplete", "err", err)
+		}
+		// The HTTP connections are gone; now drain queued/running async
+		// solves on whatever drain budget remains.
+		if err := s.Close(shutCtx); err != nil {
+			logger.Error("engine drain incomplete", "err", err)
 		}
 		if stopPprof != nil {
 			stopPprof(shutCtx)
@@ -162,334 +168,4 @@ func listen(name, addr string, logger *slog.Logger) (net.Listener, error) {
 	}
 	logger.Info(name+" listening", "addr", ln.Addr().String())
 	return ln, nil
-}
-
-// server carries the per-request solve budget, the access logger and
-// the readiness state into the handlers.
-type server struct {
-	solveTimeout time.Duration
-	log          *slog.Logger
-	ready        atomic.Bool
-}
-
-func newServer(solveTimeout time.Duration, logger *slog.Logger) *server {
-	s := &server{solveTimeout: solveTimeout, log: logger}
-	s.ready.Store(true)
-	return s
-}
-
-// newMux wires the handlers with a silent logger; split out so tests
-// drive it with httptest. Tests that assert on readiness or access
-// logs build a newServer directly.
-func newMux(solveTimeout time.Duration) *http.ServeMux {
-	return newServer(solveTimeout, slog.New(slog.NewTextHandler(io.Discard, nil))).mux()
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/solve", s.observe("/api/solve", s.handleSolve))
-	mux.HandleFunc("POST /api/evaluate", s.observe("/api/evaluate", s.handleEvaluate))
-	// Liveness: the process is up. Stays 200 through draining so the
-	// platform does not kill a pod that is finishing its requests.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	// Readiness: willing to take new work; 503 once draining.
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if !s.ready.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
-	})
-	mux.Handle("GET /metrics", tdmd.MetricsHandler())
-	return mux
-}
-
-// accessRecord collects the solve-specific fields a handler wants on
-// its access-log line; the observe middleware threads one through the
-// request context and logs it when the handler returns.
-type accessRecord struct {
-	algorithm   string
-	k           int
-	interrupted bool
-}
-
-type recordKey struct{}
-
-// record returns the request's accessRecord, or a throwaway one if the
-// handler runs outside the observe middleware (tests calling handlers
-// directly).
-func record(ctx context.Context) *accessRecord {
-	if rec, ok := ctx.Value(recordKey{}).(*accessRecord); ok {
-		return rec
-	}
-	return &accessRecord{}
-}
-
-// statusWriter captures the response code for metrics and logs.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// observe wraps an API handler with the request counters, the latency
-// histogram and one structured access-log line per request.
-func (s *server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		httpInflight.Inc()
-		defer httpInflight.Dec()
-		rec := &accessRecord{}
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(context.WithValue(r.Context(), recordKey{}, rec)))
-		elapsed := time.Since(start)
-		httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
-		httpDuration.With(route).Observe(elapsed.Seconds())
-		if sw.code >= 400 {
-			httpErrors.With(route).Inc()
-		}
-		attrs := []any{
-			"method", r.Method,
-			"route", route,
-			"status", sw.code,
-			"elapsed_ms", float64(elapsed.Microseconds()) / 1000,
-		}
-		if rec.algorithm != "" {
-			attrs = append(attrs, "algorithm", rec.algorithm, "k", rec.k, "interrupted", rec.interrupted)
-		}
-		s.log.Info("request", attrs...)
-	}
-}
-
-// reqScope tracks one request's timing and solve budget so every
-// response — errors included — can report them.
-type reqScope struct {
-	start    time.Time
-	deadline time.Duration // 0 = unbounded
-}
-
-func (s *server) scope() *reqScope {
-	return &reqScope{start: time.Now(), deadline: s.solveTimeout}
-}
-
-// solveCtx derives the context a solve runs under: the request's own
-// context (client disconnect cancels it) bounded by the configured
-// per-request budget.
-func (sc *reqScope) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if sc.deadline > 0 {
-		return context.WithTimeout(r.Context(), sc.deadline)
-	}
-	return r.Context(), func() {}
-}
-
-func (sc *reqScope) elapsedMS() float64 {
-	return float64(time.Since(sc.start).Microseconds()) / 1000
-}
-
-// errorEnvelope is the uniform error body of every non-2xx response.
-type errorEnvelope struct {
-	Error     string  `json:"error"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	// DeadlineMS is the solve budget that applied to the request, in
-	// milliseconds; omitted when unbounded.
-	DeadlineMS float64 `json:"deadline_ms,omitempty"`
-}
-
-func (sc *reqScope) httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	env := errorEnvelope{
-		Error:     fmt.Sprintf(format, args...),
-		ElapsedMS: sc.elapsedMS(),
-	}
-	if sc.deadline > 0 {
-		env.DeadlineMS = float64(sc.deadline.Microseconds()) / 1000
-	}
-	_ = json.NewEncoder(w).Encode(env)
-}
-
-// decodeJSON enforces the shared POST hygiene — bounded body,
-// application/json content type, well-formed payload — and reports
-// the response code to fail with when it returns an error.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) (int, error) {
-	ct := r.Header.Get("Content-Type")
-	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
-		return http.StatusUnsupportedMediaType, fmt.Errorf("Content-Type must be application/json, got %q", ct)
-	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
-		}
-		return http.StatusBadRequest, fmt.Errorf("decoding request: %v", err)
-	}
-	return 0, nil
-}
-
-// solveStatus maps a Solve error to its HTTP status: option mismatches
-// are the client's fault (400), deadline/cancellation is the service
-// giving up (503), infeasibility and everything else is a valid
-// request without an answer (422).
-func solveStatus(err error) int {
-	switch {
-	case errors.Is(err, tdmd.ErrBadOptions):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusUnprocessableEntity
-	}
-}
-
-// solveRequest is the /api/solve payload. Seed is a pointer so "no
-// seed" is distinguishable from seed 0: randomized algorithms require
-// one, deterministic algorithms reject one, and silence is never an
-// answer.
-type solveRequest struct {
-	Spec      tdmd.ProblemSpec `json:"spec"`
-	Algorithm string           `json:"algorithm"`
-	K         int              `json:"k"`
-	Seed      *int64           `json:"seed"`
-}
-
-// solveResponse is the /api/solve result.
-type solveResponse struct {
-	Plan      []int   `json:"plan"`
-	Bandwidth float64 `json:"bandwidth"`
-	Feasible  bool    `json:"feasible"`
-	RawDemand float64 `json:"raw_demand"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	// Optimal is set when an exact algorithm certified the plan.
-	Optimal bool `json:"optimal,omitempty"`
-	// Interrupted is set when the solve hit the deadline (or the client
-	// went away) and the plan is the best found so far, not necessarily
-	// the full run's answer.
-	Interrupted bool `json:"interrupted,omitempty"`
-}
-
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	sc := s.scope()
-	rec := record(r.Context())
-	var req solveRequest
-	if code, err := decodeJSON(w, r, &req); err != nil {
-		sc.httpError(w, code, "%v", err)
-		return
-	}
-	problem, err := req.Spec.Build()
-	if err != nil {
-		sc.httpError(w, http.StatusBadRequest, "building problem: %v", err)
-		return
-	}
-	alg := tdmd.Algorithm(req.Algorithm)
-	if alg == "" {
-		alg = tdmd.AlgGTP
-	}
-	rec.algorithm, rec.k = string(alg), req.K
-	if alg.NeedsTree() && problem.Tree() == nil {
-		sc.httpError(w, http.StatusBadRequest, "algorithm %s needs a spec with a root", alg)
-		return
-	}
-	if req.Seed != nil {
-		problem.WithSeed(*req.Seed)
-	}
-	ctx, cancel := sc.solveCtx(r)
-	defer cancel()
-	res, err := problem.Solve(ctx, alg, req.K)
-	if err != nil {
-		sc.httpError(w, solveStatus(err), "solve: %v", err)
-		return
-	}
-	rec.interrupted = res.Interrupted != nil
-	resp := solveResponse{
-		// An explicit empty slice: "no boxes deployed" marshals as [],
-		// never null, so clients can range without a nil check.
-		Plan:        []int{},
-		Bandwidth:   res.Bandwidth,
-		Feasible:    res.Feasible,
-		RawDemand:   problem.Instance().RawDemand(),
-		ElapsedMS:   sc.elapsedMS(),
-		Optimal:     res.Optimal,
-		Interrupted: res.Interrupted != nil,
-	}
-	for _, v := range res.Plan.Vertices() {
-		resp.Plan = append(resp.Plan, int(v))
-	}
-	writeJSON(w, resp)
-}
-
-// evaluateRequest is the /api/evaluate payload.
-type evaluateRequest struct {
-	Spec tdmd.ProblemSpec `json:"spec"`
-	Plan []int            `json:"plan"`
-}
-
-// boxReport is one deployed middlebox in the evaluate response.
-type boxReport struct {
-	Vertex int  `json:"vertex"`
-	Flows  int  `json:"flows"`
-	Rate   int  `json:"rate"`
-	Idle   bool `json:"idle"`
-}
-
-// evaluateResponse carries the deployment report.
-type evaluateResponse struct {
-	Bandwidth      float64     `json:"bandwidth"`
-	Feasible       bool        `json:"feasible"`
-	SavingFraction float64     `json:"saving_fraction"`
-	Boxes          []boxReport `json:"boxes"`
-	UnservedFlows  []int       `json:"unserved_flows"`
-}
-
-func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	sc := s.scope()
-	var req evaluateRequest
-	if code, err := decodeJSON(w, r, &req); err != nil {
-		sc.httpError(w, code, "%v", err)
-		return
-	}
-	problem, err := req.Spec.Build()
-	if err != nil {
-		sc.httpError(w, http.StatusBadRequest, "building problem: %v", err)
-		return
-	}
-	plan := tdmd.NewPlan()
-	n := problem.Instance().G.NumNodes()
-	for _, v := range req.Plan {
-		if v < 0 || v >= n {
-			sc.httpError(w, http.StatusBadRequest, "plan vertex %d outside graph", v)
-			return
-		}
-		plan.Add(tdmd.NodeID(v))
-	}
-	rep := problem.Report(plan)
-	resp := evaluateResponse{
-		Bandwidth:      rep.TotalBandwidth,
-		Feasible:       rep.Feasible,
-		SavingFraction: rep.SavingFraction,
-		// Empty slices marshal as [] — an empty plan or a fully served
-		// flow set must not surface as JSON null.
-		Boxes:         []boxReport{},
-		UnservedFlows: []int{},
-	}
-	resp.UnservedFlows = append(resp.UnservedFlows, rep.UnservedFlows...)
-	for _, b := range rep.Boxes {
-		resp.Boxes = append(resp.Boxes, boxReport{int(b.Vertex), b.Flows, b.Rate, b.Idle})
-	}
-	writeJSON(w, resp)
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		slog.Error("encoding response", "err", err)
-	}
 }

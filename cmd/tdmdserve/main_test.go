@@ -2,244 +2,64 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
-	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
-	"time"
 
-	"tdmd"
-	"tdmd/internal/paperfix"
+	"tdmd/internal/serve"
 )
 
-func fig1SpecJSON(t *testing.T) tdmd.ProblemSpec {
-	t.Helper()
-	g, flows, lambda := paperfix.Fig1()
-	return tdmd.SpecFromProblem(g, flows, lambda)
+// syncBuffer makes a bytes.Buffer safe to share between the test and
+// the server goroutines writing log lines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
 }
 
-func post(t *testing.T, srv *httptest.Server, path string, body interface{}) *http.Response {
-	t.Helper()
-	buf, err := json.Marshal(body)
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestListenAnnouncesResolvedAddr: with :0 the log line must carry the
+// kernel-chosen port, and the announced address must already accept
+// requests.
+func TestListenAnnouncesResolvedAddr(t *testing.T) {
+	var logbuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logbuf, nil))
+	ln, err := listen("tdmdserve", "127.0.0.1:0", logger)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	defer ln.Close()
+	addr := ln.Addr().String()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("resolved addr %q still has port 0", addr)
+	}
+	if got := logbuf.String(); !strings.Contains(got, addr) {
+		t.Fatalf("announcement %q does not carry resolved addr %q", got, addr)
+	}
+	s := serve.New(serve.Config{}, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	defer s.Close(t.Context())
+	hsrv := &http.Server{Handler: s.Mux()}
+	go hsrv.Serve(ln)
+	defer hsrv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
 	if err != nil {
-		t.Fatal(err)
-	}
-	return resp
-}
-
-func TestSolveEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	resp := post(t, srv, "/api/solve", solveRequest{
-		Spec: fig1SpecJSON(t), Algorithm: "gtp", K: 3,
-	})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	var out solveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out.Bandwidth != 8 || !out.Feasible || len(out.Plan) != 3 {
-		t.Fatalf("solve response: %+v", out)
-	}
-	if out.RawDemand != 16 {
-		t.Fatalf("raw demand = %v", out.RawDemand)
-	}
-}
-
-func TestSolveEndpointDefaultsAndErrors(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	// Default algorithm (gtp) with an infeasible budget -> 422.
-	resp := post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), K: 1})
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("infeasible status = %d", resp.StatusCode)
-	}
-	// Tree algorithm without a root -> 400.
-	resp = post(t, srv, "/api/solve", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "dp", K: 3})
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("dp-without-root status = %d", resp.StatusCode)
-	}
-	// Malformed JSON -> 400.
-	r, err := http.Post(srv.URL+"/api/solve", "application/json", bytes.NewBufferString("{nope"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad JSON status = %d", r.StatusCode)
-	}
-	// Wrong method -> 405.
-	g, err := http.Get(srv.URL + "/api/solve")
-	if err != nil {
-		t.Fatal(err)
-	}
-	g.Body.Close()
-	if g.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET status = %d", g.StatusCode)
-	}
-}
-
-func TestEvaluateEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	resp := post(t, srv, "/api/evaluate", evaluateRequest{
-		Spec: fig1SpecJSON(t),
-		Plan: []int{int(paperfix.V(2)), int(paperfix.V(5))},
-	})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	var out evaluateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out.Bandwidth != 12 || !out.Feasible || len(out.Boxes) != 2 {
-		t.Fatalf("evaluate response: %+v", out)
-	}
-	// Out-of-range plan vertex -> 400.
-	bad := post(t, srv, "/api/evaluate", evaluateRequest{Spec: fig1SpecJSON(t), Plan: []int{99}})
-	bad.Body.Close()
-	if bad.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad plan status = %d", bad.StatusCode)
-	}
-}
-
-func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-}
-
-// TestContentTypeRequired: POSTs without application/json are 415 on
-// every POST endpoint.
-func TestContentTypeRequired(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	for _, path := range []string{"/api/solve", "/api/evaluate"} {
-		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewBufferString("{}"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		req.Header.Set("Content-Type", "text/plain")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusUnsupportedMediaType {
-			t.Fatalf("%s with text/plain: status = %d, want 415", path, resp.StatusCode)
-		}
-	}
-}
-
-// TestBodyTooLarge: a body over the 4 MB cap is rejected with 413.
-func TestBodyTooLarge(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	huge := bytes.Repeat([]byte(" "), maxRequestBytes+2)
-	resp, err := http.Post(srv.URL+"/api/solve", "application/json", bytes.NewReader(huge))
-	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("announced address not accepting: %v", err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversize body: status = %d, want 413", resp.StatusCode)
-	}
-}
-
-// TestSolveDeadline503: with a 1 ns solve budget the request context
-// is already expired when the solver starts, so even the exhaustive
-// search is cut off before any feasible incumbent -> 503.
-func TestSolveDeadline503(t *testing.T) {
-	srv := httptest.NewServer(newMux(time.Nanosecond))
-	defer srv.Close()
-	resp := post(t, srv, "/api/solve", solveRequest{
-		Spec: fig1SpecJSON(t), Algorithm: "exhaustive", K: 3,
-	})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("deadline solve: status = %d, want 503", resp.StatusCode)
-	}
-	var env errorEnvelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(env.Error, "deadline") {
-		t.Fatalf("error %q does not mention the deadline", env.Error)
-	}
-}
-
-// TestBadOptions400: option mismatches the facade used to swallow are
-// 400 with the JSON envelope carrying the request scope.
-func TestBadOptions400(t *testing.T) {
-	srv := httptest.NewServer(newMux(2 * time.Second))
-	defer srv.Close()
-	cases := []struct {
-		name string
-		req  solveRequest
-	}{
-		{"random without seed", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "random", K: 3}},
-		{"gtp-lazy with budget", solveRequest{Spec: fig1SpecJSON(t), Algorithm: "gtp-lazy", K: 3}},
-	}
-	for _, tc := range cases {
-		resp := post(t, srv, "/api/solve", tc.req)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s: status = %d, want 400", tc.name, resp.StatusCode)
-		}
-		var env errorEnvelope
-		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if env.Error == "" || env.ElapsedMS < 0 {
-			t.Fatalf("%s: envelope %+v", tc.name, env)
-		}
-		if env.DeadlineMS != 2000 {
-			t.Fatalf("%s: deadline_ms = %v, want 2000", tc.name, env.DeadlineMS)
-		}
-	}
-}
-
-// TestSolveWithSeedAndOptimal: a seeded random solve works, and an
-// exact algorithm reports optimal=true on an uninterrupted run.
-func TestSolveWithSeedAndOptimal(t *testing.T) {
-	srv := httptest.NewServer(newMux(0))
-	defer srv.Close()
-	seed := int64(7)
-	resp := post(t, srv, "/api/solve", solveRequest{
-		Spec: fig1SpecJSON(t), Algorithm: "random", K: 3, Seed: &seed,
-	})
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("seeded random: status = %d", resp.StatusCode)
-	}
-	opt := post(t, srv, "/api/solve", solveRequest{
-		Spec: fig1SpecJSON(t), Algorithm: "exhaustive", K: 3,
-	})
-	defer opt.Body.Close()
-	var out solveResponse
-	if err := json.NewDecoder(opt.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if !out.Optimal || out.Interrupted {
-		t.Fatalf("exhaustive response: %+v", out)
+		t.Fatalf("healthz via resolved addr = %d", resp.StatusCode)
 	}
 }

@@ -126,10 +126,11 @@ func funcTakesRequest(p *Package, fd *ast.FuncDecl) bool {
 	return false
 }
 
-// isServeCommand reports whether the package is an HTTP service under
-// cmd/ (cmd/tdmdserve and any future *serve binary).
+// isServeCommand reports whether the package is part of the HTTP
+// service (cmd/tdmdserve, internal/serve, and any future *serve
+// package).
 func (p *Package) isServeCommand() bool {
-	return p.IsCommand() && strings.HasSuffix(p.rel(), "serve")
+	return strings.HasSuffix(p.rel(), "serve")
 }
 
 func runCtxFlow(p *Package) []Finding {

@@ -24,12 +24,13 @@ import (
 // all is unjoinable by construction and is always reported.
 var AnalyzerGoLeak = &Analyzer{
 	Name:      "goleak",
-	Doc:       "goroutines in internal/placement and cmd/tdmdserve need a join path reachable on the ctx-cancel branch",
+	Doc:       "goroutines in internal/placement, internal/serve and cmd/tdmdserve need a join path reachable on the ctx-cancel branch",
 	RunModule: runGoLeak,
 }
 
 func goleakScope(path string) bool {
 	return strings.HasSuffix(path, "internal/placement") ||
+		strings.HasSuffix(path, "internal/serve") ||
 		strings.HasSuffix(path, "cmd/tdmdserve")
 }
 

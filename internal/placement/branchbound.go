@@ -140,6 +140,7 @@ func BranchAndBound(ctx context.Context, in *netsim.Instance, k int, opts BnBOpt
 		if st.Feasible() && bw < incumbent.Bandwidth-1e-12 {
 			incumbent.Result = Result{Plan: st.Plan(), Bandwidth: bw, Feasible: true}
 			incumbentUpdates++
+			sc.incumbent(incumbent.Plan, bw)
 		}
 		if idx == len(order) || used == k {
 			return

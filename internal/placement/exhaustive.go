@@ -76,6 +76,7 @@ func Exhaustive(ctx context.Context, in *netsim.Instance, k int) (Result, error)
 				bestPlan = st.Plan()
 				found = true
 				incumbentUpdates++
+				sc.incumbent(bestPlan, b)
 			}
 			// Supersets cannot beat this subset by feasibility, but
 			// they can still lower bandwidth, so keep recursing.

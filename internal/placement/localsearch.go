@@ -47,6 +47,7 @@ func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, max
 		sc.phase("refine", refineStart)
 	}()
 	st := netsim.NewState(in, seed)
+	emitInc := sc.wantsIncumbents()
 	n := in.G.NumNodes()
 	// One snapshot buffer reused across rounds: AppendVertices reads
 	// the state's flat deployment mirror in increasing vertex order —
@@ -89,6 +90,13 @@ func LocalSearch(ctx context.Context, in *netsim.Instance, seed netsim.Plan, max
 			} else {
 				st.AddBox(out) // revert
 			}
+		}
+		if improved && emitInc {
+			// One snapshot per improving round, not per swap: the plan
+			// here is always feasible, and the round boundary keeps the
+			// clone out of the swap-probe hot loop (and out of the
+			// unobserved path entirely, see wantsIncumbents).
+			sc.incumbent(st.Plan(), st.Bandwidth())
 		}
 		if !improved {
 			break
@@ -155,6 +163,9 @@ func MultiStartLocalSearch(ctx context.Context, in *netsim.Instance, k, starts i
 	if err != nil {
 		return Result{}, err
 	}
+	if best.Feasible {
+		sc.incumbent(best.Plan, best.Bandwidth)
+	}
 	for s := 1; s < starts; s++ {
 		if canceled(ctx) {
 			best.Interrupted = ctx.Err()
@@ -167,6 +178,7 @@ func MultiStartLocalSearch(ctx context.Context, in *netsim.Instance, k, starts i
 		}
 		if r := LocalSearch(ctx, in, seed.Plan, 0); r.Feasible && r.Bandwidth < best.Bandwidth {
 			best = r
+			sc.incumbent(best.Plan, best.Bandwidth)
 		}
 	}
 	return best, nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"tdmd/internal/netsim"
 	"tdmd/internal/obs"
 )
 
@@ -38,6 +39,20 @@ type SolveObserver interface {
 	// branch nodes, incumbent updates, ...). Solvers batch locally and
 	// emit aggregate counts, so n is usually > 1.
 	Count(solver, event string, n int64)
+}
+
+// IncumbentObserver is an optional SolveObserver extension: observers
+// that also implement it receive each new best-so-far feasible plan as
+// the solver finds it, with its bandwidth. Anytime solvers with a real
+// incumbent (branch-and-bound, exhaustive, local search, multistart)
+// emit it on every strict improvement, so a long solve can be watched
+// — the async job API serves these snapshots while a solve runs.
+//
+// The plan is a snapshot valid only for the duration of the call;
+// implementations that retain it must Clone it. Like the rest of the
+// observer contract, implementations must be safe for concurrent use.
+type IncumbentObserver interface {
+	Incumbent(solver string, plan netsim.Plan, bandwidth float64)
 }
 
 // Outcome classifies how a solve ended. Values double as the
@@ -144,6 +159,37 @@ func (sc obsScope) phase(name string, start time.Time) {
 // active reports whether anything is listening; solvers may use it to
 // skip snapshotting clocks for phase timings.
 func (sc obsScope) active() bool { return sc.ob != nil }
+
+// incumbent emits a new best-so-far feasible plan to observers that
+// opt into IncumbentObserver. Solvers call it only on strict
+// improvements, which are rare, so the interface check stays off the
+// per-candidate hot path. The plan handed in must be a snapshot the
+// solver will not mutate for the duration of the call (State.Plan()
+// already clones).
+func (sc obsScope) incumbent(p netsim.Plan, bandwidth float64) {
+	if io, ok := sc.ob.(IncumbentObserver); ok {
+		io.Incumbent(sc.solver, p, bandwidth)
+	}
+}
+
+// EmitIncumbent reports a new best-so-far feasible plan from a solver
+// body. The built-in solvers use the internal scope directly; this
+// export is the same emission point for registry solvers implemented
+// outside the package (integration tests, experimental solvers).
+// No-op unless an IncumbentObserver rides the context.
+func EmitIncumbent(ctx context.Context, plan netsim.Plan, bandwidth float64) {
+	observing(ctx).incumbent(plan, bandwidth)
+}
+
+// wantsIncumbents reports whether the attached observer consumes
+// incumbent snapshots. Solvers whose emit site would otherwise pay a
+// plan clone per improvement (local search emits at round boundaries)
+// hoist this once and skip the snapshot entirely when nothing listens,
+// keeping the unobserved path allocation-identical.
+func (sc obsScope) wantsIncumbents() bool {
+	_, ok := sc.ob.(IncumbentObserver)
+	return ok
+}
 
 // metricsObserver folds observer events into obs.Default.
 type metricsObserver struct {

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// Fingerprint canonically identifies one solve submission: the full
+// problem (topology, flows, λ, tree root) plus the algorithm, budget
+// and seed. Equal fingerprints mean the solve is deterministic-
+// identical, which is what licenses coalescing concurrent duplicates
+// onto one flight and replaying cached plans bit-for-bit.
+//
+// Canonicalization is deliberately order-preserving: edge and flow
+// insertion order is hashed as-is, because that order is
+// solver-visible (tree child order, greedy tie-breaks). Two encodings
+// of the "same" network that differ in ordering may legitimately
+// solve to different (equally good) plans, so they must not share a
+// cache slot. The conservative cost is a cache miss, never a wrong
+// plan.
+type Fingerprint [sha256.Size]byte
+
+// fpVersion guards the hash layout: bump it whenever the byte layout
+// below changes, so plans cached by an old binary can never be
+// replayed against a new layout's colliding hash.
+const fpVersion = "tdmd-fp/1"
+
+// fpHasher streams fixed-width values into a sha256 without the
+// reflection cost of encoding/binary.Write.
+type fpHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// write feeds raw bytes to the digest. hash.Hash writers are
+// documented never to return an error; a non-nil one means a broken
+// Hash implementation, which is a programming error, not a condition
+// callers can handle.
+func (f *fpHasher) write(b []byte) {
+	if _, err := f.h.Write(b); err != nil {
+		panic(err)
+	}
+}
+
+func (f *fpHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(f.buf[:], v)
+	f.write(f.buf[:])
+}
+
+func (f *fpHasher) i64(v int64)   { f.u64(uint64(v)) }
+func (f *fpHasher) f64(v float64) { f.u64(math.Float64bits(v)) }
+
+func (f *fpHasher) str(s string) {
+	f.u64(uint64(len(s)))
+	f.write([]byte(s))
+}
+
+// SubmissionFingerprint hashes everything that can influence the
+// solve's outcome. Node names are excluded (solvers see only dense
+// ids); wall-clock budgets are excluded (they are server-wide, not
+// per-submission).
+func SubmissionFingerprint(sub Submission) Fingerprint {
+	f := &fpHasher{h: sha256.New()}
+	f.str(fpVersion)
+	f.str(string(sub.Algorithm))
+	f.i64(int64(sub.K))
+	if sub.Seed != nil {
+		f.u64(1)
+		f.i64(*sub.Seed)
+	} else {
+		f.u64(0)
+	}
+
+	in := sub.Problem.Instance()
+	f.f64(in.Lambda)
+	g := in.G
+	f.i64(int64(g.NumNodes()))
+	edges := g.Edges()
+	f.i64(int64(len(edges)))
+	for _, e := range edges {
+		f.i64(int64(e.From))
+		f.i64(int64(e.To))
+		f.f64(e.Weight)
+	}
+	if t := sub.Problem.Tree(); t != nil {
+		f.u64(1)
+		f.i64(int64(t.Root))
+	} else {
+		f.u64(0)
+	}
+
+	nf := in.NumFlows()
+	f.i64(int64(nf))
+	// Paths are hashed through one reused buffer, 4 bytes per hop, so
+	// a million-flow instance fingerprints without per-flow
+	// allocations.
+	var hopBuf []byte
+	for i := 0; i < nf; i++ {
+		f.i64(int64(in.FlowRate(i)))
+		path := in.FlowPath(i)
+		f.i64(int64(len(path)))
+		if need := 4 * len(path); cap(hopBuf) < need {
+			hopBuf = make([]byte, need)
+		}
+		hopBuf = hopBuf[:4*len(path)]
+		for j, v := range path {
+			binary.LittleEndian.PutUint32(hopBuf[4*j:], uint32(v))
+		}
+		f.write(hopBuf)
+	}
+
+	var fp Fingerprint
+	f.h.Sum(fp[:0])
+	return fp
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdmd"
+)
+
+// LoadConfig describes one load run: Clients concurrent senders issue
+// Requests total POSTs to Path, cycling through Bodies.
+type LoadConfig struct {
+	Clients  int
+	Requests int
+	Bodies   [][]byte
+	Path     string // default /api/solve
+}
+
+// LoadReport aggregates a load run. Latency quantiles cover completed
+// requests only (2xx and 429 alike — a fast rejection is still a
+// served response); Failed counts transport errors and 5xx.
+type LoadReport struct {
+	Requests int
+	OK       int
+	Rejected int
+	Failed   int
+	P50      time.Duration
+	P99      time.Duration
+	Elapsed  time.Duration
+}
+
+// RejectRate is the fraction of requests answered 429.
+func (r LoadReport) RejectRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Rejected) / float64(r.Requests)
+}
+
+// RunLoad hammers baseURL+Path with cfg.Clients concurrent senders
+// until cfg.Requests requests have been issued or ctx fires, then
+// reports latency quantiles and the rejection rate.
+func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = cfg.Clients
+	}
+	if len(cfg.Bodies) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: load run needs at least one request body")
+	}
+	path := cfg.Path
+	if path == "" {
+		path = "/api/solve"
+	}
+	url := baseURL + path
+
+	latencies := make([]time.Duration, cfg.Requests)
+	statuses := make([]int, cfg.Requests)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				body := cfg.Bodies[i%len(cfg.Bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					statuses[i] = -1
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					statuses[i] = -1
+					continue
+				}
+				_, copyErr := io.Copy(io.Discard, resp.Body)
+				closeErr := resp.Body.Close()
+				if copyErr != nil || closeErr != nil {
+					statuses[i] = -1
+					continue
+				}
+				latencies[i] = time.Since(t0)
+				statuses[i] = resp.StatusCode
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := LoadReport{Elapsed: time.Since(start)}
+	completed := latencies[:0]
+	for i := 0; i < cfg.Requests; i++ {
+		switch st := statuses[i]; {
+		case st == 0:
+			// never issued (ctx fired first)
+			continue
+		case st >= 200 && st < 300:
+			rep.OK++
+		case st == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Failed++
+		}
+		rep.Requests++
+		if statuses[i] > 0 {
+			completed = append(completed, latencies[i])
+		}
+	}
+	if len(completed) > 0 {
+		sort.Slice(completed, func(a, b int) bool { return completed[a] < completed[b] })
+		rep.P50 = completed[len(completed)*50/100]
+		rep.P99 = completed[min(len(completed)*99/100, len(completed)-1)]
+	}
+	return rep, ctx.Err()
+}
+
+// SyntheticSolveBodies builds n distinct /api/solve JSON bodies over a
+// rooted line topology with the given node and flow counts. Rates vary
+// with the body index so each body fingerprints differently — a load
+// run exercises real solves, not one cache entry.
+func SyntheticSolveBodies(n, nodes, flows int) [][]byte {
+	if nodes < 2 {
+		nodes = 2
+	}
+	names := make([]string, nodes)
+	edges := make([][2]int, 0, nodes-1)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+		if i > 0 {
+			edges = append(edges, [2]int{i, i - 1})
+		}
+	}
+	path := make([]int, nodes)
+	for i := range path {
+		path[i] = nodes - 1 - i
+	}
+	bodies := make([][]byte, n)
+	for b := 0; b < n; b++ {
+		spec := tdmd.ProblemSpec{
+			Nodes:  names,
+			Edges:  edges,
+			Lambda: 0.5,
+			Root:   0,
+		}
+		for fi := 0; fi < flows; fi++ {
+			spec.Flows = append(spec.Flows, tdmd.FlowSpec{Rate: 1 + (b+fi)%7, Path: path})
+		}
+		body, err := json.Marshal(struct {
+			Spec      tdmd.ProblemSpec `json:"spec"`
+			Algorithm string           `json:"algorithm"`
+			K         int              `json:"k"`
+		}{spec, "gtp", 2})
+		if err != nil {
+			panic(err) // static shape; cannot fail
+		}
+		bodies[b] = body
+	}
+	return bodies
+}

@@ -1,0 +1,60 @@
+package serve
+
+import "tdmd/internal/obs"
+
+// Service metrics, on the default obs registry next to the solver,
+// netsim and ingest series so one /metrics scrape carries the whole
+// story. The tdmd_serve_* family covers the admission pipeline (queue
+// depth and wait, rejections), the dedup layer (coalesce and cache
+// traffic) and the job store; the tdmd_http_* family carries the
+// request-level counters the HTTP layer records for every route.
+// DESIGN.md §9 catalogs them all.
+var (
+	// Admission / worker pool.
+	queueDepth = obs.NewGauge("tdmd_serve_queue_depth",
+		"solves admitted but not yet picked up by a worker")
+	queueCapacity = obs.NewGauge("tdmd_serve_queue_capacity",
+		"admission queue length limit")
+	queueWait = obs.NewHistogram("tdmd_serve_queue_wait_seconds",
+		"time from admission to a worker starting the solve", nil)
+	rejectedTotal = obs.NewCounter("tdmd_serve_rejected_total",
+		"solve submissions rejected because the admission queue was full")
+	poolWorkers = obs.NewGauge("tdmd_serve_workers",
+		"worker goroutines in the solve pool")
+	poolBusy = obs.NewGauge("tdmd_serve_workers_busy",
+		"workers currently running a solve")
+	solvesTotal = obs.NewCounter("tdmd_serve_solves_total",
+		"solves executed by the pool (cache hits and coalesced waiters excluded)")
+
+	// Coalescing and the plan cache.
+	coalescedTotal = obs.NewCounter("tdmd_serve_coalesced_total",
+		"submissions attached to an identical in-flight solve instead of starting their own")
+	cacheHitsTotal = obs.NewCounter("tdmd_serve_cache_hits_total",
+		"submissions answered from the fingerprint plan cache")
+	cacheMissesTotal = obs.NewCounter("tdmd_serve_cache_misses_total",
+		"submissions that had to solve (no cached plan, no in-flight twin)")
+	cacheEntries = obs.NewGauge("tdmd_serve_cache_entries",
+		"plans currently held by the fingerprint cache")
+	cacheEvictionsTotal = obs.NewCounter("tdmd_serve_cache_evictions_total",
+		"plans evicted from the fingerprint cache by LRU pressure")
+
+	// Async jobs.
+	jobsCreatedTotal = obs.NewCounter("tdmd_serve_jobs_created_total",
+		"async jobs accepted via POST /v1/jobs")
+	jobsStored = obs.NewGauge("tdmd_serve_jobs",
+		"jobs currently held by the job store (running and finished)")
+
+	// HTTP request instrumentation (the observe middleware).
+	httpInflight = obs.NewGauge("tdmd_http_requests_in_flight",
+		"API requests currently being served")
+	httpRequests = obs.NewCounterVec("tdmd_http_requests_total",
+		"API requests served, by route and status code", "route", "code")
+	httpErrors = obs.NewCounterVec("tdmd_http_request_errors_total",
+		"API requests answered with a 4xx/5xx status (client disconnects excluded)", "route")
+	httpDuration = obs.NewHistogramVec("tdmd_http_request_duration_seconds",
+		"API request wall time", nil, "route")
+	httpClientGone = obs.NewCounter("tdmd_http_client_gone_total",
+		"requests whose client disconnected before the response was ready")
+	httpPanics = obs.NewCounter("tdmd_http_handler_panics_total",
+		"handler panics recovered into a 500 envelope by the observe middleware")
+)

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # bench.sh — record or check the repository's benchmark snapshots.
 #
-# Two suites are registered (cmd/benchsnap):
+# Three suites are registered (cmd/benchsnap):
 #
 #   solver  BENCH_solver.json  ns/op, B/op and allocs/op for the paired
 #           solver benchmarks — the root package's FullVsIncremental
@@ -14,6 +14,11 @@
 #           bytes/flow (the wire format's per-flow cost) is gated
 #           alongside allocs/op. The ingest check also runs the
 #           million-flow end-to-end scale test (TDMD_SCALE=1) first.
+#   serve   BENCH_serve.json   the end-to-end service load benchmark
+#           (cmd/tdmdload BenchmarkServeLoad): 16 clients against a
+#           2-worker in-process server, recording p50/p99 latency and
+#           the 429 rejection rate. Latency and rejection numbers are
+#           informational; only allocs/op is gated.
 #
 # Both snapshots are checked in, so the repository's performance
 # trajectory is reviewable history rather than folklore.
@@ -24,7 +29,7 @@
 #                                           the benchmark set drifted
 #                                           (ns/op is machine-
 #                                           dependent: informational)
-#        suite: solver, ingest, or all (default all)
+#        suite: solver, ingest, serve, or all (default all)
 #        make bench-snap / make bench-check   (aliases)
 #
 # Like check.sh this is offline and needs only the go toolchain; a
@@ -44,16 +49,16 @@ case "${1:-}" in
     shift
     ;;
 -*)
-    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|all]" >&2
+    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|serve|all]" >&2
     exit 2
     ;;
 esac
 
 suite="${1:-all}"
 case "$suite" in
-solver | ingest | all) ;;
+solver | ingest | serve | all) ;;
 *)
-    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|all]" >&2
+    echo "usage: scripts/bench.sh [-check|-update] [solver|ingest|serve|all]" >&2
     exit 2
     ;;
 esac
@@ -73,6 +78,7 @@ run_suite() {
 if [ "$suite" = all ]; then
     run_suite solver
     run_suite ingest
+    run_suite serve
 else
     run_suite "$suite"
 fi

@@ -46,6 +46,12 @@ echo "==> parallel-scan race hammer (race, 5 repetitions)"
 # deterministic and data-race-free under repeated scheduling shuffles.
 go test -race -run 'Parallel|Scan' -count=5 ./internal/netsim/ ./internal/placement/
 
+echo "==> serve hammer (race, 5 repetitions)"
+# The service's admission paths — saturation rejection, request
+# coalescing, cache replay, job lifecycle, drain-during-inflight — are
+# all cross-goroutine handoffs; hammer them under the race detector.
+go test -run Serve -race -count=5 ./internal/serve/ ./cmd/tdmdserve/
+
 echo "==> fuzz smoke (5s per target, auto-discovered)"
 # Every Fuzz* function in the repo gets a short smoke run; new fuzz
 # targets join the gate by existing, not by being listed here.
@@ -68,6 +74,6 @@ go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.basel
 echo "==> observability (observer identity + exposition, race)"
 go test -race ./internal/obs/
 go test -race -run 'Observer|Metrics|Cache' \
-    ./internal/placement/ ./internal/netsim/ ./cmd/tdmdserve/
+    ./internal/placement/ ./internal/netsim/ ./internal/serve/
 
 echo "OK: all checks passed"
