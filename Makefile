@@ -2,7 +2,7 @@
 # the source of truth; `make check` is the one command to run before
 # sending a change.
 
-.PHONY: check build test race lint lint-json fuzz bench bench-snap bench-check bench-ingest scale cancelhammer servehammer obs
+.PHONY: check build test race lint lint-json locklint fuzz bench bench-snap bench-check bench-ingest scale cancelhammer servehammer obs
 
 check:
 	scripts/check.sh
@@ -17,11 +17,18 @@ race:
 	go test -race ./...
 
 # The full analyzer suite (per-package rules plus the interprocedural
-# solverpurity/detorder/goleak and the compiler escape-analysis diff)
-# against the checked-in baselines — identical to the tdmdlint step in
-# scripts/check.sh.
+# solverpurity/detorder/goleak/guardedby/lockorder/holdblock and the
+# compiler escape-analysis diff) against the checked-in baselines —
+# identical to the tdmdlint step in scripts/check.sh.
 lint:
 	go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.baseline.json ./...
+
+# The concurrency-discipline analyzers alone (guarded-by inference,
+# lock ordering, no-blocking-under-lock), plus the lock-order graph
+# dumped as deterministic DOT — the same artifact CI archives.
+locklint:
+	go run ./cmd/tdmdlint -only guardedby,lockorder,holdblock ./...
+	go run ./cmd/tdmdlint -only lockorder -lockgraph lockgraph.dot ./...
 
 # Machine-readable findings in the baseline format (deterministic,
 # position-sorted; feed the output back via -baseline to accept

@@ -8,8 +8,11 @@
 //
 //	-list                  print the analyzers and exit
 //	-only a,b              run only the named analyzers
+//	-skip a,b              run all analyzers except the named ones
 //	-json                  emit findings as JSON (the baseline format)
 //	-baseline file         suppress findings recorded in the baseline file
+//	-lockgraph file        also write the module lock-order graph as
+//	                       deterministic DOT to file ("-" for stdout)
 //	-escape-baseline file  also run the compiler escape/inlining diff
 //	                       (internal/lint/escape) against this baseline
 //	-escape-update         regenerate the escape baseline instead of
@@ -21,10 +24,11 @@
 // baseline holds an entry with the same analyzer, file and message
 // (line numbers drift with unrelated edits and do not participate).
 //
-// The interprocedural analyzers — solverpurity, detorder, goleak —
-// cannot be baselined: their findings are contract violations that
-// must be fixed, not recorded. A baseline file containing entries for
-// them is itself an error. The same holds for "escape": compiler
+// The interprocedural contract analyzers — solverpurity, detorder,
+// goleak, guardedby, lockorder, holdblock — cannot be baselined:
+// their findings are contract violations that must be fixed, not
+// recorded. A baseline file containing entries for them is itself an
+// error. The same holds for "escape": compiler
 // escape regressions are accepted only by regenerating the dedicated
 // escape baseline (-escape-update), never by suppressing them in the
 // analyzer baseline.
@@ -60,6 +64,9 @@ var noBaseline = map[string]bool{
 	"solverpurity": true,
 	"detorder":     true,
 	"goleak":       true,
+	"guardedby":    true,
+	"lockorder":    true,
+	"holdblock":    true,
 	"escape":       true,
 }
 
@@ -82,12 +89,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
 	asJSON := fs.Bool("json", false, "emit findings as JSON (the baseline format)")
 	baselinePath := fs.String("baseline", "", "baseline file of findings to suppress")
+	lockGraph := fs.String("lockgraph", "", "write the module lock-order graph as DOT to this file (\"-\" for stdout)")
 	escapeBaseline := fs.String("escape-baseline", "", "escape baseline file; enables the compiler escape/inlining diff")
 	escapeUpdate := fs.Bool("escape-update", false, "regenerate the escape baseline instead of diffing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [-json] [-baseline file] [-escape-baseline file [-escape-update]] [packages]")
+		fmt.Fprintln(stderr, "usage: tdmdlint [-list] [-only a,b] [-skip a,b] [-json] [-baseline file] [-lockgraph file] [-escape-baseline file [-escape-update]] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -101,20 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
-		byName := make(map[string]*lint.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(stderr, "tdmdlint: unknown analyzer %q (see -list)\n", name)
-				return 2
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, ok := selectAnalyzers(analyzers, *only, *skip, stderr)
+	if !ok {
+		return 2
 	}
 
 	if *escapeUpdate && *escapeBaseline == "" {
@@ -141,6 +139,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
 		return 2
+	}
+
+	if *lockGraph != "" {
+		if err := writeLockGraph(*lockGraph, dir, pkgs, stdout); err != nil {
+			fmt.Fprintf(stderr, "tdmdlint: %v\n", err)
+			return 2
+		}
 	}
 
 	findings := lint.Run(pkgs, analyzers)
@@ -178,6 +183,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers applies -only/-skip to the full suite. The two
+// flags compose (-only picks the set, -skip then removes from it);
+// either flag naming an unknown analyzer is a usage error.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string, stderr io.Writer) ([]*lint.Analyzer, bool) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	selected := all
+	if only != "" {
+		selected = nil
+		for _, name := range strings.Split(only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tdmdlint: unknown analyzer %q (see -list)\n", name)
+				return nil, false
+			}
+			selected = append(selected, a)
+		}
+	}
+	if skip != "" {
+		drop := make(map[string]bool)
+		for _, name := range strings.Split(skip, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				fmt.Fprintf(stderr, "tdmdlint: unknown analyzer %q (see -list)\n", name)
+				return nil, false
+			}
+			drop[name] = true
+		}
+		kept := make([]*lint.Analyzer, 0, len(selected))
+		for _, a := range selected {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	return selected, true
+}
+
+// writeLockGraph dumps the module lock-order graph as DOT. Edges come
+// out of lint.LockOrderEdges already sorted and deduplicated, and the
+// positions are working-directory-relative, so the bytes are stable
+// across runs and machines — the file is designed to be diffed and
+// archived as a CI artifact.
+func writeLockGraph(path, dir string, pkgs []*lint.Package, stdout io.Writer) error {
+	g := lint.BuildGraph(pkgs)
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, e := range lint.LockOrderEdges(g) {
+		pos := e.Pos
+		pos.Filename = relPath(dir, pos.Filename)
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, pos.String())
+	}
+	b.WriteString("}\n")
+	if path == "-" {
+		_, err := io.WriteString(stdout, b.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // runEscape executes the compiler escape/inlining layer: collect

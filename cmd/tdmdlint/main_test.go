@@ -5,6 +5,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -34,6 +36,50 @@ func TestUnknownAnalyzer(t *testing.T) {
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr should mention the unknown analyzer: %s", errOut.String())
 	}
+}
+
+func TestUnknownSkipAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-skip", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-skip nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr should mention the unknown analyzer: %s", errOut.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers()
+	var errOut strings.Builder
+
+	got, ok := selectAnalyzers(all, "floateq,goleak", "", &errOut)
+	if !ok || len(got) != 2 || got[0].Name != "floateq" || got[1].Name != "goleak" {
+		t.Fatalf("-only floateq,goleak selected %v", names(got))
+	}
+
+	got, ok = selectAnalyzers(all, "", "floateq, goleak", &errOut)
+	if !ok || len(got) != len(all)-2 {
+		t.Fatalf("-skip floateq,goleak kept %d of %d", len(got), len(all))
+	}
+	for _, a := range got {
+		if a.Name == "floateq" || a.Name == "goleak" {
+			t.Fatalf("-skip left %s in the selection", a.Name)
+		}
+	}
+
+	// -only and -skip compose: pick three, drop one.
+	got, ok = selectAnalyzers(all, "floateq,goleak,holdblock", "goleak", &errOut)
+	if !ok || len(got) != 2 || got[0].Name != "floateq" || got[1].Name != "holdblock" {
+		t.Fatalf("-only + -skip selected %v", names(got))
+	}
+}
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, 0, len(as))
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
 }
 
 func TestBadFlag(t *testing.T) {
@@ -109,7 +155,19 @@ func TestBaselineSuppressesByAnalyzerFileMessage(t *testing.T) {
 }
 
 func TestBaselineRejectsInterproceduralAnalyzers(t *testing.T) {
-	for _, name := range []string{"solverpurity", "detorder", "goleak", "escape"} {
+	// Iterate the refusal map itself so new never-baselinable analyzers
+	// are covered the moment they are added.
+	names := make([]string, 0, len(noBaseline))
+	for name := range noBaseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, want := range []string{"solverpurity", "detorder", "goleak", "guardedby", "lockorder", "holdblock", "escape"} {
+		if !noBaseline[want] {
+			t.Errorf("noBaseline must refuse %q", want)
+		}
+	}
+	for _, name := range names {
 		path := filepath.Join(t.TempDir(), "base.json")
 		doc := `{"findings": [{"analyzer": "` + name + `", "file": "x.go", "line": 1, "col": 1, "message": "m"}]}`
 		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
@@ -191,6 +249,84 @@ func TestEscapeBaselineMissingFailsBeforeCompiling(t *testing.T) {
 	findings, code := runEscape(".", "/nonexistent/escape.json", false, &strings.Builder{})
 	if code != 2 || findings != nil {
 		t.Fatalf("runEscape(missing baseline) = (%v, %d), want (nil, 2)", findings, code)
+	}
+}
+
+// TestModuleJSONDeterministic is the determinism regression for the
+// lock-fact layer and the analyzers on top of it: the whole module is
+// loaded and analyzed twice in one process, and the -json bytes must
+// be identical — across runs and across GOMAXPROCS=1 versus the
+// default, so no map-iteration order or scheduling artifact can reach
+// the report.
+func TestModuleJSONDeterministic(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	if testing.Short() {
+		t.Skip("full-module analysis in -short mode")
+	}
+	t.Chdir(filepath.Join("..", ".."))
+
+	runOnce := func() string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-json", "./..."}, &out, &errOut); code != 0 {
+			t.Fatalf("run(-json ./...) = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+		return out.String()
+	}
+
+	first := runOnce()
+	second := runOnce()
+	if first != second {
+		t.Fatalf("-json not byte-identical across two in-process module runs:\n%s\n---\n%s", first, second)
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	serial := runOnce()
+	runtime.GOMAXPROCS(old)
+	if first != serial {
+		t.Fatalf("-json differs between GOMAXPROCS=%d and GOMAXPROCS=1:\n%s\n---\n%s", old, first, serial)
+	}
+}
+
+// TestLockGraphDeterministicDOT pins the -lockgraph artifact: valid
+// DOT, byte-identical across runs, and carrying the serve engine's
+// known lock nesting (Engine.mu acquired before the plan cache's).
+func TestLockGraphDeterministicDOT(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	t.Chdir(filepath.Join("..", ".."))
+
+	dump := func(path string) string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-only", "floateq", "-lockgraph", path, "./..."}, &out, &errOut); code != 0 {
+			t.Fatalf("run(-lockgraph) = %d\nstderr: %s", code, errOut.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	dir := t.TempDir()
+	first := dump(filepath.Join(dir, "a.dot"))
+	second := dump(filepath.Join(dir, "b.dot"))
+	if first != second {
+		t.Fatalf("-lockgraph output not byte-identical:\n%s\n---\n%s", first, second)
+	}
+	if !strings.HasPrefix(first, "digraph lockorder {\n") || !strings.HasSuffix(first, "}\n") {
+		t.Fatalf("-lockgraph output is not the expected DOT document:\n%s", first)
+	}
+
+	// "-" streams the same bytes to stdout instead.
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "floateq", "-lockgraph", "-", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-lockgraph -) = %d\nstderr: %s", code, errOut.String())
+	}
+	if out.String() != first {
+		t.Fatalf("-lockgraph - differs from file output:\n%s\n---\n%s", out.String(), first)
 	}
 }
 

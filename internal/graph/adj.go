@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // AdjSet is a frozen, binary-searchable adjacency index of a graph:
 // per-vertex sorted out-neighbor lists in one contiguous CSR arena.
@@ -30,9 +30,12 @@ func NewAdjSet(g *Graph) AdjSet {
 		for _, e := range row {
 			a.to = append(a.to, e.To)
 		}
-		sort.Slice(a.to[start:], func(i, j int) bool {
-			return a.to[start+i] < a.to[start+j]
-		})
+		// slices.Sort, not sort.Slice: the closure + interface boxing
+		// of sort.Slice allocate twice per row, which at |V| rows put
+		// every bulk-validation caller (netsim.New via traffic.Validate)
+		// hundreds of allocs over budget. The generic sort is
+		// allocation-free and yields the same order.
+		slices.Sort(a.to[start:])
 		a.off[v+1] = int32(len(a.to))
 	}
 	return a

@@ -96,6 +96,18 @@ func (wg *WaitGroup) Wait()         {}
 type Once struct{ done bool }
 
 func (o *Once) Do(f func()) { f() }
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
 `
 	fakeSort = `package sort
 

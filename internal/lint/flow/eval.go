@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // rawSpawn is a `go` statement before its body's signals are mapped
@@ -66,6 +67,15 @@ type evalPass struct {
 	uses       []UnorderedUse
 	spawns     []rawSpawn
 
+	// held is the lock set at the current program point, maintained in
+	// syntactic statement order and reset each local round.
+	held []heldEntry
+	// Lock facts collected on the last round.
+	lockEdges     []LockEdge
+	fieldAccesses []FieldAccess
+	heldBlocks    []HeldBlock
+	lockedCalls   []LockedCall
+
 	deferDepth int
 	guardSel   []token.Pos // ctx-guarded regions: NoPos for if, select pos for comm clauses
 	commSelect token.Pos   // select pos while walking a comm statement
@@ -91,14 +101,27 @@ func (g *Graph) evalNode(n *Node, collect bool) Summary {
 			FreeWrites:       make(map[types.Object][]Site),
 			UnorderedResults: make(map[int]Origin),
 			ParamFlows:       make(map[int]map[int]bool),
+			LockAcquires:     make(map[LockClass][]LockSite),
 		}
 		p.joins = nil
 		p.ctxReturns = nil
 		p.uses = nil
 		p.spawns = nil
+		p.held = nil
+		p.lockEdges = nil
+		p.fieldAccesses = nil
+		p.heldBlocks = nil
+		p.lockedCalls = nil
 		p.changed = false
 		p.walkStmt(n.body)
 		p.foldImplicitLits()
+		// Locks still held at the end of the body escape the frame
+		// unless a deferred unlock cancels them.
+		for _, h := range p.held {
+			if !h.deferRelease {
+				p.sum.ExitHeld = addHeldLock(p.sum.ExitHeld, h.lock)
+			}
+		}
 		if !p.changed {
 			break
 		}
@@ -108,6 +131,10 @@ func (g *Graph) evalNode(n *Node, collect bool) Summary {
 		n.CtxReturns = p.ctxReturns
 		n.UnorderedUses = p.uses
 		n.spawnsRaw = p.spawns
+		n.LockEdges = p.lockEdges
+		n.FieldAccesses = p.fieldAccesses
+		n.HeldBlocks = p.heldBlocks
+		n.LockedCalls = p.lockedCalls
 	}
 	return p.sum
 }
@@ -194,6 +221,18 @@ func (p *evalPass) walkStmt(s ast.Stmt) {
 }
 
 func (p *evalPass) handleSelect(v *ast.SelectStmt) {
+	// A select with a default clause never blocks; without one, the
+	// select statement itself is the blocking operation (its individual
+	// comm clauses are not counted again).
+	hasDefault := false
+	for _, cl := range v.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		p.addBlocking(Site{Pos: v.Pos(), Desc: "select without default"})
+	}
 	for _, cl := range v.Body.List {
 		comm, ok := cl.(*ast.CommClause)
 		if !ok {
@@ -220,6 +259,11 @@ func (p *evalPass) handleSend(v *ast.SendStmt) {
 	p.walkExpr(v.Value)
 	for src := range p.exprAlias(v.Chan) {
 		p.addSignal(Signal{Src: src, Kind: SigSend, Pos: v.Pos()})
+	}
+	// A send blocks unless it is a select comm (the select is the
+	// blocking op then) or the channel is known buffered.
+	if p.commSelect == token.NoPos && !p.channelKnownBuffered(v.Chan) {
+		p.addBlocking(Site{Pos: v.Pos(), Desc: "channel send"})
 	}
 }
 
@@ -348,6 +392,7 @@ func (p *evalPass) handleRange(r *ast.RangeStmt) {
 		for src := range p.exprAlias(r.X) {
 			p.addJoin(Join{Src: src, Pos: r.Pos()})
 		}
+		p.addBlocking(Site{Pos: r.Pos(), Desc: "ranges over channel"})
 	}
 	p.walkStmt(r.Body)
 }
@@ -520,6 +565,12 @@ func (p *evalPass) handleGo(g *ast.GoStmt) {
 		rs.callee = info.litNode.Key
 	}
 	if rs.node != nil {
+		// The goroutine body starts with no inherited locks: record the
+		// call edge with an empty held set so guard inference treats the
+		// spawn as an unguarded entry point.
+		p.lockedCalls = append(p.lockedCalls, LockedCall{Callee: rs.node.Key, Pos: g.Pos()})
+	}
+	if rs.node != nil {
 		for _, a := range info.args {
 			rs.args = append(rs.args, p.exprAlias(a))
 		}
@@ -550,6 +601,11 @@ func (p *evalPass) walkExpr(e ast.Expr) {
 					SelectID: p.commSelect,
 				})
 			}
+			// A receive blocks until a value arrives, buffered or not,
+			// unless it is a select comm.
+			if p.commSelect == token.NoPos {
+				p.addBlocking(Site{Pos: v.Pos(), Desc: "channel receive"})
+			}
 		}
 	case *ast.BinaryExpr:
 		p.walkExpr(v.X)
@@ -560,6 +616,7 @@ func (p *evalPass) walkExpr(e ast.Expr) {
 		p.walkExpr(v.X)
 	case *ast.SelectorExpr:
 		p.walkExpr(v.X)
+		p.recordFieldAccess(v, false)
 	case *ast.IndexExpr:
 		p.walkExpr(v.X)
 		p.walkExpr(v.Index)
@@ -673,6 +730,20 @@ func (p *evalPass) handleCall(call *ast.CallExpr, cc callCtx) {
 		p.n.goLits[info.litNode.Lit] = true
 	}
 	p.walkCallOperands(call, info)
+	if info.node != nil {
+		// Record the call with the entry held set (before callee lock
+		// effects fold in); a solver entry is blocking by definition.
+		if p.collect {
+			p.lockedCalls = append(p.lockedCalls, LockedCall{
+				Callee: info.node.Key,
+				Held:   p.heldSnapshot(),
+				Pos:    call.Pos(),
+			})
+		}
+		if isSolverEntryKey(info.node.Key) {
+			p.addBlocking(Site{Pos: call.Pos(), Desc: "solver entry " + info.node.Key})
+		}
+	}
 	p.applyCallEffects(call, info, cc)
 	if p.collect {
 		p.recordCallArgUses(call, info)
@@ -734,6 +805,11 @@ func (p *evalPass) applyCallEffects(call *ast.CallExpr, info callInfo, cc callCt
 	case info.extFn != nil:
 		p.applyExternal(call, info, cc)
 		return
+	case info.ifaceID != "":
+		if isBlockingIface(info.ifaceID) {
+			p.addBlocking(Site{Pos: call.Pos(), Desc: info.ifaceID})
+		}
+		return
 	}
 }
 
@@ -754,7 +830,15 @@ func (p *evalPass) applyBuiltin(call *ast.CallExpr, name string) {
 				p.addSignal(Signal{Src: src, Kind: SigClose, Pos: call.Pos()})
 			}
 		}
-	case "delete", "append", "len", "cap", "make", "new", "panic", "print", "println", "recover", "min", "max", "clear":
+	case "delete":
+		// No alias effects, but deleting a map entry mutates the map: a
+		// guarded-fields write when the map is a struct field.
+		if len(call.Args) > 0 {
+			if sel := fieldSelIn(unparen(call.Args[0])); sel != nil {
+				p.recordFieldAccess(sel, true)
+			}
+		}
+	case "append", "len", "cap", "make", "new", "panic", "print", "println", "recover", "min", "max", "clear":
 		// No tracked effects; append's value flow is handled in
 		// exprAlias/exprUnord.
 	}
@@ -762,6 +846,23 @@ func (p *evalPass) applyBuiltin(call *ast.CallExpr, name string) {
 
 func (p *evalPass) applyExternal(call *ast.CallExpr, info callInfo, cc callCtx) {
 	id := info.extID
+	if op, ok := mutexMethod(info.extFn); ok && len(info.args) > 0 && !cc.viaGo {
+		class, classOK := p.lockClassOf(info.args[0])
+		if !classOK {
+			return
+		}
+		switch op {
+		case "Lock":
+			p.lockAcquire(class, false, call.Pos(), "acquires "+string(class))
+		case "RLock":
+			p.lockAcquire(class, true, call.Pos(), "read-acquires "+string(class))
+		case "Unlock":
+			p.lockRelease(HeldLock{Class: class}, cc.deferred)
+		case "RUnlock":
+			p.lockRelease(HeldLock{Class: class, Read: true}, cc.deferred)
+		}
+		return
+	}
 	if sortExternals[id] && len(info.args) > 0 {
 		arg0 := info.args[0]
 		for _, obj := range p.rootObjs(arg0) {
@@ -799,7 +900,11 @@ func (p *evalPass) applyExternal(call *ast.CallExpr, info callInfo, cc callCtx) 
 				SelectID: p.commSelect,
 			})
 		}
+		p.addBlocking(Site{Pos: call.Pos(), Desc: "sync.WaitGroup.Wait"})
 		return
+	}
+	if isBlockingExternal(id) && !cc.viaGo {
+		p.addBlocking(Site{Pos: call.Pos(), Desc: id})
 	}
 	// Everything else in the standard library: no writes, no alias
 	// laundering, no goroutine facts (order taint flows through
@@ -851,6 +956,43 @@ func (p *evalPass) applySummary(callee *Node, args []ast.Expr, cc callCtx, callP
 	}
 	if cc.viaGo {
 		return
+	}
+	// Lock effects, in execution order: releases the callee performs on
+	// the caller's behalf first (the unlock-helper pattern — so a
+	// re-acquire inside the callee does not read as a self-edge), then
+	// acquisition edges against what remains held, then locks the
+	// callee leaves held on exit.
+	for _, hl := range callee.Sum.ExitReleased {
+		p.lockRelease(hl, cc.deferred)
+	}
+	for _, class := range sortedLockClasses(callee.Sum.LockAcquires) {
+		sites := callee.Sum.LockAcquires[class]
+		if p.collect {
+			for _, h := range p.held {
+				p.addLockEdge(LockEdge{
+					From: h.lock.Class,
+					To:   class,
+					Pos:  callPos,
+					Desc: "via " + callee.Key,
+				})
+			}
+		}
+		read := len(sites) > 0 && sites[0].Read
+		p.addLockSite(class, LockSite{
+			Pos:  callPos,
+			Desc: "acquires " + string(class) + " (via " + callee.Key + ")",
+			Read: read,
+		})
+	}
+	for _, hl := range callee.Sum.ExitHeld {
+		p.held = append(p.held, heldEntry{lock: hl})
+	}
+	for _, b := range callee.Sum.Blocking {
+		desc := b.Desc
+		if i := strings.Index(desc, " (via "); i >= 0 {
+			desc = desc[:i]
+		}
+		p.addBlocking(Site{Pos: callPos, Desc: desc + " (via " + callee.Key + ")"})
 	}
 	for _, sig := range callee.Sum.Signals {
 		for _, src := range p.mapCalleeSrc(sig.Src, mapParam) {
@@ -944,6 +1086,9 @@ func (p *evalPass) foldImplicitLits() {
 // slice/map index, or auto-dereferencing selector; writing a field of
 // a local value struct is a local copy.
 func (p *evalPass) writeTo(lhs ast.Expr, pos token.Pos) {
+	if sel := fieldSelIn(unparen(lhs)); sel != nil {
+		p.recordFieldAccess(sel, true)
+	}
 	root, shared := p.lvalueRoot(lhs)
 	desc := "writes " + types.ExprString(lhs)
 	if !shared {

@@ -1,7 +1,10 @@
 // Package flow is the interprocedural dataflow engine behind the
-// module-wide lint analyzers (solverpurity, detorder, goleak). Built
-// with the standard library only (go/ast + go/types), it computes,
-// over the non-test packages of the module:
+// module-wide lint analyzers. solverpurity, detorder, goleak,
+// guardedby, lockorder, and holdblock consume its fixed-point
+// summaries and collected facts directly; hotalloc and mapstate use
+// its call graph to walk transitive callees. Built with the standard
+// library only (go/ast + go/types), it computes, over the non-test
+// packages of the module:
 //
 //   - a call graph whose nodes are every function declaration and
 //     function literal, with callees resolved across package
@@ -12,7 +15,11 @@
 //     pointer-reachable memory the function writes (directly or
 //     through any callee), the package-level variables it mutates,
 //     map-iteration-order taint carried by each result, parameter→
-//     result alias flows, and goroutine signal/join facts;
+//     result alias flows, goroutine signal/join facts, and lock facts:
+//     the mutex classes it acquires (RLock distinguished, deferred
+//     unlocks honored), the locks still held or released on exit, the
+//     struct fields it touches under each lock, and the operations
+//     that can block;
 //   - a fixed point of those summaries across the whole module, so a
 //     write, an unordered value, or a WaitGroup.Done three calls and
 //     two packages away is attributed to the function the analyzer
@@ -45,6 +52,18 @@
 //     literals and call results; inserting into a map or a
 //     commutative integer accumulation (+=, |=, &=, ^=, *=) drops it,
 //     and any object ever passed to a sort function counts as ordered.
+//   - Lock classes are type-keyed, not instance-keyed: every value of
+//     a type shares one class per mutex field (the module never locks
+//     two instances of one type against each other), package-level
+//     mutexes are keyed by variable, and function-local mutexes by
+//     declaration line so capturing closures agree. The held set is
+//     tracked in syntactic statement order — branch-insensitive, like
+//     every other fact here — TryLock is ignored, and a mutex behind
+//     an interface or an unnamed struct type is unclassifiable and
+//     dropped. Blocking facts treat a send on a channel whose every
+//     source is a recorded make(chan T, n) as non-blocking, a select
+//     as blocking only without a default clause, and goroutine bodies
+//     as inheriting none of the spawner's locks.
 package flow
 
 import (
@@ -251,6 +270,21 @@ type Summary struct {
 	// and join facts callers inherit.
 	Signals []Signal
 	Joins   []Join
+	// LockAcquires maps each mutex class the function (or any callee)
+	// acquires to its acquisition sites, RLock mode preserved.
+	LockAcquires map[LockClass][]LockSite
+	// ExitHeld are locks still held when the function returns (the
+	// lock-helper half of a lock()/unlock() pair); deferred unlocks
+	// cancel the escape.
+	ExitHeld []HeldLock
+	// ExitReleased are locks released without a matching acquisition in
+	// this frame (the unlock-helper half); callers fold them as
+	// releases at the call site.
+	ExitReleased []HeldLock
+	// Blocking are the sites where the function (or any callee) can
+	// block: channel operations, selects without default, WaitGroup
+	// waits, solver entries, and blocking externals.
+	Blocking []Site
 }
 
 // Node is one function-shaped unit in the graph: a declaration or a
@@ -285,6 +319,18 @@ type Node struct {
 	// make(chan T, n): sends on them do not block the sender (the
 	// engine treats any two-argument make as buffered).
 	Buffered map[types.Object]bool
+	// LockEdges are this frame's lock-order edges: To acquired while
+	// From held, including acquisitions folded in from callees.
+	LockEdges []LockEdge
+	// FieldAccesses are the frame's reads/writes of internal struct
+	// fields, each with the held-lock set at the access.
+	FieldAccesses []FieldAccess
+	// HeldBlocks are potentially blocking operations executed while a
+	// lock was held.
+	HeldBlocks []HeldBlock
+	// LockedCalls are the frame's static internal call sites with the
+	// held set at each (go-spawned bodies recorded with an empty set).
+	LockedCalls []LockedCall
 
 	params    []types.Object // receiver-first parameter objects
 	body      *ast.BlockStmt
@@ -551,7 +597,11 @@ func summaryEqual(a, b *Summary) bool {
 		len(a.UnorderedResults) != len(b.UnorderedResults) ||
 		len(a.ParamFlows) != len(b.ParamFlows) ||
 		len(a.Signals) != len(b.Signals) ||
-		len(a.Joins) != len(b.Joins) {
+		len(a.Joins) != len(b.Joins) ||
+		len(a.LockAcquires) != len(b.LockAcquires) ||
+		len(a.ExitHeld) != len(b.ExitHeld) ||
+		len(a.ExitReleased) != len(b.ExitReleased) ||
+		len(a.Blocking) != len(b.Blocking) {
 		return false
 	}
 	for k, v := range a.ParamWrites {
@@ -576,6 +626,11 @@ func summaryEqual(a, b *Summary) bool {
 	}
 	for k, v := range a.ParamFlows {
 		if len(b.ParamFlows[k]) != len(v) {
+			return false
+		}
+	}
+	for k, v := range a.LockAcquires {
+		if len(b.LockAcquires[k]) != len(v) {
 			return false
 		}
 	}

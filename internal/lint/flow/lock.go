@@ -1,0 +1,394 @@
+// Lock facts: which mutexes a function acquires and releases, which
+// struct fields it touches under which locks, where it blocks while
+// holding a lock, and the acquisition edges feeding the module-wide
+// lock-order graph. Computed inside the same fixed point as the write
+// and goroutine facts, so a lock taken three calls and two packages
+// away still counts at the function an analyzer looks at.
+
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockClass canonically names one mutex across the module:
+//
+//   - "pkgpath.Type.field" for a mutex-typed struct field — type-keyed,
+//     so every instance of the type shares the class (the module never
+//     locks two instances of one type against each other);
+//   - "pkgpath.Var" for a package-level mutex, including the embedded
+//     mutex of a global registry struct;
+//   - "pkgpath.name@L<line>" for a function-local mutex, keyed by its
+//     declaration line so a closure capturing it shares the class.
+type LockClass string
+
+// HeldLock is one entry of a frame's held-lock set.
+type HeldLock struct {
+	Class LockClass
+	// Read marks an RLock-mode hold; a write-mode hold covers reads.
+	Read bool
+}
+
+// LockSite is one acquisition of a lock class.
+type LockSite struct {
+	Pos  token.Pos
+	Desc string
+	Read bool
+}
+
+// LockEdge records that To was acquired while From was held. A
+// From==To edge is a re-entrant acquisition of a non-reentrant mutex:
+// self-deadlock.
+type LockEdge struct {
+	From, To LockClass
+	Pos      token.Pos
+	Desc     string
+}
+
+// FieldAccess is one read or write of a named struct field declared in
+// an internal package, with the lock set held at the access.
+type FieldAccess struct {
+	// Field is "pkgpath.Type.field" of the accessed field.
+	Field string
+	// TypePkg is the package path of the field's own named type ("" for
+	// basic and unnamed types); analyzers exempt sync/atomic and obs
+	// field types by it.
+	TypePkg string
+	Write   bool
+	Held    []HeldLock
+	Pos     token.Pos
+}
+
+// HeldBlock is one potentially blocking operation executed while at
+// least one mutex was held.
+type HeldBlock struct {
+	Pos  token.Pos
+	Desc string
+	Held []HeldLock
+}
+
+// LockedCall is one static call to an internal function, with the
+// caller's held set at the site. The guardedby analyzer intersects
+// these per callee to learn which locks are always held on entry;
+// go-spawned bodies are recorded with an empty held set (the goroutine
+// does not inherit the spawner's locks).
+type LockedCall struct {
+	Callee string
+	Held   []HeldLock
+	Pos    token.Pos
+}
+
+// heldEntry is one stack entry of the evaluator's held-lock set.
+type heldEntry struct {
+	lock HeldLock
+	// deferRelease marks the lock as released by a deferred unlock: it
+	// stays held to the end of the frame but does not escape it.
+	deferRelease bool
+}
+
+// mutexMethod classifies fn as one of the lock-vocabulary methods on
+// sync.Mutex or sync.RWMutex. TryLock/TryRLock are deliberately not
+// recognized: a failed try acquires nothing, and the module never uses
+// them.
+func mutexMethod(fn *types.Func) (op string, ok bool) {
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	p, n, named := namedTypeOf(sig.Recv().Type())
+	if !named || p != "sync" {
+		return "", false
+	}
+	if n != "Mutex" && n != "RWMutex" {
+		return "", false
+	}
+	if n == "Mutex" && (fn.Name() == "RLock" || fn.Name() == "RUnlock") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// lockClassOf resolves the receiver expression of a mutex operation to
+// its canonical class. Unclassifiable receivers (a mutex behind an
+// interface, a field of an unnamed struct type) yield ok=false and the
+// operation is dropped — a documented approximation.
+func (p *evalPass) lockClassOf(e ast.Expr) (LockClass, bool) {
+	e = unparen(e)
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return p.lockClassOf(v.X)
+		}
+	case *ast.StarExpr:
+		return p.lockClassOf(v.X)
+	case *ast.SelectorExpr:
+		if obj := p.qualifiedGlobal(v); obj != nil {
+			return LockClass(globalRef(obj)), true
+		}
+		sel, ok := p.n.Unit.Info.Selections[v]
+		if !ok || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		if pkg, name, ok := namedTypeOf(p.typeOf(v.X)); ok && pkg != "" {
+			return LockClass(pkg + "." + name + "." + v.Sel.Name), true
+		}
+	case *ast.Ident:
+		obj := p.objectOf(v)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return "", false
+		}
+		if isGlobalVar(obj) {
+			return LockClass(globalRef(obj)), true
+		}
+		line := p.g.fset.Position(obj.Pos()).Line
+		return LockClass(p.n.Unit.Path + "." + v.Name + "@L" + strconv.Itoa(line)), true
+	}
+	return "", false
+}
+
+// heldSnapshot copies the current held set for a collected fact.
+func (p *evalPass) heldSnapshot() []HeldLock {
+	if len(p.held) == 0 {
+		return nil
+	}
+	out := make([]HeldLock, len(p.held))
+	for i, h := range p.held {
+		out[i] = h.lock
+	}
+	return out
+}
+
+// lockAcquire pushes a lock onto the held set, records the acquisition
+// site in the summary, and emits a lock-order edge for every lock
+// already held (including re-entrant self-edges).
+func (p *evalPass) lockAcquire(class LockClass, read bool, pos token.Pos, desc string) {
+	if p.collect {
+		for _, h := range p.held {
+			p.addLockEdge(LockEdge{From: h.lock.Class, To: class, Pos: pos, Desc: desc})
+		}
+	}
+	p.held = append(p.held, heldEntry{lock: HeldLock{Class: class, Read: read}})
+	p.addLockSite(class, LockSite{Pos: pos, Desc: desc, Read: read})
+}
+
+// lockRelease pops the most recent live hold of the class. A deferred
+// release keeps the lock held to the end of the frame but cancels its
+// escape. Releasing a lock this frame never acquired is the
+// unlock-helper pattern: it surfaces in ExitReleased and callers fold
+// it as a release at the call site.
+func (p *evalPass) lockRelease(hl HeldLock, deferred bool) {
+	for i := len(p.held) - 1; i >= 0; i-- {
+		h := &p.held[i]
+		if h.lock.Class != hl.Class || h.deferRelease {
+			continue
+		}
+		if deferred {
+			h.deferRelease = true
+		} else {
+			p.held = append(p.held[:i], p.held[i+1:]...)
+		}
+		return
+	}
+	p.sum.ExitReleased = addHeldLock(p.sum.ExitReleased, hl)
+}
+
+// addLockSite records one acquisition of class in the summary, bounded
+// and position-deduplicated like every other site list.
+func (p *evalPass) addLockSite(class LockClass, site LockSite) {
+	list := p.sum.LockAcquires[class]
+	for _, have := range list {
+		if have.Pos == site.Pos {
+			return
+		}
+	}
+	if len(list) >= maxSites {
+		return
+	}
+	p.sum.LockAcquires[class] = append(list, site)
+}
+
+func (p *evalPass) addLockEdge(e LockEdge) {
+	for _, have := range p.lockEdges {
+		if have.From == e.From && have.To == e.To && have.Pos == e.Pos {
+			return
+		}
+	}
+	p.lockEdges = append(p.lockEdges, e)
+}
+
+// sortedLockClasses returns the map's keys in deterministic order.
+func sortedLockClasses(m map[LockClass][]LockSite) []LockClass {
+	out := make([]LockClass, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addHeldLock appends hl if absent, bounded by maxSites.
+func addHeldLock(list []HeldLock, hl HeldLock) []HeldLock {
+	for _, have := range list {
+		if have == hl {
+			return list
+		}
+	}
+	if len(list) >= maxSites {
+		return list
+	}
+	return append(list, hl)
+}
+
+// addBlocking records a potentially blocking operation: into the
+// summary (so callers inherit it) and, when a lock is held, as a
+// HeldBlock fact at this site. One fact per position; the first
+// description wins.
+func (p *evalPass) addBlocking(site Site) {
+	if p.collect && len(p.held) > 0 {
+		dup := false
+		for _, have := range p.heldBlocks {
+			if have.Pos == site.Pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.heldBlocks = append(p.heldBlocks, HeldBlock{
+				Pos:  site.Pos,
+				Desc: site.Desc,
+				Held: p.heldSnapshot(),
+			})
+		}
+	}
+	p.sum.Blocking = addSite(p.sum.Blocking, site)
+}
+
+// recordFieldAccess tracks one read or write of a named struct field
+// declared in an internal package, with the held-lock set at the
+// access. Only the collect pass records accesses; guard inference is
+// an analyzer-side computation over the converged facts.
+func (p *evalPass) recordFieldAccess(sel *ast.SelectorExpr, write bool) {
+	if !p.collect {
+		return
+	}
+	s, ok := p.n.Unit.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	ownerPkg, ownerName, ok := namedTypeOf(p.typeOf(sel.X))
+	if !ok || !p.g.internal[ownerPkg] {
+		return
+	}
+	typePkg := ""
+	if ft := p.typeOf(sel); ft != nil {
+		if pkg, _, ok := namedTypeOf(ft); ok {
+			typePkg = pkg
+		}
+	}
+	p.fieldAccesses = append(p.fieldAccesses, FieldAccess{
+		Field:   ownerPkg + "." + ownerName + "." + sel.Sel.Name,
+		TypePkg: typePkg,
+		Write:   write,
+		Held:    p.heldSnapshot(),
+		Pos:     sel.Sel.Pos(),
+	})
+}
+
+// fieldSelIn unwraps an lvalue to the outermost field selector being
+// written through (s.f = x, s.f[i] = x, *s.f = x, s.f[i:j] …), or nil.
+func fieldSelIn(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// channelKnownBuffered reports whether every source of the channel
+// expression resolves to a make(chan T, n) recorded in this node or an
+// enclosing one — such sends never block the sender.
+func (p *evalPass) channelKnownBuffered(ch ast.Expr) bool {
+	srcs := p.exprAlias(ch)
+	if len(srcs) == 0 {
+		return false
+	}
+	for src := range srcs {
+		if src.Obj == nil || !p.bufferedObj(src.Obj) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *evalPass) bufferedObj(obj types.Object) bool {
+	for n := p.n; n != nil; n = n.Encloser {
+		if n.Buffered[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// isSolverEntryKey matches the placement-solver entry points the
+// holdblock analyzer treats as blocking by definition: a full solve
+// can run for seconds and must never happen under a service lock.
+func isSolverEntryKey(key string) bool {
+	if !strings.HasSuffix(key, ".Solve") {
+		return false
+	}
+	return strings.Contains(key, "internal/placement.") || strings.Contains(key, ".Problem.")
+}
+
+// isBlockingExternal reports whether an external (stdlib) call can
+// block: time.Sleep, the fmt/bufio writers, and anything touching the
+// network, the OS, or file handles. Mutex acquisition is deliberately
+// not listed — waiting on a lock is lockorder's domain, not
+// holdblock's.
+func isBlockingExternal(id string) bool {
+	id = strings.TrimPrefix(id, "*")
+	switch id {
+	case "time.Sleep", "sync.WaitGroup.Wait":
+		return true
+	}
+	if strings.HasPrefix(id, "fmt.Fprint") {
+		return true
+	}
+	for _, pfx := range []string{"net.", "net/http.", "os/exec.", "os.File.", "bufio."} {
+		if strings.HasPrefix(id, pfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBlockingIface reports whether an interface-method call is treated
+// as blocking I/O (the io reader/writer vocabulary).
+func isBlockingIface(id string) bool {
+	switch id {
+	case "io.Writer.Write", "io.Reader.Read", "io.Closer.Close",
+		"net/http.ResponseWriter.Write":
+		return true
+	}
+	return false
+}

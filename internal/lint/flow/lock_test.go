@@ -1,0 +1,322 @@
+package flow
+
+import (
+	"testing"
+)
+
+func heldClasses(hs []HeldLock) []LockClass {
+	var out []LockClass
+	for _, h := range hs {
+		out = append(out, h.Class)
+	}
+	return out
+}
+
+func TestLockAcquiresAndDeferredUnlock(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/lk", `package lk
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func (s *S) Inc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+func (s *S) lock() { s.mu.Lock() }
+func (s *S) Pair() {
+	s.lock()
+	s.n = 2
+	s.mu.Unlock()
+}
+`})
+	inc := node(t, g, "fake/lk.S.Inc")
+	if len(inc.Sum.LockAcquires["fake/lk.S.mu"]) == 0 {
+		t.Fatalf("Inc should acquire fake/lk.S.mu: %+v", inc.Sum.LockAcquires)
+	}
+	if len(inc.Sum.ExitHeld) != 0 {
+		t.Fatalf("deferred unlock must cancel the escape: %+v", inc.Sum.ExitHeld)
+	}
+	// The lock()-helper leaves the mutex held on exit.
+	lock := node(t, g, "fake/lk.S.lock")
+	if len(lock.Sum.ExitHeld) != 1 || lock.Sum.ExitHeld[0].Class != "fake/lk.S.mu" {
+		t.Fatalf("lock helper should exit holding the mutex: %+v", lock.Sum.ExitHeld)
+	}
+	// Pair folds the helper's exit-held lock and the write lands under
+	// it.
+	pair := node(t, g, "fake/lk.S.Pair")
+	var heldWrite bool
+	for _, a := range pair.FieldAccesses {
+		if a.Field == "fake/lk.S.n" && a.Write && len(a.Held) == 1 {
+			heldWrite = true
+		}
+	}
+	if !heldWrite {
+		t.Fatalf("write after lock() helper should be held: %+v", pair.FieldAccesses)
+	}
+	if len(pair.Sum.ExitHeld) != 0 {
+		t.Fatalf("Pair releases before returning: %+v", pair.Sum.ExitHeld)
+	}
+}
+
+func TestRLockModeAndFieldAccessHeldSets(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/rw", `package rw
+import "sync"
+type M struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+func (x *M) Get(k string) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.m[k]
+}
+func (x *M) Peek(k string) int { return x.m[k] }
+func (x *M) Del(k string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.m, k)
+}
+`})
+	get := node(t, g, "fake/rw.M.Get")
+	sites := get.Sum.LockAcquires["fake/rw.M.mu"]
+	if len(sites) == 0 || !sites[0].Read {
+		t.Fatalf("Get should read-acquire: %+v", sites)
+	}
+	var read *FieldAccess
+	for i, a := range get.FieldAccesses {
+		if a.Field == "fake/rw.M.m" {
+			read = &get.FieldAccesses[i]
+		}
+	}
+	if read == nil || len(read.Held) != 1 || !read.Held[0].Read {
+		t.Fatalf("map read should be under the read lock: %+v", get.FieldAccesses)
+	}
+	peek := node(t, g, "fake/rw.M.Peek")
+	for _, a := range peek.FieldAccesses {
+		if a.Field == "fake/rw.M.m" && len(a.Held) != 0 {
+			t.Fatalf("Peek holds nothing: %+v", a)
+		}
+	}
+	del := node(t, g, "fake/rw.M.Del")
+	var delWrite bool
+	for _, a := range del.FieldAccesses {
+		if a.Field == "fake/rw.M.m" && a.Write && len(a.Held) == 1 && !a.Held[0].Read {
+			delWrite = true
+		}
+	}
+	if !delWrite {
+		t.Fatalf("delete() should record a held map write: %+v", del.FieldAccesses)
+	}
+}
+
+func TestLockOrderEdgesCrossPackageAndSelfEdge(t *testing.T) {
+	g := analyze(t,
+		srcPkg{"fake/la", `package la
+import "sync"
+type Pair struct {
+	M1 sync.Mutex
+	M2 sync.Mutex
+}
+func Fwd(p *Pair) {
+	p.M1.Lock()
+	p.M2.Lock()
+	p.M2.Unlock()
+	p.M1.Unlock()
+}
+func reacquire(p *Pair) { p.M1.Lock() }
+func Self(p *Pair) {
+	p.M1.Lock()
+	reacquire(p)
+}
+`},
+		srcPkg{"fake/lb", `package lb
+import "fake/la"
+func Rev(p *la.Pair) {
+	p.M2.Lock()
+	la.Fwd(p)
+	p.M2.Unlock()
+}
+`},
+	)
+	fwd := node(t, g, "fake/la.Fwd")
+	if len(fwd.LockEdges) != 1 || fwd.LockEdges[0].From != "fake/la.Pair.M1" || fwd.LockEdges[0].To != "fake/la.Pair.M2" {
+		t.Fatalf("Fwd edge M1→M2 missed: %+v", fwd.LockEdges)
+	}
+	// Rev holds M2 and calls Fwd, which acquires both: edges M2→M1 and
+	// M2→M2 (the latter a real re-entrant hazard through the call).
+	rev := node(t, g, "fake/lb.Rev")
+	var m2m1 bool
+	for _, e := range rev.LockEdges {
+		if e.From == "fake/la.Pair.M2" && e.To == "fake/la.Pair.M1" {
+			m2m1 = true
+		}
+	}
+	if !m2m1 {
+		t.Fatalf("cross-package edge M2→M1 missed: %+v", rev.LockEdges)
+	}
+	self := node(t, g, "fake/la.Self")
+	var selfEdge bool
+	for _, e := range self.LockEdges {
+		if e.From == "fake/la.Pair.M1" && e.To == "fake/la.Pair.M1" {
+			selfEdge = true
+		}
+	}
+	if !selfEdge {
+		t.Fatalf("re-entrant self edge through helper missed: %+v", self.LockEdges)
+	}
+}
+
+func TestHeldBlocksAndSanctionedNonBlocking(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/hb", `package hb
+import "sync"
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+func Bad(q *Q) {
+	q.mu.Lock()
+	<-q.ch
+	q.mu.Unlock()
+}
+func TryOK(q *Q) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+func BufferedOK() {
+	var mu sync.Mutex
+	done := make(chan int, 4)
+	mu.Lock()
+	done <- 1
+	mu.Unlock()
+}
+func WaitBad(q *Q, wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait()
+	q.mu.Unlock()
+}
+`})
+	bad := node(t, g, "fake/hb.Bad")
+	if len(bad.HeldBlocks) != 1 || len(bad.HeldBlocks[0].Held) != 1 {
+		t.Fatalf("receive under lock missed: %+v", bad.HeldBlocks)
+	}
+	try := node(t, g, "fake/hb.TryOK")
+	if len(try.HeldBlocks) != 0 {
+		t.Fatalf("select with default must not block: %+v", try.HeldBlocks)
+	}
+	buf := node(t, g, "fake/hb.BufferedOK")
+	if len(buf.HeldBlocks) != 0 {
+		t.Fatalf("buffered send must not block: %+v", buf.HeldBlocks)
+	}
+	wb := node(t, g, "fake/hb.WaitBad")
+	if len(wb.HeldBlocks) != 1 {
+		t.Fatalf("WaitGroup.Wait under lock missed: %+v", wb.HeldBlocks)
+	}
+}
+
+func TestBlockingPropagatesAndGoroutineDropsLocks(t *testing.T) {
+	g := analyze(t,
+		srcPkg{"fake/bp", `package bp
+type C struct{ ch chan int }
+func Recv(c *C) { <-c.ch }
+`},
+		srcPkg{"fake/bq", `package bq
+import (
+	"sync"
+	"fake/bp"
+)
+type W struct {
+	mu sync.Mutex
+}
+func Bad(w *W, c *bp.C) {
+	w.mu.Lock()
+	bp.Recv(c)
+	w.mu.Unlock()
+}
+func SpawnOK(w *W, c *bp.C) {
+	w.mu.Lock()
+	go bp.Recv(c)
+	w.mu.Unlock()
+}
+`},
+	)
+	bad := node(t, g, "fake/bq.Bad")
+	if len(bad.HeldBlocks) != 1 {
+		t.Fatalf("cross-package blocking callee missed: %+v", bad.HeldBlocks)
+	}
+	ok := node(t, g, "fake/bq.SpawnOK")
+	if len(ok.HeldBlocks) != 0 {
+		t.Fatalf("go'd callee must not block the spawner: %+v", ok.HeldBlocks)
+	}
+	// The spawn's locked-call edge carries an empty held set.
+	for _, lc := range ok.LockedCalls {
+		if lc.Callee == "fake/bp.Recv" && len(lc.Held) != 0 {
+			t.Fatalf("spawned callee must have an empty held set: %+v", lc)
+		}
+	}
+}
+
+func TestClosureCapturedMutexSharesClass(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/cm", `package cm
+import "sync"
+type Agg struct{ N int }
+func Run(a *Agg) {
+	var mu sync.Mutex
+	f := func() {
+		mu.Lock()
+		a.N++
+		mu.Unlock()
+	}
+	mu.Lock()
+	a.N = 0
+	mu.Unlock()
+	f()
+}
+`})
+	run := node(t, g, "fake/cm.Run")
+	lit := node(t, g, "fake/cm.Run$1")
+	var runClass, litClass LockClass
+	for c := range run.Sum.LockAcquires {
+		runClass = c
+	}
+	for c := range lit.Sum.LockAcquires {
+		litClass = c
+	}
+	if runClass == "" || runClass != litClass {
+		t.Fatalf("captured local mutex must share its class: %q vs %q", runClass, litClass)
+	}
+	for _, a := range lit.FieldAccesses {
+		if a.Field == "fake/cm.Agg.N" && len(heldClasses(a.Held)) != 1 {
+			t.Fatalf("closure increment should be held: %+v", a)
+		}
+	}
+}
+
+func TestGlobalEmbeddedMutexClass(t *testing.T) {
+	g := analyze(t, srcPkg{"fake/reg2", `package reg2
+import "sync"
+var registry = struct {
+	sync.RWMutex
+	m map[string]int
+}{m: map[string]int{}}
+func Register(k string, v int) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.m[k] = v
+}
+`})
+	reg := node(t, g, "fake/reg2.Register")
+	if len(reg.Sum.LockAcquires["fake/reg2.registry"]) == 0 {
+		t.Fatalf("embedded global mutex class missed: %+v", reg.Sum.LockAcquires)
+	}
+	if len(reg.Sum.ExitHeld) != 0 {
+		t.Fatalf("deferred unlock should cancel the escape: %+v", reg.Sum.ExitHeld)
+	}
+}

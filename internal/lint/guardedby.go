@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdmd/internal/lint/flow"
+)
+
+// AnalyzerGuardedBy infers, for every struct field declared in a
+// module package, which mutex guards it — by majority of accesses: a
+// lock that is held at two or more accesses and at a strict majority
+// of them is the field's guard — and flags every access (any package,
+// any call depth) that touches the field without holding the inferred
+// lock, plus writes that hold an RWMutex guard only in read mode.
+//
+// Sanctioned escapes, so the sanctioned concurrency vocabulary never
+// needs a guard: fields whose own type lives in sync, sync/atomic, or
+// internal/obs (atomics and metric handles synchronize themselves),
+// and accesses inside constructor functions (New*/new* — the struct is
+// not published yet). The held set at an access includes locks the
+// enclosing function is proven to always hold on entry (a must-
+// intersection over every static call site), so a locked helper like
+// "caller holds the lock" eviction methods are not false positives.
+var AnalyzerGuardedBy = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "struct fields guarded by a mutex at a majority of accesses must hold it at every access",
+	RunModule: runGuardedBy,
+}
+
+// guardInfo is one field's inference result.
+type guardInfo struct {
+	guard flow.LockClass
+	held  int // accesses holding the guard
+	total int // non-exempt accesses
+}
+
+// gbAccess is one deduplicated field access with its effective lock
+// context.
+type gbAccess struct {
+	node  *flow.Node
+	acc   flow.FieldAccess
+	ctor  bool
+	write bool
+}
+
+func runGuardedBy(pkgs []*Package, g *flow.Graph) []Finding {
+	always := alwaysHeldAtEntry(g)
+	accesses := gatherFieldAccesses(g)
+	guards := inferGuards(accesses, always)
+
+	var out []Finding
+	fset := g.Fset()
+	for _, field := range sortedKeys(guards) {
+		gi := guards[field]
+		for _, a := range accesses[field] {
+			if a.ctor {
+				continue
+			}
+			mode, heldAtAll := effectiveHeld(a, always)[gi.guard]
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			switch {
+			case !heldAtAll:
+				out = append(out, Finding{
+					Analyzer: "guardedby",
+					Pos:      fset.Position(a.acc.Pos),
+					Message: fmt.Sprintf("%s of %s without %s (guard inferred from %d/%d accesses holding it)",
+						kind, field, gi.guard, gi.held, gi.total),
+				})
+			case a.write && mode == readHeld:
+				out = append(out, Finding{
+					Analyzer: "guardedby",
+					Pos:      fset.Position(a.acc.Pos),
+					Message: fmt.Sprintf("write to %s holds guard %s only in read (RLock) mode",
+						field, gi.guard),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// InferredGuards exposes the analyzer's field→guard inference for
+// engine-level tests and tooling: a map from canonical field path
+// ("pkg.Type.field") to the lock class guarding it.
+func InferredGuards(pkgs []*Package, g *flow.Graph) map[string]string {
+	always := alwaysHeldAtEntry(g)
+	accesses := gatherFieldAccesses(g)
+	out := make(map[string]string)
+	for field, gi := range inferGuards(accesses, always) {
+		out[field] = string(gi.guard)
+	}
+	return out
+}
+
+// gatherFieldAccesses collects every recorded field access, exempt
+// field types dropped, deduplicated by position (an assignment records
+// the selector as both read and write at one position; the write
+// wins).
+func gatherFieldAccesses(g *flow.Graph) map[string][]gbAccess {
+	type posKey struct {
+		field string
+		pos   int
+	}
+	index := make(map[posKey]int)
+	perField := make(map[string][]gbAccess)
+	for _, n := range g.Nodes() {
+		ctor := constructorNode(n)
+		for _, acc := range n.FieldAccesses {
+			if exemptFieldTypePkg(acc.TypePkg) {
+				continue
+			}
+			k := posKey{acc.Field, int(acc.Pos)}
+			if i, ok := index[k]; ok {
+				if acc.Write {
+					perField[acc.Field][i].write = true
+				}
+				continue
+			}
+			perField[acc.Field] = append(perField[acc.Field], gbAccess{
+				node:  n,
+				acc:   acc,
+				ctor:  ctor,
+				write: acc.Write,
+			})
+			index[k] = len(perField[acc.Field]) - 1
+		}
+	}
+	return perField
+}
+
+// heldMode is how a lock is held at an access.
+type heldMode int
+
+const (
+	writeHeld heldMode = iota
+	readHeld
+)
+
+// effectiveHeld merges the access's own held set with the locks its
+// function always holds on entry (mode unknown there; write-mode is
+// assumed — a deliberate approximation).
+func effectiveHeld(a gbAccess, always map[string]map[flow.LockClass]bool) map[flow.LockClass]heldMode {
+	out := make(map[flow.LockClass]heldMode)
+	for _, h := range a.acc.Held {
+		mode := writeHeld
+		if h.Read {
+			mode = readHeld
+		}
+		if cur, ok := out[h.Class]; !ok || cur == readHeld {
+			out[h.Class] = mode
+		}
+	}
+	for c := range always[a.node.Key] {
+		if _, ok := out[c]; !ok {
+			out[c] = writeHeld
+		}
+	}
+	return out
+}
+
+// inferGuards picks each field's guard: the lock held at the most
+// non-constructor accesses, provided it is held at ≥2 of them and at a
+// strict majority. Mutex-typed fields themselves never get a guard
+// (their accesses are the locking vocabulary).
+func inferGuards(accesses map[string][]gbAccess, always map[string]map[flow.LockClass]bool) map[string]guardInfo {
+	out := make(map[string]guardInfo)
+	for field, list := range accesses {
+		counts := make(map[flow.LockClass]int)
+		total := 0
+		for _, a := range list {
+			if a.ctor {
+				continue
+			}
+			total++
+			for c := range effectiveHeld(a, always) {
+				counts[c]++
+			}
+		}
+		var best flow.LockClass
+		bestN := 0
+		for _, c := range sortedClasses(counts) {
+			if counts[c] > bestN {
+				best, bestN = c, counts[c]
+			}
+		}
+		if bestN >= 2 && bestN*2 > total {
+			out[field] = guardInfo{guard: best, held: bestN, total: total}
+		}
+	}
+	return out
+}
+
+// alwaysHeldAtEntry computes, per function, the set of lock classes
+// held at every static call site reaching it — a decreasing must-
+// intersection fixed point. Functions with no recorded internal call
+// site (exported entry points, go-spawned bodies, callbacks invoked
+// through function values) hold nothing on entry.
+func alwaysHeldAtEntry(g *flow.Graph) map[string]map[flow.LockClass]bool {
+	type callSite struct {
+		caller string
+		held   []flow.HeldLock
+	}
+	callers := make(map[string][]callSite)
+	universe := make(map[flow.LockClass]bool)
+	for _, n := range g.Nodes() {
+		for _, c := range n.LockedCalls {
+			callers[c.Callee] = append(callers[c.Callee], callSite{caller: n.Key, held: c.Held})
+			for _, h := range c.Held {
+				universe[h.Class] = true
+			}
+		}
+	}
+	result := make(map[string]map[flow.LockClass]bool, len(callers))
+	calleeKeys := make([]string, 0, len(callers))
+	for callee := range callers {
+		calleeKeys = append(calleeKeys, callee)
+		top := make(map[flow.LockClass]bool, len(universe))
+		for c := range universe {
+			top[c] = true
+		}
+		result[callee] = top
+	}
+	sort.Strings(calleeKeys)
+	for changed := true; changed; {
+		changed = false
+		for _, callee := range calleeKeys {
+			var meet map[flow.LockClass]bool
+			for _, s := range callers[callee] {
+				have := make(map[flow.LockClass]bool)
+				for _, h := range s.held {
+					have[h.Class] = true
+				}
+				for c := range result[s.caller] {
+					have[c] = true
+				}
+				if meet == nil {
+					meet = have
+					continue
+				}
+				for c := range meet {
+					if !have[c] {
+						delete(meet, c)
+					}
+				}
+			}
+			if len(meet) != len(result[callee]) {
+				result[callee] = meet
+				changed = true
+			}
+		}
+	}
+	return result
+}
+
+// constructorNode reports whether the node (or, for a literal, its
+// root declaration) is a constructor: the value under construction is
+// unpublished, so unguarded writes are sanctioned.
+func constructorNode(n *flow.Node) bool {
+	for x := n; x != nil; x = x.Encloser {
+		if x.Decl != nil {
+			name := x.Decl.Name.Name
+			return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+		}
+	}
+	return false
+}
+
+// exemptFieldTypePkg reports whether a field's own type makes it
+// self-synchronizing: sync primitives, atomics, and obs metric
+// handles.
+func exemptFieldTypePkg(pkg string) bool {
+	return pkg == "sync" || pkg == "sync/atomic" ||
+		strings.HasSuffix(pkg, "internal/obs")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedClasses(m map[flow.LockClass]int) []flow.LockClass {
+	out := make([]flow.LockClass, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

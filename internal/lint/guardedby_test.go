@@ -1,0 +1,220 @@
+package lint
+
+import "testing"
+
+// The store fixture: a mutex-guarded counter whose accesses hold the
+// lock everywhere except one cross-package reader.
+const gbStore = `package store
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	N  int
+}
+
+func (s *Store) Inc() {
+	s.mu.Lock()
+	s.N++
+	s.mu.Unlock()
+}
+
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.N
+}
+
+func (s *Store) Snapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.locked()
+}
+
+// locked is the "caller holds the lock" helper: every call site holds
+// mu, so its access counts as held via the entry intersection.
+func (s *Store) locked() int { return s.N }
+`
+
+func TestGuardedByFlagsCrossPackageUnlockedAccess(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/store", gbStore},
+		srcPkg{"tdmd/internal/use", `package use
+
+import "tdmd/internal/store"
+
+func Leak(s *store.Store) int { return s.N }
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 1)
+	if got := findings[0].Pos.Filename; got != "tdmd/internal/use/fixture.go" {
+		t.Fatalf("finding should land in the unlocked reader: %v", findings[0])
+	}
+}
+
+func TestGuardedByCleanWhenEveryAccessHolds(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/store", gbStore},
+		srcPkg{"tdmd/internal/use", `package use
+
+import "tdmd/internal/store"
+
+func Sum(s *store.Store) int { return s.Get() + s.Get() }
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 0)
+}
+
+func TestGuardedByLockedHelperAcrossPackagesIsClean(t *testing.T) {
+	// A cross-package helper that touches the field is clean as long as
+	// every call site holds the inferred guard.
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/core", `package core
+
+import "sync"
+
+type Box struct {
+	Mu sync.Mutex
+	V  int
+}
+`},
+		srcPkg{"tdmd/internal/help", `package help
+
+import "tdmd/internal/core"
+
+// Read is only ever called under b.Mu.
+func Read(b *core.Box) int { return b.V }
+`},
+		srcPkg{"tdmd/internal/api", `package api
+
+import (
+	"tdmd/internal/core"
+	"tdmd/internal/help"
+)
+
+func Get(b *core.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return help.Read(b)
+}
+
+func Set(b *core.Box, v int) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.V = v
+}
+
+func Bump(b *core.Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.V++
+}
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 0)
+}
+
+func TestGuardedByConstructorWritesSanctioned(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/cfg", `package cfg
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// NewReg writes the field before the value is published: sanctioned.
+func NewReg() *Reg {
+	r := &Reg{}
+	r.m = make(map[string]int)
+	r.m["init"] = 1
+	return r
+}
+
+func (r *Reg) Put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+func (r *Reg) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+func (r *Reg) Del(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, k)
+}
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 0)
+}
+
+func TestGuardedByWriteUnderReadLockFlagged(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/rw", `package rw
+
+import "sync"
+
+type T struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (t *T) Get() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+func (t *T) Set(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n = v
+}
+
+func (t *T) BadBump() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.n++
+}
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 1)
+}
+
+func TestGuardedByNoMajorityNoGuard(t *testing.T) {
+	// One held and one unheld access: no strict majority, no guard, no
+	// finding.
+	findings := runModuleOn(t, AnalyzerGuardedBy,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/half", `package half
+
+import "sync"
+
+type H struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (h *H) Locked() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+func (h *H) Unlocked() int { return h.n }
+`},
+	)
+	wantFindings(t, AnalyzerGuardedBy, findings, 0)
+}

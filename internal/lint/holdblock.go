@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"strings"
+
+	"tdmd/internal/lint/flow"
+)
+
+// AnalyzerHoldBlock flags operations that can block while a mutex is
+// held, anywhere in the module and at any call depth: channel sends
+// (unless the channel is provably buffered), receives, channel
+// ranges, selects without a default clause, sync.WaitGroup.Wait, any
+// placement-solver entry point (a full solve under a service lock
+// turns the lock into a seconds-long convoy), and blocking I/O per
+// the external model (fmt.Fprint*, net/http, os, bufio, io.Writer/
+// io.Reader interface calls). Waiting on another mutex is deliberately
+// out of scope — that is lockorder's domain.
+var AnalyzerHoldBlock = &Analyzer{
+	Name:      "holdblock",
+	Doc:       "no blocking operation (channel op, select without default, WaitGroup.Wait, solver entry, I/O) while a mutex is held",
+	RunModule: runHoldBlock,
+}
+
+func runHoldBlock(pkgs []*Package, g *flow.Graph) []Finding {
+	fset := g.Fset()
+	var out []Finding
+	for _, n := range g.Nodes() {
+		for _, hb := range n.HeldBlocks {
+			classes := make([]string, 0, len(hb.Held))
+			for _, h := range hb.Held {
+				c := string(h.Class)
+				if h.Read {
+					c += " (read)"
+				}
+				classes = append(classes, c)
+			}
+			out = append(out, Finding{
+				Analyzer: "holdblock",
+				Pos:      fset.Position(hb.Pos),
+				Message: "blocking operation (" + hb.Desc + ") while holding " +
+					strings.Join(classes, ", "),
+			})
+		}
+	}
+	return out
+}

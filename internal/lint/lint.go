@@ -31,7 +31,7 @@
 //     concatenation, interface boxing, closures, variadic argument
 //     slices — and no integer-keyed map indexing.
 //
-// Three analyzers are interprocedural, built on the fixed-point
+// Seven analyzers are interprocedural, built on the fixed-point
 // summary engine in internal/lint/flow, and see the whole package set
 // at once:
 //
@@ -48,7 +48,17 @@
 //     cancellation branch;
 //   - mapstate: map-keyed state on the simulation/solver structs must
 //     not be read anywhere reachable from a `//tdmd:hot` region — IDs
-//     are dense integers, so hot state belongs in flat slices.
+//     are dense integers, so hot state belongs in flat slices;
+//   - guardedby: a field whose accesses hold one mutex at a strict
+//     majority of sites is guarded by it, and every access must hold
+//     it (sync/atomic, obs-typed fields and constructor writes are
+//     sanctioned escapes);
+//   - lockorder: the module-wide lock-order graph must stay acyclic,
+//     and no mutex may be acquired while already in the held set
+//     (self-deadlock through a helper);
+//   - holdblock: no channel operation, default-less select,
+//     WaitGroup.Wait, solver entry, or blocking I/O while a mutex is
+//     held.
 //
 // A third allocation-discipline layer — the compiler's own escape
 // analysis and inlining decisions, diffed against a checked-in
@@ -153,6 +163,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerDetOrder,
 		AnalyzerGoLeak,
 		AnalyzerMapState,
+		AnalyzerGuardedBy,
+		AnalyzerLockOrder,
+		AnalyzerHoldBlock,
 	}
 }
 
@@ -202,6 +215,13 @@ func SortFindings(out []Finding) {
 		return a.Message < b.Message
 	})
 }
+
+// BuildGraph runs the interprocedural engine over the loaded packages
+// and returns the converged summary graph. Run builds the same graph
+// internally; tooling that needs the graph itself (the tdmdlint
+// -lockgraph DOT dump, engine-level tests over InferredGuards) calls
+// this directly.
+func BuildGraph(pkgs []*Package) *flow.Graph { return buildFlowGraph(pkgs) }
 
 // buildFlowGraph runs the interprocedural engine over the loaded
 // packages.

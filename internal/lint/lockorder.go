@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"tdmd/internal/lint/flow"
+)
+
+// AnalyzerLockOrder builds the module-wide lock-order graph — an edge
+// A→B for every site where B is acquired while A is held, including
+// acquisitions folded in from callees across packages — and flags two
+// deadlock shapes: a cycle among distinct lock classes (two paths
+// acquiring the same pair of locks in opposite orders can deadlock
+// against each other), and a self-edge (acquiring a mutex already in
+// the held set; Go mutexes are non-reentrant, so a helper that
+// re-locks what its caller holds self-deadlocks every time).
+var AnalyzerLockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the module-wide lock-order graph must be acyclic and no mutex may be re-acquired while held",
+	RunModule: runLockOrder,
+}
+
+// lockOrderEdge is one deduplicated edge of the module lock graph.
+type lockOrderEdge struct {
+	From, To flow.LockClass
+	Pos      token.Pos
+	Desc     string
+}
+
+func runLockOrder(pkgs []*Package, g *flow.Graph) []Finding {
+	edges := moduleLockEdges(g)
+	fset := g.Fset()
+	var out []Finding
+
+	adj := make(map[flow.LockClass][]flow.LockClass)
+	byPair := make(map[[2]flow.LockClass]lockOrderEdge)
+	for _, e := range edges {
+		if e.From == e.To {
+			msg := "mutex " + string(e.From) + " acquired while already held (non-reentrant: self-deadlock)"
+			if e.Desc != "" {
+				msg += " — " + e.Desc
+			}
+			out = append(out, Finding{
+				Analyzer: "lockorder",
+				Pos:      fset.Position(e.Pos),
+				Message:  msg,
+			})
+			continue
+		}
+		pair := [2]flow.LockClass{e.From, e.To}
+		if _, ok := byPair[pair]; !ok {
+			byPair[pair] = e
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+
+	for _, cycle := range lockCycles(adj) {
+		first := byPair[[2]flow.LockClass{cycle[0], cycle[1]}]
+		names := make([]string, 0, len(cycle))
+		for _, c := range cycle {
+			names = append(names, string(c))
+		}
+		out = append(out, Finding{
+			Analyzer: "lockorder",
+			Pos:      fset.Position(first.Pos),
+			Message: "lock-order cycle: " + strings.Join(names, " → ") + " → " + names[0] +
+				" (opposite acquisition orders can deadlock; pick one order module-wide)",
+		})
+	}
+	return out
+}
+
+// moduleLockEdges unions every node's lock-order edges, deduplicated
+// by (from, to, position), in deterministic node order.
+func moduleLockEdges(g *flow.Graph) []lockOrderEdge {
+	type key struct {
+		from, to flow.LockClass
+		pos      token.Pos
+	}
+	seen := make(map[key]bool)
+	var out []lockOrderEdge
+	for _, n := range g.Nodes() {
+		for _, e := range n.LockEdges {
+			k := key{e.From, e.To, e.Pos}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, lockOrderEdge{From: e.From, To: e.To, Pos: e.Pos, Desc: e.Desc})
+		}
+	}
+	return out
+}
+
+// LockOrderEdges exposes the deduplicated module lock-order graph for
+// tooling (the tdmdlint -lockgraph DOT dump): one edge per (from, to)
+// pair, position-resolved, sorted by (from, to).
+func LockOrderEdges(g *flow.Graph) []struct {
+	From, To string
+	Pos      token.Position
+} {
+	byPair := make(map[[2]flow.LockClass]token.Pos)
+	for _, e := range moduleLockEdges(g) {
+		pair := [2]flow.LockClass{e.From, e.To}
+		if _, ok := byPair[pair]; !ok {
+			byPair[pair] = e.Pos
+		}
+	}
+	pairs := make([][2]flow.LockClass, 0, len(byPair))
+	for p := range byPair {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	out := make([]struct {
+		From, To string
+		Pos      token.Position
+	}, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, struct {
+			From, To string
+			Pos      token.Position
+		}{From: string(p[0]), To: string(p[1]), Pos: g.Fset().Position(byPair[p])})
+	}
+	return out
+}
+
+// lockCycles finds one representative cycle per strongly connected
+// component of size >1 (deterministic: nodes and neighbors visited in
+// sorted order). Reporting one cycle per component keeps the output
+// stable while still failing the build until the component is broken.
+func lockCycles(adj map[flow.LockClass][]flow.LockClass) [][]flow.LockClass {
+	nodes := make([]flow.LockClass, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		ns := adj[n]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+
+	// Tarjan's SCC, iterative enough for our graph sizes via recursion.
+	index := make(map[flow.LockClass]int)
+	low := make(map[flow.LockClass]int)
+	onStack := make(map[flow.LockClass]bool)
+	var stack []flow.LockClass
+	next := 0
+	var sccs [][]flow.LockClass
+
+	var strongconnect func(v flow.LockClass)
+	strongconnect = func(v flow.LockClass) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []flow.LockClass
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	// Render each component as a concrete cycle starting from its
+	// smallest member, following sorted adjacency within the component.
+	var out [][]flow.LockClass
+	for _, comp := range sccs {
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		inComp := make(map[flow.LockClass]bool, len(comp))
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		cycle := []flow.LockClass{comp[0]}
+		visited := map[flow.LockClass]bool{comp[0]: true}
+		cur := comp[0]
+		for {
+			var nxt flow.LockClass
+			found := false
+			for _, w := range adj[cur] {
+				if inComp[w] {
+					nxt = w
+					found = true
+					break
+				}
+			}
+			if !found || nxt == comp[0] || visited[nxt] {
+				break
+			}
+			cycle = append(cycle, nxt)
+			visited[nxt] = true
+			cur = nxt
+		}
+		out = append(out, cycle)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

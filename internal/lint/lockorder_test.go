@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const loPair = `package pair
+
+import "sync"
+
+type Pair struct {
+	M1 sync.Mutex
+	M2 sync.Mutex
+}
+`
+
+func TestLockOrderFlagsCrossPackageCycle(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerLockOrder,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/pair", loPair},
+		srcPkg{"tdmd/internal/fwd", `package fwd
+
+import "tdmd/internal/pair"
+
+func Fwd(p *pair.Pair) {
+	p.M1.Lock()
+	p.M2.Lock()
+	p.M2.Unlock()
+	p.M1.Unlock()
+}
+`},
+		srcPkg{"tdmd/internal/rev", `package rev
+
+import "tdmd/internal/pair"
+
+func Rev(p *pair.Pair) {
+	p.M2.Lock()
+	p.M1.Lock()
+	p.M1.Unlock()
+	p.M2.Unlock()
+}
+`},
+	)
+	wantFindings(t, AnalyzerLockOrder, findings, 1)
+	if !strings.Contains(findings[0].Message, "lock-order cycle") {
+		t.Fatalf("want cycle finding, got: %v", findings[0])
+	}
+}
+
+func TestLockOrderSelfDeadlockThroughHelper(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerLockOrder,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/pair", loPair},
+		srcPkg{"tdmd/internal/again", `package again
+
+import "tdmd/internal/pair"
+
+func helper(p *pair.Pair) {
+	p.M1.Lock()
+	defer p.M1.Unlock()
+}
+
+func Outer(p *pair.Pair) {
+	p.M1.Lock()
+	defer p.M1.Unlock()
+	helper(p)
+}
+`},
+	)
+	wantFindings(t, AnalyzerLockOrder, findings, 1)
+	if !strings.Contains(findings[0].Message, "self-deadlock") {
+		t.Fatalf("want self-deadlock finding, got: %v", findings[0])
+	}
+}
+
+func TestLockOrderConsistentOrderIsClean(t *testing.T) {
+	findings := runModuleOn(t, AnalyzerLockOrder,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/pair", loPair},
+		srcPkg{"tdmd/internal/a", `package a
+
+import "tdmd/internal/pair"
+
+func Both(p *pair.Pair) {
+	p.M1.Lock()
+	p.M2.Lock()
+	p.M2.Unlock()
+	p.M1.Unlock()
+}
+`},
+		srcPkg{"tdmd/internal/b", `package b
+
+import "tdmd/internal/pair"
+
+func AlsoBoth(p *pair.Pair) {
+	p.M1.Lock()
+	defer p.M1.Unlock()
+	p.M2.Lock()
+	defer p.M2.Unlock()
+}
+`},
+	)
+	wantFindings(t, AnalyzerLockOrder, findings, 0)
+}
+
+func TestLockOrderSequentialLocksNoEdge(t *testing.T) {
+	// Release-then-acquire is not nesting: no edge, no finding even
+	// with opposite sequences in two functions.
+	findings := runModuleOn(t, AnalyzerLockOrder,
+		srcPkg{"sync", fakeSync},
+		srcPkg{"tdmd/internal/pair", loPair},
+		srcPkg{"tdmd/internal/seq", `package seq
+
+import "tdmd/internal/pair"
+
+func OneThenTwo(p *pair.Pair) {
+	p.M1.Lock()
+	p.M1.Unlock()
+	p.M2.Lock()
+	p.M2.Unlock()
+}
+
+func TwoThenOne(p *pair.Pair) {
+	p.M2.Lock()
+	p.M2.Unlock()
+	p.M1.Lock()
+	p.M1.Unlock()
+}
+`},
+	)
+	wantFindings(t, AnalyzerLockOrder, findings, 0)
+}

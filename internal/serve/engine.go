@@ -341,8 +341,15 @@ func (e *Engine) Close(ctx context.Context) error {
 }
 
 // CacheLen reports the plan cache's live entry count (tests and
-// stats).
-func (e *Engine) CacheLen() int { return e.cache.len() }
+// stats). It takes the engine mutex like every other cache access:
+// the Engine.mu → planCache.mu nesting is the established order, and
+// holding it here keeps the count coherent with concurrent
+// Submit/finish traffic.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.len()
+}
 
 // incumbentRecorder tees solver lifecycle events to the process
 // metrics observer and captures incumbent snapshots onto the flight.

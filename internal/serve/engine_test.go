@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -671,5 +672,201 @@ func TestServeInterruptedNotCached(t *testing.T) {
 	}
 	if n := s.Engine().CacheLen(); n != 0 {
 		t.Fatalf("cache len = %d after interrupted solve, want 0", n)
+	}
+}
+
+// lockProbeEng hands the engine under test to the lock-probe solver.
+var lockProbeEng atomic.Pointer[Engine]
+
+// lockProbeSolver emits an incumbent — which dispatches synchronously
+// into the engine's incumbentRecorder on this goroutine — and then
+// calls back into an Engine method that takes the engine mutex. If
+// the engine held any lock across the solve or the EmitIncumbent
+// callback, the re-entrant CacheLen would deadlock and the test's
+// Wait deadline would fire.
+type lockProbeSolver struct{}
+
+func (lockProbeSolver) Traits() placement.Traits {
+	return placement.Traits{
+		Name:    "serve-test-lockprobe",
+		Doc:     "test-only solver that re-enters the engine after EmitIncumbent",
+		Anytime: true,
+	}
+}
+
+func (lockProbeSolver) Solve(ctx context.Context, _ *netsim.Instance, _ placement.Options) (placement.Result, error) {
+	placement.EmitIncumbent(ctx, netsim.NewPlan(0), 7)
+	if e := lockProbeEng.Load(); e != nil {
+		_ = e.CacheLen()
+	}
+	return placement.Result{Plan: netsim.NewPlan(0), Bandwidth: 7, Feasible: true}, nil
+}
+
+func init() { placement.Register(lockProbeSolver{}) }
+
+// testEngine builds a raw engine (no HTTP layer) and arranges a drain.
+func testEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := e.Close(ctx); err != nil {
+			t.Errorf("engine drain: %v", err)
+		}
+	})
+	return e
+}
+
+// blockSub builds a Submission for the parking test solver.
+func blockSub(t *testing.T, rate int) Submission {
+	t.Helper()
+	p, err := lineSpec(rate).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Submission{Problem: p, Algorithm: "serve-test-block", K: 0}
+}
+
+// TestServeCoalescedCancelRefcountDrains: with a second waiter
+// attached to an in-flight solve, cancelling one request must only
+// decrement the flight's refcount — the solve keeps running for the
+// survivor — and the final Release must drain the count to zero and
+// deregister the flight. Run under -race, this also exercises the
+// waiter bookkeeping against the solver goroutine.
+func TestServeCoalescedCancelRefcountDrains(t *testing.T) {
+	ctl := newBlockCtl(t)
+	e := testEngine(t, EngineConfig{Workers: 1, Queue: 2})
+
+	t1, err := e.Submit(blockSub(t, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Source() != SourceFresh {
+		t.Fatalf("first source = %q, want fresh", t1.Source())
+	}
+	ctl.waitStarted(t)
+
+	t2, err := e.Submit(blockSub(t, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Source() != SourceCoalesced {
+		t.Fatalf("second source = %q, want coalesced", t2.Source())
+	}
+
+	waiters := func() int {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return t1.fl.waiters
+	}
+	if got := waiters(); got != 2 {
+		t.Fatalf("waiters with coalesced attached = %d, want 2", got)
+	}
+
+	// Cancel the original request mid-solve: the coalesced waiter is
+	// still attached, so the flight must survive un-cancelled.
+	t1.Release()
+	if got := waiters(); got != 1 {
+		t.Fatalf("waiters after one release = %d, want 1", got)
+	}
+	if err := t1.fl.ctx.Err(); err != nil {
+		t.Fatalf("flight cancelled while a waiter remains: %v", err)
+	}
+
+	ctl.releaseAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := t2.Wait(ctx)
+	if err != nil || out.Err != nil {
+		t.Fatalf("survivor wait: %v / %v", err, out.Err)
+	}
+	t2.Release()
+
+	if got := waiters(); got != 0 {
+		t.Fatalf("waiters after final release = %d, want 0 (refcount leak)", got)
+	}
+	e.mu.Lock()
+	live := len(e.inflight)
+	e.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d flights still registered after drain", live)
+	}
+}
+
+// TestServeNoLockHeldAcrossEmitIncumbent: the solve and the
+// EmitIncumbent→incumbentRecorder callback run with no engine lock
+// held, pinned by a solver that re-enters Engine.CacheLen right after
+// emitting. A lock held across the callback deadlocks here and trips
+// the Wait deadline.
+func TestServeNoLockHeldAcrossEmitIncumbent(t *testing.T) {
+	e := testEngine(t, EngineConfig{Workers: 1, Queue: 2})
+	lockProbeEng.Store(e)
+	defer lockProbeEng.Store(nil)
+
+	p, err := lineSpec(31).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := e.Submit(Submission{Problem: p, Algorithm: "serve-test-lockprobe", K: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := tk.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v (engine lock held across solve/EmitIncumbent?)", err)
+	}
+	if out.Err != nil {
+		t.Fatalf("solve: %v", out.Err)
+	}
+	if inc := tk.Incumbent(); inc == nil || inc.Bandwidth != 7 {
+		t.Fatalf("incumbent after emit = %+v", inc)
+	}
+}
+
+// TestServeCacheLenRacesWithSubmit is the regression for CacheLen's
+// unlocked cache read: hammer it concurrently with real solves that
+// populate the cache. The race detector owns the assertion.
+func TestServeCacheLenRacesWithSubmit(t *testing.T) {
+	e := testEngine(t, EngineConfig{Workers: 2, Queue: 8, CacheSize: 16})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.CacheLen()
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 1; i <= 8; i++ {
+		p, err := lineSpec(i).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := e.Submit(Submission{Problem: p, Algorithm: "gtp", K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		tk.Release()
+	}
+	close(stop)
+	wg.Wait()
+	if n := e.CacheLen(); n == 0 {
+		t.Fatal("cache empty after eight distinct complete solves")
 	}
 }

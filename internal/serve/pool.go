@@ -41,26 +41,32 @@ type Pool struct {
 
 // NewPool starts workers goroutines consuming a queue of queueLen
 // pending tasks (both must be positive; the Engine applies defaults).
+// The queue channel is handed to each worker here, before the pool is
+// published, so workers never touch the mutex-guarded field: every
+// post-construction access to p.queue (TrySubmit's send, Close's
+// close) holds p.mu.
 func NewPool(workers, queueLen int) *Pool {
 	p := &Pool{queue: make(chan poolTask, queueLen)}
 	poolWorkers.Set(int64(workers))
 	queueCapacity.Set(int64(queueLen))
-	p.start(workers)
+	p.start(workers, p.queue)
 	return p
 }
 
 // start spawns the worker goroutines. Each signals completion through
 // the pool's WaitGroup; Wait joins them after Close.
-func (p *Pool) start(workers int) {
+func (p *Pool) start(workers int, queue <-chan poolTask) {
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(queue)
 	}
 }
 
-func (p *Pool) worker() {
+// worker drains the queue until Close closes it, signalling completion
+// through the pool's WaitGroup; Wait joins the workers after Close.
+func (p *Pool) worker(queue <-chan poolTask) {
 	defer p.wg.Done()
-	for t := range p.queue {
+	for t := range queue {
 		queueDepth.Dec()
 		queueWait.Observe(time.Since(t.enqueued).Seconds())
 		poolBusy.Inc()

@@ -68,8 +68,14 @@ for f in $FUZZ_FILES; do
     done
 done
 
-echo "==> tdmdlint (full suite incl. solverpurity/detorder/goleak + escape diff, baselines)"
+echo "==> tdmdlint (full suite incl. solverpurity/detorder/goleak/guardedby/lockorder/holdblock + escape diff, baselines)"
 go run ./cmd/tdmdlint -baseline lint.baseline.json -escape-baseline escape.baseline.json ./...
+
+echo "==> lock-order graph (deterministic DOT artifact)"
+# The module's lock-acquisition-order graph, dumped for CI to archive
+# next to the lint JSON. lockorder keeps it acyclic; the dump makes
+# the established order reviewable when a finding does appear.
+go run ./cmd/tdmdlint -only lockorder -lockgraph lockgraph.dot ./...
 
 echo "==> observability (observer identity + exposition, race)"
 go test -race ./internal/obs/
